@@ -1,0 +1,115 @@
+"""Ablation — the compaction technique of the paper's conclusions.
+
+Section 6: "we first compacted the list to a list of super nodes,
+performed list ranking on the compacted list, and then expanded … the
+compaction and expansion steps are parallel, O(n), and require little
+synchronization; thus, they increase parallelism while decreasing
+overhead.  We are investigating whether [this] is a general technique."
+
+This ablation compares three ways to rank the same list on the MTA
+model:
+
+* plain Wyllie pointer jumping — O(n log n) work, maximal parallelism;
+* Alg. 1 — one level of compaction + Wyllie on the walk records;
+* recursive compaction — compact until the residue is tiny.
+
+The paper's argument is quantified by total work (the ⟨T_M⟩ term) and
+simulated time; barrier counts show the synchronization trade.
+
+Output: ``benchmarks/results/ablation_compaction.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MTAMachine, ResultTable
+from repro.lists.compaction import rank_by_compaction
+from repro.lists.independent_set import rank_independent_set
+from repro.lists.generate import random_list
+from repro.lists.mta_ranking import rank_mta
+from repro.lists.wyllie import rank_wyllie
+
+from .conftest import once
+
+N = 1 << 17
+
+
+@pytest.fixture(scope="module")
+def compaction_table():
+    nxt = random_list(N, 21)
+    table = ResultTable("ablation_compaction")
+    runs = {
+        "wyllie": rank_wyllie(nxt, p=8),
+        "alg1-one-level": rank_mta(nxt, p=8),
+        "recursive-compaction": rank_by_compaction(nxt, p=8, fanout=10, threshold=256),
+        "independent-set": rank_independent_set(nxt, p=8, rng=0),
+    }
+    for name, run in runs.items():
+        res = MTAMachine(p=8).run(run.steps)
+        table.add(
+            algorithm=name,
+            t_m=run.triplet.t_m,
+            barriers=run.triplet.b,
+            seconds=res.seconds,
+        )
+    return table
+
+
+def _get(table, name, col):
+    return table.where(algorithm=name).rows[0].get(col)
+
+
+def test_compaction_regenerate(compaction_table, write_result, benchmark):
+    def render():
+        lines = [f"== Ablation: compaction vs pointer jumping (n = {N}, MTA p=8) =="]
+        lines.append(
+            compaction_table.to_text(
+                ["algorithm", "t_m", "barriers", "seconds"], floatfmt="{:.5g}"
+            )
+        )
+        return "\n".join(lines)
+
+    assert write_result("ablation_compaction", once(benchmark, render)).exists()
+
+
+def test_compaction_cuts_total_work(compaction_table, benchmark):
+    """Both compaction schemes do far less memory work than Wyllie."""
+
+    def t_ms():
+        return {
+            a: _get(compaction_table, a, "t_m")
+            for a in ("wyllie", "alg1-one-level", "recursive-compaction", "independent-set")
+        }
+
+    t = once(benchmark, t_ms)
+    assert t["alg1-one-level"] < 0.4 * t["wyllie"]
+    assert t["recursive-compaction"] < 0.4 * t["wyllie"]
+    assert t["independent-set"] < 0.6 * t["wyllie"]
+
+
+def test_compaction_cuts_simulated_time(compaction_table, benchmark):
+    def secs():
+        return {
+            a: _get(compaction_table, a, "seconds")
+            for a in ("wyllie", "alg1-one-level", "recursive-compaction")
+        }
+
+    s = once(benchmark, secs)
+    assert s["alg1-one-level"] < s["wyllie"]
+    assert s["recursive-compaction"] < s["wyllie"]
+
+
+def test_compaction_needs_few_barriers(compaction_table, benchmark):
+    """'…and require little synchronization': Wyllie pays a barrier per
+    doubling round over the whole list; compaction pays O(1) per level
+    plus the rounds over a tiny residue."""
+
+    def barriers():
+        return (
+            _get(compaction_table, "wyllie", "barriers"),
+            _get(compaction_table, "recursive-compaction", "barriers"),
+        )
+
+    wy, comp = once(benchmark, barriers)
+    assert comp <= wy + 10  # comparable or fewer, despite multiple levels

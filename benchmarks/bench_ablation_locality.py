@@ -1,0 +1,121 @@
+"""Ablation — locality sensitivity of the SMP (paper Section 2.1).
+
+The paper attributes the SMP's behaviour to its cache hierarchy:
+spatial locality is everything, and "prefetching … shows limited or no
+improvement for irregular codes".  Two sweeps quantify that on the SMP
+model (the MTA model is run alongside as the flat-memory control):
+
+* **list layout** — :func:`repro.lists.generate.clustered_list`
+  interpolates between Ordered (block = 1) and Random (block = n):
+  SMP ranking time should rise monotonically with the block size while
+  MTA time stays flat;
+* **cache geometry** — the same Random workload on SMP variants with
+  scaled L2 capacity shows the working-set cliff that produces the
+  paper's size-dependent effects.
+
+Output: ``benchmarks/results/ablation_locality.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.cache import CacheConfig
+from repro.core import MTAMachine, ResultTable, SMPMachine
+from repro.core.smp_machine import SMPConfig
+from repro.lists.generate import clustered_list
+from repro.lists.helman_jaja import rank_helman_jaja
+from repro.lists.mta_ranking import rank_mta
+
+from .conftest import once
+
+N = 1 << 18
+BLOCKS = (1, 64, 1 << 12, 1 << 15, N)
+
+
+@pytest.fixture(scope="module")
+def locality_table():
+    table = ResultTable("ablation_locality")
+    for block in BLOCKS:
+        nxt = clustered_list(N, block=block, rng=5)
+        hj = rank_helman_jaja(nxt, p=8, rng=0)
+        smp = SMPMachine(p=8).run(hj.steps)
+        mta = MTAMachine(p=8).run(rank_mta(nxt, p=8).steps)
+        table.add(
+            sweep="layout", block=block,
+            smp_seconds=smp.seconds, mta_seconds=mta.seconds,
+            contig_fraction=hj.stats["contig_fraction"],
+        )
+    # cache-capacity sweep on the fully random layout
+    nxt = clustered_list(N, block=N, rng=5)
+    hj = rank_helman_jaja(nxt, p=8, rng=0)
+    for l2_elems in (1 << 16, 1 << 18, 1 << 20, 1 << 22):
+        cfg = SMPConfig(
+            name=f"E4500-l2-{l2_elems}",
+            l2=CacheConfig(size_words=l2_elems, line_words=16),
+        )
+        smp = SMPMachine(p=8, config=cfg).run(hj.steps)
+        table.add(sweep="l2", l2_elems=l2_elems, smp_seconds=smp.seconds)
+    return table
+
+
+def test_locality_regenerate(locality_table, write_result, benchmark):
+    def render():
+        lines = ["== Ablation: SMP locality sensitivity (n = 256K, p = 8) =="]
+        lines.append(
+            locality_table.where(sweep="layout").to_text(
+                ["block", "contig_fraction", "smp_seconds", "mta_seconds"],
+                floatfmt="{:.4f}",
+            )
+        )
+        lines.append("")
+        lines.append("-- L2 capacity sweep (random layout) --")
+        lines.append(
+            locality_table.where(sweep="l2").to_text(
+                ["l2_elems", "smp_seconds"], floatfmt="{:.4f}"
+            )
+        )
+        return "\n".join(lines)
+
+    assert write_result("ablation_locality", once(benchmark, render)).exists()
+
+
+def test_smp_time_rises_with_randomness(locality_table, benchmark):
+    def series():
+        rows = locality_table.where(sweep="layout").rows
+        return [(r.get("block"), r.get("smp_seconds")) for r in rows]
+
+    pts = sorted(once(benchmark, series))
+    times = [t for _, t in pts]
+    assert times == sorted(times), times
+    assert times[-1] > 2.0 * times[0]
+
+
+def test_mta_time_flat_across_layouts(locality_table, benchmark):
+    def series():
+        return [r.get("mta_seconds") for r in locality_table.where(sweep="layout").rows]
+
+    ts = once(benchmark, series)
+    assert max(ts) - min(ts) < 0.05 * max(ts)
+
+
+def test_contiguity_measured_monotone(locality_table, benchmark):
+    def series():
+        rows = locality_table.where(sweep="layout").rows
+        return [(r.get("block"), r.get("contig_fraction")) for r in rows]
+
+    pts = sorted(once(benchmark, series))
+    fracs = [f for _, f in pts]
+    assert all(b <= a + 0.02 for a, b in zip(fracs, fracs[1:]))
+
+
+def test_bigger_l2_helps_random_lists(locality_table, benchmark):
+    def series():
+        rows = locality_table.where(sweep="l2").rows
+        return sorted((r.get("l2_elems"), r.get("smp_seconds")) for r in rows)
+
+    pts = once(benchmark, series)
+    times = [t for _, t in pts]
+    assert all(b <= a + 1e-9 for a, b in zip(times, times[1:]))
+    # an L2 bigger than the working set removes the memory-latency term
+    assert times[-1] < 0.5 * times[0]

@@ -1,0 +1,117 @@
+"""Ablation — dynamic vs block scheduling of walks (paper Section 3).
+
+The paper: "If threads are assigned to streams in blocks, the work per
+stream will not be balanced… To avoid load imbalances, we instruct the
+compiler via a pragma to dynamically schedule the iterations of the
+outer loop," paying one `int_fetch_add`` (one cycle) per walk.
+
+Measured here both ways:
+
+* on the cycle engine — executing the walk phase with FA
+  self-scheduling vs pre-assigned walk blocks;
+* on the analytic model — the per-processor load imbalance the
+  instrumented algorithm records under each policy.
+
+Random lists make walk lengths highly variable (geometric-ish), so the
+effect is large; Ordered lists have uniform walks, so the policies tie
+— both shapes are asserted.
+
+Output: ``benchmarks/results/ablation_scheduling.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MTAMachine, ResultTable
+from repro.lists.generate import ordered_list, random_list
+from repro.lists.mta_ranking import rank_mta
+from repro.lists.programs import simulate_mta_list_ranking
+
+from .conftest import once
+
+N_ENGINE = 12_000
+N_MODEL = 1 << 18
+
+
+@pytest.fixture(scope="module")
+def sched_table():
+    table = ResultTable("ablation_scheduling")
+    for label, nxt in (
+        ("random", random_list(N_ENGINE, 11)),
+        ("ordered", ordered_list(N_ENGINE)),
+    ):
+        for policy, dynamic in (("dynamic", True), ("block", False)):
+            sim = simulate_mta_list_ranking(
+                nxt, p=4, streams_per_proc=64, nodes_per_walk=10, dynamic=dynamic
+            )
+            table.add(
+                source="engine", list=label, policy=policy,
+                cycles=sim.report.cycles, utilization=sim.report.utilization,
+            )
+    for label, nxt in (
+        ("random", random_list(N_MODEL, 11)),
+        ("ordered", ordered_list(N_MODEL)),
+    ):
+        for policy in ("dynamic", "block"):
+            run = rank_mta(nxt, p=8, schedule=policy)
+            res = MTAMachine(p=8).run(run.steps)
+            table.add(
+                source="model", list=label, policy=policy,
+                seconds=res.seconds, imbalance=run.stats["load_imbalance"],
+            )
+    return table
+
+
+def test_scheduling_regenerate(sched_table, write_result, benchmark):
+    def render():
+        lines = ["== Ablation: dynamic vs block walk scheduling =="]
+        lines.append("-- cycle engine (p=4, 64 streams) --")
+        lines.append(
+            sched_table.where(source="engine").to_text(
+                ["list", "policy", "cycles", "utilization"], floatfmt="{:.3f}"
+            )
+        )
+        lines.append("-- analytic model (p=8) --")
+        lines.append(
+            sched_table.where(source="model").to_text(
+                ["list", "policy", "seconds", "imbalance"], floatfmt="{:.4f}"
+            )
+        )
+        return "\n".join(lines)
+
+    assert write_result("ablation_scheduling", once(benchmark, render)).exists()
+
+
+def test_dynamic_beats_block_on_random_lists(sched_table, benchmark):
+    def cycles():
+        eng = sched_table.where(source="engine", list="random")
+        return {
+            r.get("policy"): r.get("cycles") for r in eng.rows
+        }
+
+    c = once(benchmark, cycles)
+    assert c["dynamic"] < c["block"]
+
+
+def test_policies_tie_on_ordered_lists(sched_table, benchmark):
+    """Uniform walks leave nothing for dynamic scheduling to fix."""
+
+    def cycles():
+        eng = sched_table.where(source="engine", list="ordered")
+        return {r.get("policy"): r.get("cycles") for r in eng.rows}
+
+    c = once(benchmark, cycles)
+    assert abs(c["dynamic"] - c["block"]) < 0.15 * c["block"]
+
+
+def test_model_imbalance_ordering(sched_table, benchmark):
+    """The instrumented load-imbalance factor explains the engine result."""
+
+    def imb():
+        mod = sched_table.where(source="model", list="random")
+        return {r.get("policy"): r.get("imbalance") for r in mod.rows}
+
+    i = once(benchmark, imb)
+    assert i["dynamic"] <= i["block"]
+    assert i["dynamic"] < 1.3  # dynamic stays close to perfectly balanced

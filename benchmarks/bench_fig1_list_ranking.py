@@ -1,0 +1,147 @@
+"""Fig. 1 — running times for list ranking on the Cray MTA and Sun SMP.
+
+Regenerates both panels of the paper's Figure 1: simulated running time
+versus list size for p ∈ {1, 2, 4, 8}, on Ordered and Random lists, for
+the MTA walk algorithm on the MTA model and the Helman–JáJá algorithm
+on the SMP model.  Shape checks assert the paper's headlines:
+
+* SMP Random is 3–4× slower than SMP Ordered;
+* the MTA is insensitive to list order;
+* the MTA beats the SMP by ~an order of magnitude on Ordered and by
+  roughly 35× on Random;
+* both machines scale nearly linearly in p.
+
+Output table: ``benchmarks/results/fig1_list_ranking.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MTAMachine, ResultTable, SMPMachine, scaling_exponent
+from repro.lists.helman_jaja import rank_helman_jaja
+from repro.lists.mta_ranking import rank_mta
+
+from .conftest import once
+
+
+@pytest.fixture(scope="module")
+def fig1_table(fig1_lists):
+    spec, lists = fig1_lists
+    table = ResultTable("fig1")
+    for (label, n), nxt in lists.items():
+        for p in spec.procs:
+            hj = rank_helman_jaja(nxt, p=p, rng=spec.seed)
+            smp = SMPMachine(p=p).run(hj.steps)
+            table.add(
+                machine="smp", list=label, n=n, p=p,
+                seconds=smp.seconds, utilization=smp.utilization,
+            )
+            mta_run = rank_mta(nxt, p=p)
+            mta = MTAMachine(p=p).run(mta_run.steps)
+            table.add(
+                machine="mta", list=label, n=n, p=p,
+                seconds=mta.seconds, utilization=mta.utilization,
+            )
+    return spec, table
+
+
+def _panel_text(table, machine: str) -> str:
+    lines = [f"== Fig. 1 panel: {machine.upper()} (simulated seconds) =="]
+    sub = table.where(machine=machine)
+    lines.append(sub.to_text(["list", "n", "p", "seconds"], floatfmt="{:.5f}"))
+    return "\n".join(lines)
+
+
+def test_fig1_regenerate_table(fig1_table, write_result, benchmark):
+    """Write both Fig. 1 panels as text series."""
+    spec, table = fig1_table
+    text = once(
+        benchmark,
+        lambda: _panel_text(table, "mta") + "\n\n" + _panel_text(table, "smp"),
+    )
+    path = write_result("fig1_list_ranking", text)
+    assert path.exists()
+    assert len(table) == 2 * len(spec.sizes) * len(spec.procs) * 2
+
+
+def test_fig1_smp_ordered_vs_random_gap(fig1_table, benchmark):
+    spec, table = fig1_table
+    n = max(spec.sizes)
+
+    def gaps():
+        return {
+            p: table.where(machine="smp", list="random", n=n, p=p).rows[0].get("seconds")
+            / table.where(machine="smp", list="ordered", n=n, p=p).rows[0].get("seconds")
+            for p in spec.procs
+        }
+
+    lo, hi = spec.smp_random_over_ordered
+    for p, gap in once(benchmark, gaps).items():
+        assert lo * 0.6 < gap < hi * 1.8, f"p={p}: SMP random/ordered = {gap:.2f}"
+
+
+def test_fig1_mta_order_insensitive(fig1_table, benchmark):
+    spec, table = fig1_table
+
+    def max_rel_diff():
+        worst = 0.0
+        for n in spec.sizes:
+            for p in spec.procs:
+                t_ord = table.where(machine="mta", list="ordered", n=n, p=p).rows[0].get("seconds")
+                t_rnd = table.where(machine="mta", list="random", n=n, p=p).rows[0].get("seconds")
+                worst = max(worst, abs(t_ord - t_rnd) / max(t_ord, t_rnd))
+        return worst
+
+    assert once(benchmark, max_rel_diff) < 0.1
+
+
+def test_fig1_ratios(fig1_table, benchmark):
+    """MTA ≈ 10× SMP on ordered lists, ≈ 35× on random lists."""
+    spec, table = fig1_table
+    n = max(spec.sizes)
+    p = max(spec.procs)
+
+    def ratios():
+        r = {}
+        for label in ("ordered", "random"):
+            r[label] = (
+                table.where(machine="smp", list=label, n=n, p=p).rows[0].get("seconds")
+                / table.where(machine="mta", list=label, n=n, p=p).rows[0].get("seconds")
+            )
+        return r
+
+    r = once(benchmark, ratios)
+    assert 4.0 < r["ordered"] < 25.0, f"ordered MTA/SMP ratio {r['ordered']:.1f}"
+    assert 15.0 < r["random"] < 70.0, f"random MTA/SMP ratio {r['random']:.1f}"
+    assert r["random"] > r["ordered"]  # locality hurts the SMP, never the MTA
+
+
+def test_fig1_scaling_in_p(fig1_table, benchmark):
+    spec, table = fig1_table
+    n = max(spec.sizes)
+
+    def exponents():
+        out = {}
+        for machine in ("smp", "mta"):
+            for label in ("ordered", "random"):
+                xs, ys = table.where(machine=machine, list=label, n=n).series(
+                    x="p", y="seconds", group_by="machine"
+                )[machine]
+                out[(machine, label)] = scaling_exponent(xs, ys)
+        return out
+
+    for key, exp in once(benchmark, exponents).items():
+        assert exp < -0.7, f"{key}: p-scaling exponent {exp:.2f}"
+
+
+def test_fig1_benchmark_pipeline(benchmark, fig1_lists):
+    """Host-side cost of one full Fig. 1 grid point (instrument + model)."""
+    spec, lists = fig1_lists
+    nxt = lists[("random", min(spec.sizes))]
+
+    def point():
+        run = rank_mta(nxt, p=8)
+        return MTAMachine(p=8).run(run.steps).seconds
+
+    assert once(benchmark, point) > 0

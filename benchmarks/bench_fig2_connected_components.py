@@ -1,0 +1,155 @@
+"""Fig. 2 — running times for connected components on the MTA and SMP.
+
+Regenerates both panels of the paper's Figure 2: simulated running time
+of Shiloach–Vishkin connected components on a random graph (n fixed,
+m = 4n…20n) for p ∈ {1, 2, 4, 8} — Alg. 3 on the MTA model, the
+optimized variant on the SMP model.  Shape checks:
+
+* the MTA is 5–6× faster than the SMP;
+* both machines scale with p and with m;
+* both parallel codes beat the sequential union-find baseline (the
+  paper's "truly remarkable result" for sparse random graphs).
+
+Output table: ``benchmarks/results/fig2_connected_components.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MTAMachine, ResultTable, SMPMachine, scaling_exponent
+from repro.graphs.sequential_cc import cc_union_find
+from repro.graphs.sv_mta import sv_mta
+from repro.graphs.sv_smp import sv_smp
+
+from .conftest import once
+
+
+@pytest.fixture(scope="module")
+def fig2_table(fig2_graphs):
+    spec, graphs = fig2_graphs
+    table = ResultTable("fig2")
+    for m, g in graphs.items():
+        seq = SMPMachine(p=1).run(cc_union_find(g).steps)
+        table.add(machine="seq", m=m, p=1, seconds=seq.seconds)
+        # run each algorithm once; its step costs are scalar totals, so
+        # re-distribution across p is exact and avoids 4x recomputation
+        smp_run = sv_smp(g, p=1)
+        mta_run = sv_mta(g, p=1)
+        for p in spec.procs:
+            smp = SMPMachine(p=p).run([s.redistributed(p) for s in smp_run.steps])
+            table.add(
+                machine="smp", m=m, p=p,
+                seconds=smp.seconds, iterations=smp_run.iterations,
+            )
+            mta = MTAMachine(p=p).run([s.redistributed(p) for s in mta_run.steps])
+            table.add(
+                machine="mta", m=m, p=p,
+                seconds=mta.seconds, iterations=mta_run.iterations,
+            )
+    return spec, table
+
+
+def test_fig2_regenerate_table(fig2_table, write_result, benchmark):
+    spec, table = fig2_table
+
+    def render():
+        lines = [
+            f"== Fig. 2: connected components, n={spec.n}, m=4n..20n"
+            " (simulated seconds) =="
+        ]
+        for machine in ("mta", "smp", "seq"):
+            lines.append(f"-- {machine.upper()} --")
+            lines.append(
+                table.where(machine=machine).to_text(
+                    ["m", "p", "seconds", "iterations"], floatfmt="{:.5f}"
+                )
+            )
+        return "\n".join(lines)
+
+    path = write_result("fig2_connected_components", once(benchmark, render))
+    assert path.exists()
+    assert len(table) == len(spec.edge_counts) * (2 * len(spec.procs) + 1)
+
+
+def test_fig2_ratio(fig2_table, benchmark):
+    """Paper: 'the MTA implementation is 5 to 6 times faster than the SMP'."""
+    spec, table = fig2_table
+    p = max(spec.procs)
+
+    def ratios():
+        return [
+            table.where(machine="smp", m=m, p=p).rows[0].get("seconds")
+            / table.where(machine="mta", m=m, p=p).rows[0].get("seconds")
+            for m in spec.edge_counts
+        ]
+
+    for m, r in zip(spec.edge_counts, once(benchmark, ratios)):
+        assert 2.5 < r < 12.0, f"m={m}: MTA/SMP ratio {r:.2f}"
+
+
+def test_fig2_scaling_in_p(fig2_table, benchmark):
+    spec, table = fig2_table
+    m = max(spec.edge_counts)
+
+    def exponents():
+        out = {}
+        for machine in ("smp", "mta"):
+            xs, ys = table.where(machine=machine, m=m).series(
+                x="p", y="seconds", group_by="machine"
+            )[machine]
+            out[machine] = scaling_exponent(xs, ys)
+        return out
+
+    for machine, exp in once(benchmark, exponents).items():
+        assert exp < -0.6, f"{machine}: p-scaling exponent {exp:.2f}"
+
+
+def test_fig2_scaling_in_m(fig2_table, benchmark):
+    """Running time grows roughly linearly with edge count."""
+    spec, table = fig2_table
+    p = max(spec.procs)
+
+    def exponents():
+        out = {}
+        for machine in ("smp", "mta"):
+            xs, ys = table.where(machine=machine, p=p).series(
+                x="m", y="seconds", group_by="machine"
+            )[machine]
+            out[machine] = scaling_exponent(xs, ys)
+        return out
+
+    for machine, exp in once(benchmark, exponents).items():
+        assert 0.5 < exp < 1.6, f"{machine}: m-scaling exponent {exp:.2f}"
+
+
+def test_fig2_parallel_beats_sequential(fig2_table, benchmark):
+    """The paper's framing result: parallel speedup on sparse random
+    graphs over the best sequential implementation."""
+    spec, table = fig2_table
+    p = max(spec.procs)
+
+    def speedups():
+        out = []
+        for m in spec.edge_counts:
+            seq = table.where(machine="seq", m=m).rows[0].get("seconds")
+            smp = table.where(machine="smp", m=m, p=p).rows[0].get("seconds")
+            mta = table.where(machine="mta", m=m, p=p).rows[0].get("seconds")
+            out.append((seq / smp, seq / mta))
+        return out
+
+    for m, (s_smp, s_mta) in zip(spec.edge_counts, once(benchmark, speedups)):
+        assert s_smp > 1.0, f"m={m}: SMP speedup {s_smp:.2f}"
+        assert s_mta > 5.0, f"m={m}: MTA speedup {s_mta:.2f}"
+
+
+def test_fig2_benchmark_pipeline(benchmark, fig2_graphs):
+    """Host-side cost of one Fig. 2 grid point."""
+    spec, graphs = fig2_graphs
+    g = graphs[min(spec.edge_counts)]
+
+    def point():
+        run = sv_mta(g, p=8)
+        return MTAMachine(p=8).run(run.steps).seconds
+
+    assert once(benchmark, point) > 0

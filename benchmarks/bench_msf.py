@@ -1,0 +1,101 @@
+"""Extension bench — Borůvka minimum spanning forest.
+
+The paper's intro lists MSF among the problems its kernels unlock
+(refs [5], [29]); this bench runs the :mod:`repro.graphs.msf` Borůvka
+on the Fig. 2-style random graphs and checks the architectural story
+carries over: the per-round structure is a Shiloach–Vishkin-like
+edge sweep plus scattered gathers, so the MTA wins by a similar factor
+as it does on plain connectivity, while the component count collapses
+geometrically (the O(log n) rounds).
+
+Output: ``benchmarks/results/msf.txt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MTAMachine, ResultTable, SMPMachine
+from repro.graphs.generate import random_graph
+from repro.graphs.msf import minimum_spanning_forest
+from repro.graphs.sv_smp import sv_smp
+
+from .conftest import once
+
+N = 1 << 17
+FACTORS = (4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def msf_table():
+    table = ResultTable("msf")
+    rng = np.random.default_rng(9)
+    for k in FACTORS:
+        g = random_graph(N, k * N, rng=rng)
+        w = rng.random(g.m)
+        run = minimum_spanning_forest(g, w, p=1)
+        cc = sv_smp(g, p=1)
+        table.add(
+            m=k * N,
+            iterations=run.iterations,
+            forest_edges=run.n_edges,
+            mta_seconds=MTAMachine(p=8).run(
+                [s.redistributed(8) for s in run.steps]
+            ).seconds,
+            smp_seconds=SMPMachine(p=8).run(
+                [s.redistributed(8) for s in run.steps]
+            ).seconds,
+            cc_smp_seconds=SMPMachine(p=8).run(
+                [s.redistributed(8) for s in cc.steps]
+            ).seconds,
+        )
+    return table
+
+
+def test_msf_regenerate(msf_table, write_result, benchmark):
+    def render():
+        lines = [f"== Borůvka MSF on G(n={N}, m), p=8 (simulated seconds) =="]
+        lines.append(
+            msf_table.to_text(
+                ["m", "iterations", "forest_edges",
+                 "mta_seconds", "smp_seconds", "cc_smp_seconds"],
+                floatfmt="{:.5g}",
+            )
+        )
+        return "\n".join(lines)
+
+    assert write_result("msf", once(benchmark, render)).exists()
+
+
+def test_msf_architectural_ordering(msf_table, benchmark):
+    def ratios():
+        return [
+            r.get("smp_seconds") / r.get("mta_seconds") for r in msf_table.rows
+        ]
+
+    for ratio in once(benchmark, ratios):
+        assert 2.0 < ratio < 20.0
+
+
+def test_msf_costs_a_small_multiple_of_cc(msf_table, benchmark):
+    """MSF per round adds the segmented argmin to the CC sweep; total
+    cost stays within a small factor of plain connectivity."""
+
+    def factors():
+        return [
+            r.get("smp_seconds") / r.get("cc_smp_seconds") for r in msf_table.rows
+        ]
+
+    for f in once(benchmark, factors):
+        assert 0.5 < f < 8.0
+
+
+def test_msf_forest_spans(msf_table, benchmark):
+    def edges():
+        return [r.get("forest_edges") for r in msf_table.rows]
+
+    for fe in once(benchmark, edges):
+        # at m = 4n a handful of isolated vertices survive; the forest
+        # still covers everything reachable (n − #components edges)
+        assert fe >= N - 100

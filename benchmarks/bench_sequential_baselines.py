@@ -1,0 +1,108 @@
+"""Sequential baselines — the speedup denominators of both figures.
+
+The paper frames every parallel result against "the best sequential
+implementation": the pointer-chasing list ranking and union-find
+connected components.  This benchmark records their simulated times
+across problem sizes (the denominators used by the Fig. 1 / Fig. 2
+speedup checks) and asserts their own expected behaviours:
+
+* sequential ranking on a Random list degrades sharply once the list
+  outgrows L2, while the Ordered list stays near streaming speed —
+  the single-processor version of the paper's locality story;
+* union-find is effectively linear in m with a small constant (the
+  measured path-chase count per edge stays tiny thanks to halving).
+
+Output: ``benchmarks/results/sequential_baselines.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ResultTable, SMPMachine, scaling_exponent
+from repro.graphs.generate import random_graph
+from repro.graphs.sequential_cc import cc_union_find
+from repro.lists.generate import ordered_list, random_list
+from repro.lists.sequential import rank_sequential
+
+from .conftest import once
+
+LIST_SIZES = (1 << 14, 1 << 17, 1 << 20)
+GRAPH_SIZES = ((1 << 14, 1 << 17), (1 << 15, 1 << 18), (1 << 16, 1 << 19))
+
+
+@pytest.fixture(scope="module")
+def seq_table():
+    table = ResultTable("sequential_baselines")
+    machine = SMPMachine(p=1)
+    for n in LIST_SIZES:
+        for label, nxt in (
+            ("ordered", ordered_list(n)),
+            ("random", random_list(n, 3)),
+        ):
+            run = rank_sequential(nxt)
+            table.add(
+                kernel="rank", list=label, n=n,
+                seconds=machine.run(run.steps).seconds,
+            )
+    for n, m in GRAPH_SIZES:
+        g = random_graph(n, m, rng=3)
+        run = cc_union_find(g)
+        table.add(
+            kernel="cc", n=n, m=m,
+            seconds=machine.run(run.steps).seconds,
+            chases_per_edge=run.stats["chase_steps"] / m,
+        )
+    return table
+
+
+def test_sequential_regenerate(seq_table, write_result, benchmark):
+    def render():
+        lines = ["== Sequential baselines (simulated seconds, Sun E4500, p=1) =="]
+        lines.append(
+            seq_table.where(kernel="rank").to_text(
+                ["list", "n", "seconds"], floatfmt="{:.5f}"
+            )
+        )
+        lines.append("")
+        lines.append(
+            seq_table.where(kernel="cc").to_text(
+                ["n", "m", "seconds", "chases_per_edge"], floatfmt="{:.5f}"
+            )
+        )
+        return "\n".join(lines)
+
+    assert write_result("sequential_baselines", once(benchmark, render)).exists()
+
+
+def test_random_chase_degrades_beyond_cache(seq_table, benchmark):
+    def gaps():
+        out = {}
+        for n in LIST_SIZES:
+            t_o = seq_table.where(kernel="rank", list="ordered", n=n).rows[0].get("seconds")
+            t_r = seq_table.where(kernel="rank", list="random", n=n).rows[0].get("seconds")
+            out[n] = t_r / t_o
+        return out
+
+    g = once(benchmark, gaps)
+    # gap grows with size and is large once out of cache
+    assert g[LIST_SIZES[-1]] > g[LIST_SIZES[0]]
+    assert g[LIST_SIZES[-1]] > 3.0
+
+
+def test_union_find_linear_in_m(seq_table, benchmark):
+    def exponent():
+        rows = seq_table.where(kernel="cc").rows
+        ms = [r.get("m") for r in rows]
+        ts = [r.get("seconds") for r in rows]
+        return scaling_exponent(ms, ts)
+
+    assert 0.8 < once(benchmark, exponent) < 1.3
+
+
+def test_union_find_chases_stay_small(seq_table, benchmark):
+    def chases():
+        return [r.get("chases_per_edge") for r in seq_table.where(kernel="cc").rows]
+
+    for c in once(benchmark, chases):
+        assert c < 3.0  # path halving keeps trees flat

@@ -1,0 +1,100 @@
+"""Extension bench — expression evaluation by parallel tree contraction.
+
+The paper's intro cites "tree contraction and expression evaluation"
+(its ref. [3]) among the algorithms list ranking unlocks; this bench
+closes that loop with the :mod:`repro.trees` implementation, whose
+leaf numbering runs on the package's Euler-tour/list-ranking machinery.
+
+Measured: simulated time on both machines across tree sizes and
+shapes, the logarithmic round count, and the serial-vs-parallel work
+comparison (contraction does O(n) total work in O(log n) rounds — each
+round rakes a constant fraction of the remaining leaves).
+
+Output: ``benchmarks/results/tree_contraction.txt``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import MTAMachine, ResultTable, SMPMachine
+from repro.trees import evaluate_by_contraction, random_expression_tree
+
+from .conftest import once
+
+MOD = 1_000_000_007
+SIZES = (1 << 10, 1 << 13, 1 << 16)
+
+
+@pytest.fixture(scope="module")
+def contraction_table():
+    table = ResultTable("tree_contraction")
+    for leaves in SIZES:
+        t = random_expression_tree(leaves, rng=leaves)
+        run = evaluate_by_contraction(t, p=8, modulus=MOD)
+        assert run.value == t.evaluate_reference(modulus=MOD)
+        mta = MTAMachine(p=8).run(run.steps)
+        smp = SMPMachine(p=8).run(run.steps)
+        table.add(
+            leaves=leaves,
+            rounds=run.rounds,
+            t_m=run.triplet.t_m,
+            mta_seconds=mta.seconds,
+            smp_seconds=smp.seconds,
+        )
+    return table
+
+
+def test_contraction_regenerate(contraction_table, write_result, benchmark):
+    def render():
+        lines = ["== Expression evaluation by tree contraction (p=8, mod prime) =="]
+        lines.append(
+            contraction_table.to_text(
+                ["leaves", "rounds", "t_m", "mta_seconds", "smp_seconds"],
+                floatfmt="{:.5g}",
+            )
+        )
+        return "\n".join(lines)
+
+    assert write_result("tree_contraction", once(benchmark, render)).exists()
+
+
+def test_rounds_grow_logarithmically(contraction_table, benchmark):
+    def rounds():
+        return {r.get("leaves"): r.get("rounds") for r in contraction_table.rows}
+
+    rd = once(benchmark, rounds)
+    for leaves, r in rd.items():
+        assert r <= 2 * math.ceil(math.log2(leaves)) + 8
+    # 64x more leaves adds only a handful of rounds
+    assert rd[SIZES[-1]] - rd[SIZES[0]] <= 14
+
+
+def test_work_is_linear_in_leaves(contraction_table, benchmark):
+    """Total memory work scales ~linearly (each leaf raked exactly once)."""
+
+    def t_ms():
+        return [
+            (r.get("leaves"), r.get("t_m")) for r in contraction_table.rows
+        ]
+
+    pts = sorted(once(benchmark, t_ms))
+    growth = pts[-1][1] / pts[0][1]
+    size_ratio = pts[-1][0] / pts[0][0]
+    assert growth < 2.5 * size_ratio  # no n log n blow-up
+
+
+def test_mta_wins_by_latency_tolerance(contraction_table, benchmark):
+    """The rakes of one round are independent scattered updates — the
+    access pattern the MTA forgives and the SMP pays for."""
+
+    def ratios():
+        return [
+            r.get("smp_seconds") / r.get("mta_seconds")
+            for r in contraction_table.rows
+        ]
+
+    for ratio in once(benchmark, ratios):
+        assert ratio > 2.0

@@ -1,0 +1,79 @@
+"""Shared infrastructure for the figure/table regeneration benchmarks.
+
+Each benchmark module reproduces one evaluation artifact of the paper:
+it sweeps the workload grid, times the kernels on the simulated
+machines, writes a paper-shaped text table under
+``benchmarks/results/``, asserts the headline comparative shapes, and
+feeds a representative pipeline run to ``pytest-benchmark`` so the
+harness also tracks the reproduction's own (host) performance.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+
+and read the regenerated tables in ``benchmarks/results/*.txt`` (they
+are also summarized in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result.
+
+    The benchmark modules sweep whole figure grids; re-running them for
+    statistical timing would multiply minutes into hours, so every bench
+    test times a single shot (the numbers of interest are the *simulated*
+    seconds inside the results tables, not the host wall time).
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_result(results_dir):
+    """Writer for paper-shaped result tables: ``write_result(name, text)``."""
+
+    def _write(name: str, text: str) -> pathlib.Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text if text.endswith("\n") else text + "\n")
+        return path
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def fig1_lists():
+    """The Fig. 1 workloads, built once per session."""
+    from repro.lists.generate import ordered_list, random_list
+    from repro.workloads import FIG1_SPEC
+
+    spec = FIG1_SPEC
+    lists = {}
+    for n in spec.sizes:
+        lists[("ordered", n)] = ordered_list(n)
+        lists[("random", n)] = random_list(n, rng=spec.seed)
+    return spec, lists
+
+
+@pytest.fixture(scope="session")
+def fig2_graphs():
+    """The Fig. 2 workloads, built once per session."""
+    from repro.graphs.generate import random_graph
+    from repro.workloads import FIG2_SPEC
+
+    spec = FIG2_SPEC
+    graphs = {m: random_graph(spec.n, m, rng=spec.seed) for m in spec.edge_counts}
+    return spec, graphs

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Architecture study — regenerate the paper's Fig. 1 and Fig. 2 in miniature.
+
+Sweeps list ranking over size × processors × list class and connected
+components over edge density × processors, timing every point on both
+machine models, and prints the series the paper plots along with the
+headline ratios the abstract quotes.
+
+This is the example-sized version of the benchmark harness
+(``benchmarks/bench_fig1_list_ranking.py`` and
+``bench_fig2_connected_components.py`` run the full grids and write the
+archival tables).
+
+Run:  python examples/architecture_study.py        (~1 minute)
+      python examples/architecture_study.py --paper-scale   (slower; full sizes)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import MTAMachine, ResultTable, SMPMachine
+from repro.graphs import random_graph, sv_mta, sv_smp
+from repro.lists import ordered_list, random_list, rank_helman_jaja, rank_mta
+
+PROCS = (1, 2, 4, 8)
+
+
+def figure1(sizes: tuple[int, ...]) -> None:
+    print("== Fig. 1: list ranking (simulated milliseconds) ==")
+    table = ResultTable("fig1")
+    for n in sizes:
+        for label, nxt in (("ordered", ordered_list(n)), ("random", random_list(n, 42))):
+            for p in PROCS:
+                smp = SMPMachine(p=p).run(rank_helman_jaja(nxt, p=p, rng=0).steps)
+                mta = MTAMachine(p=p).run(rank_mta(nxt, p=p).steps)
+                table.add(n=n, list=label, p=p,
+                          smp_seconds=smp.seconds, mta_seconds=mta.seconds)
+
+    for machine in ("mta", "smp"):
+        print(f"-- {machine.upper()} panel --")
+        header = f"{'list':<8} {'n':>9} " + "".join(f"{'p=' + str(p):>10}" for p in PROCS)
+        print(header)
+        for label in ("ordered", "random"):
+            for n in sizes:
+                cells = []
+                for p in PROCS:
+                    row = table.where(n=n, list=label, p=p).rows[0]
+                    cells.append(f"{row.get(machine + '_seconds') * 1e3:>10.2f}")
+                print(f"{label:<8} {n:>9} " + "".join(cells))
+        print()
+
+    n = max(sizes)
+    big = {
+        (label, p): table.where(n=n, list=label, p=p).rows[0]
+        for label in ("ordered", "random")
+        for p in PROCS
+    }
+    gap = big[("random", 8)].get("smp_seconds") / big[("ordered", 8)].get("smp_seconds")
+    r_ord = big[("ordered", 8)].get("smp_seconds") / big[("ordered", 8)].get("mta_seconds")
+    r_rnd = big[("random", 8)].get("smp_seconds") / big[("random", 8)].get("mta_seconds")
+    print(f"headlines at n={n}, p=8:")
+    print(f"  SMP random/ordered gap : {gap:.1f}x   (paper: 3-4x)")
+    print(f"  MTA vs SMP, ordered    : {r_ord:.1f}x   (paper: ~10x)")
+    print(f"  MTA vs SMP, random     : {r_rnd:.1f}x   (paper: ~35x)")
+    print()
+
+
+def figure2(n: int, multipliers: tuple[int, ...]) -> None:
+    print(f"== Fig. 2: connected components, n = {n} (simulated seconds) ==")
+    print(f"{'m':>10} " + "".join(f"{'p=' + str(p):>10}" for p in PROCS) + "   machine")
+    ratios = []
+    for k in multipliers:
+        m = k * n
+        g = random_graph(n, m, rng=7)
+        smp_run = sv_smp(g, p=1)
+        mta_run = sv_mta(g, p=1)
+        row = {"smp": [], "mta": []}
+        for p in PROCS:
+            row["smp"].append(
+                SMPMachine(p=p).run([s.redistributed(p) for s in smp_run.steps]).seconds
+            )
+            row["mta"].append(
+                MTAMachine(p=p).run([s.redistributed(p) for s in mta_run.steps]).seconds
+            )
+        for machine in ("mta", "smp"):
+            print(
+                f"{m:>10} "
+                + "".join(f"{t:>10.3f}" for t in row[machine])
+                + f"   {machine.upper()}"
+            )
+        ratios.append(row["smp"][-1] / row["mta"][-1])
+    print(f"\nMTA speedup over SMP at p=8 across densities: "
+          + ", ".join(f"{r:.1f}x" for r in ratios)
+          + "   (paper: 5-6x)\n")
+
+
+if __name__ == "__main__":
+    paper_scale = "--paper-scale" in sys.argv
+    if paper_scale:
+        figure1((1 << 20, 4 << 20, 20 << 20))
+        figure2(1 << 20, (4, 8, 12, 16, 20))
+    else:
+        figure1((1 << 16, 1 << 18, 1 << 20))
+        figure2(1 << 18, (4, 12, 20))

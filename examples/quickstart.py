@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Quickstart — rank a list and label a graph on both simulated machines.
+
+The five-minute tour of the library:
+
+1. generate the paper's two list classes and a sparse random graph;
+2. run the machine-appropriate algorithms (Helman–JáJá for the SMP,
+   the Alg. 1 walk algorithm for the MTA, Shiloach–Vishkin variants for
+   connected components), which return *instrumented* results;
+3. hand the measured step costs to the two machine models and compare
+   simulated running times — reproducing the paper's headline
+   observations in a few seconds of host time.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.core import MTAMachine, SMPMachine
+from repro.graphs import cc_union_find, random_graph, sv_mta, sv_smp
+from repro.lists import (
+    ordered_list,
+    random_list,
+    rank_helman_jaja,
+    rank_mta,
+    rank_sequential,
+    true_ranks,
+)
+
+
+def list_ranking_demo(n: int = 1 << 18, p: int = 8) -> None:
+    print(f"== List ranking, n = {n}, p = {p} ==")
+    print(f"{'list':<8} {'machine':<10} {'simulated time':>15}  note")
+    for label, nxt in (("ordered", ordered_list(n)), ("random", random_list(n, 42))):
+        # correctness first: every algorithm reproduces the ground truth
+        truth = true_ranks(nxt)
+        seq = rank_sequential(nxt)
+        hj = rank_helman_jaja(nxt, p=p, rng=0)
+        walks = rank_mta(nxt, p=p)
+        assert np.array_equal(seq.ranks, truth)
+        assert np.array_equal(hj.ranks, truth)
+        assert np.array_equal(walks.ranks, truth)
+
+        t_seq = SMPMachine(p=1).run(seq.steps).seconds
+        t_smp = SMPMachine(p=p).run(hj.steps).seconds
+        mta_res = MTAMachine(p=p).run(walks.steps)
+        print(f"{label:<8} {'seq':<10} {t_seq * 1e3:>12.2f} ms  pointer chase, 1 CPU")
+        print(
+            f"{label:<8} {'SMP':<10} {t_smp * 1e3:>12.2f} ms  "
+            f"Helman-JaJa, speedup {t_seq / t_smp:.1f}x over sequential"
+        )
+        print(
+            f"{label:<8} {'MTA':<10} {mta_res.seconds * 1e3:>12.2f} ms  "
+            f"Alg.1 walks, {t_smp / mta_res.seconds:.0f}x faster than the SMP,"
+            f" utilization {mta_res.utilization:.0%}"
+        )
+    print()
+
+
+def connected_components_demo(n: int = 1 << 18, edge_factor: int = 8, p: int = 8) -> None:
+    m = edge_factor * n
+    print(f"== Connected components, n = {n}, m = {m}, p = {p} ==")
+    g = random_graph(n, m, rng=7)
+
+    uf = cc_union_find(g)
+    smp_run = sv_smp(g, p=p)
+    mta_run = sv_mta(g, p=p)
+    assert np.array_equal(smp_run.labels, uf.labels)
+    assert np.array_equal(mta_run.labels, uf.labels)
+    print(f"components found: {uf.n_components}")
+
+    t_seq = SMPMachine(p=1).run(uf.steps).seconds
+    t_smp = SMPMachine(p=p).run(smp_run.steps).seconds
+    t_mta = MTAMachine(p=p).run(mta_run.steps).seconds
+    print(f"sequential union-find : {t_seq * 1e3:9.2f} ms")
+    print(
+        f"SMP Shiloach-Vishkin  : {t_smp * 1e3:9.2f} ms"
+        f"  ({smp_run.iterations} iterations, {t_seq / t_smp:.1f}x vs sequential)"
+    )
+    print(
+        f"MTA Shiloach-Vishkin  : {t_mta * 1e3:9.2f} ms"
+        f"  ({mta_run.iterations} iterations, {t_smp / t_mta:.1f}x vs the SMP)"
+    )
+    print()
+
+
+def cost_model_demo() -> None:
+    print("== The cost model, directly ==")
+    nxt = random_list(1 << 16, 1)
+    run = rank_helman_jaja(nxt, p=4, rng=0)
+    print(f"Helman-JaJa on 64K random nodes, p=4: {run.triplet}")
+    for step in run.steps:
+        print(
+            f"  {step.name:<26} T_M={step.max_noncontig:>9.0f}"
+            f"  T_C={step.max_ops:>9.0f}  B={step.barriers}"
+        )
+    print()
+
+
+if __name__ == "__main__":
+    print(f"repro {repro.__version__} — Bader, Cong & Feo (ICPP 2005) reproduction\n")
+    list_ranking_demo()
+    connected_components_demo()
+    cost_model_demo()
+    print("Done.  See examples/architecture_study.py for the full Fig. 1/2 sweeps.")

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Utilization study — execute kernels on the cycle-level MTA engine.
+
+Where the other examples use the analytic machine models, this one runs
+the algorithms as real swarms of simulated threads on
+:class:`repro.sim.MTAEngine` — streams, lookahead, ``int_fetch_add``
+self-scheduling, full/empty bits — and *measures* processor utilization
+the way the paper's Table 1 does:
+
+* the stream-saturation curve behind "40 to 80 threads per processor
+  are usually sufficient";
+* list-ranking utilization per phase, Random vs Ordered, for p = 1, 4, 8;
+* connected-components utilization.
+
+Run:  python examples/utilization_study.py        (~1-2 minutes)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs import cc_union_find, random_graph
+from repro.graphs.programs import simulate_mta_cc
+from repro.lists import random_list, ordered_list, true_ranks
+from repro.lists.programs import simulate_mta_list_ranking
+from repro.sim import MTAEngine, isa
+
+
+def saturation_curve() -> None:
+    print("== Stream saturation (pure pointer-chasers, latency 100) ==")
+    print(f"{'streams':>8} {'utilization':>12}")
+
+    def chaser(steps=40):
+        for i in range(steps):
+            yield isa.compute(1)
+            yield isa.load_dep(i)
+            yield isa.load_dep(100_000 + i)
+
+    for k in (8, 16, 32, 48, 64, 96, 128):
+        eng = MTAEngine(p=1, streams_per_proc=128, mem_latency=100, lookahead=2)
+        for _ in range(k):
+            eng.spawn(chaser())
+        print(f"{k:>8} {eng.run().utilization:>11.1%}")
+    print("-> the knee sits near latency/lookahead = 50 streams,"
+          " matching the paper's 40-80 claim\n")
+
+
+def table1_list_ranking(nodes_per_proc: int = 20_000) -> None:
+    print("== Table 1 (list ranking): engine-measured utilization ==")
+    print(f"{'list':<8} {'p':>2} {'n':>8} {'util':>7}   per-phase")
+    for p in (1, 4, 8):
+        n = nodes_per_proc * p
+        for label, nxt in (
+            ("random", random_list(n, 0)),
+            ("ordered", ordered_list(n)),
+        ):
+            sim = simulate_mta_list_ranking(
+                nxt, p=p, streams_per_proc=100, nodes_per_walk=10
+            )
+            assert np.array_equal(sim.ranks, true_ranks(nxt))
+            phases = " ".join(
+                f"{r.name.split('.')[1]}={r.utilization:.0%}" for r in sim.phase_reports
+            )
+            print(f"{label:<8} {p:>2} {n:>8} {sim.report.utilization:>6.1%}   {phases}")
+    print("-> paper's Table 1: random 98/90/82 %, ordered 97/85/80 %"
+          " (20M nodes; utilization climbs toward those numbers with n)\n")
+
+
+def table1_connected_components(n_per_proc: int = 1500) -> None:
+    print("== Table 1 (connected components): engine-measured utilization ==")
+    print(f"{'p':>2} {'n':>6} {'m':>7} {'iters':>5} {'util':>7}")
+    for p in (1, 4, 8):
+        n = n_per_proc * p
+        g = random_graph(n, 10 * n, rng=1)
+        sim = simulate_mta_cc(g, p=p, streams_per_proc=100)
+        assert np.array_equal(sim.labels, cc_union_find(g).labels)
+        print(f"{p:>2} {n:>6} {10 * n:>7} {sim.iterations:>5} {sim.report.utilization:>6.1%}")
+    print("-> paper's Table 1 CC column: 99/93/91 %\n")
+
+
+if __name__ == "__main__":
+    saturation_curve()
+    table1_list_ranking()
+    table1_connected_components()

@@ -1,0 +1,86 @@
+"""repro — reproduction of Bader, Cong & Feo (ICPP 2005).
+
+*"On the Architectural Requirements for Efficient Execution of Graph
+Algorithms"* compared list ranking and Shiloach–Vishkin connected
+components on a Sun E4500 SMP and a Cray MTA-2.  This package rebuilds
+the study end to end:
+
+* :mod:`repro.core` — the ⟨T_M; T_C; B⟩ cost model, analytic machine
+  models for both architectures, and the experiment harness.
+* :mod:`repro.arch` — cache simulators, the simulated address space,
+  and MTA-style address hashing.
+* :mod:`repro.sim` — cycle-level engines (streams + full/empty bits +
+  ``int_fetch_add`` for the MTA; caches + bus + software barriers for
+  the SMP) that execute thread programs and *measure* utilization.
+* :mod:`repro.lists` — list workloads and ranking algorithms
+  (sequential, Helman–JáJá, the MTA walk algorithm, Wyllie, recursive
+  compaction).
+* :mod:`repro.graphs` — graph workloads, sequential baselines, the
+  Shiloach–Vishkin family, related-work variants, and spanning forest.
+* :mod:`repro.trees` — expression trees and parallel tree
+  contraction, the downstream application built on the list machinery.
+* :mod:`repro.workloads` — declarative specs for every reproduced
+  figure/table.
+
+Quick taste::
+
+    import repro
+
+    nxt = repro.lists.random_list(1 << 20, rng=0)
+    run = repro.lists.rank_helman_jaja(nxt, p=8)
+    smp = repro.core.SMPMachine(p=8)
+    print(smp.run(run.steps).seconds, "simulated seconds on a Sun E4500")
+
+See ``examples/`` for full walkthroughs and ``benchmarks/`` for the
+figure/table regeneration harness.
+"""
+
+from __future__ import annotations
+
+from . import arch, core, graphs, lists, sim, trees, validate, workloads
+from .core import (
+    CRAY_MTA2,
+    SUN_E4500,
+    MachineResult,
+    MTAConfig,
+    MTAMachine,
+    ResultTable,
+    SMPConfig,
+    SMPMachine,
+    StepCost,
+)
+from .errors import (
+    ConfigurationError,
+    DeadlockError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "arch",
+    "core",
+    "graphs",
+    "lists",
+    "sim",
+    "trees",
+    "validate",
+    "workloads",
+    "StepCost",
+    "MachineResult",
+    "SMPMachine",
+    "SMPConfig",
+    "SUN_E4500",
+    "MTAMachine",
+    "MTAConfig",
+    "CRAY_MTA2",
+    "ResultTable",
+    "ReproError",
+    "ConfigurationError",
+    "WorkloadError",
+    "SimulationError",
+    "DeadlockError",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Architecture component models: caches, simulated memory, address hashing."""
+
+from .cache import (
+    Cache,
+    CacheConfig,
+    CacheHierarchy,
+    CacheStats,
+    hierarchy_stats,
+    simulate_direct_mapped,
+)
+from .memory import AddressSpace, Allocation, bank_of, hash_address
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheStats",
+    "hierarchy_stats",
+    "simulate_direct_mapped",
+    "AddressSpace",
+    "Allocation",
+    "bank_of",
+    "hash_address",
+]

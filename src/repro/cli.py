@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small, scriptable entry points over the library for quick studies
+without writing Python:
+
+``info``
+    Machine configurations and library version.
+``rank``
+    Rank one list on one machine; prints simulated time, speedup vs
+    sequential, and the cost triplet.
+``cc``
+    Connected components on one graph; prints per-machine times.
+``fig1`` / ``fig2`` / ``table1``
+    Miniature versions of the paper's evaluation artifacts (the full
+    archival runs live in ``benchmarks/``).
+
+Every command accepts ``--help``.  Exit code 0 on success; workload or
+configuration errors print a message and return 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from . import __version__
+from .core import CRAY_MTA2, MTAMachine, SMPMachine, SUN_E4500
+from .errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for doc generation and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Bader, Cong & Feo (ICPP 2005): "
+        "graph algorithms on simulated SMP and MTA machines.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show machine configurations")
+
+    p_rank = sub.add_parser("rank", help="rank one list on one machine")
+    p_rank.add_argument("--n", type=int, default=1 << 18, help="list length")
+    p_rank.add_argument("--p", type=int, default=8, help="processors")
+    p_rank.add_argument(
+        "--list", choices=("ordered", "random"), default="random", dest="list_class"
+    )
+    p_rank.add_argument("--machine", choices=("smp", "mta", "both"), default="both")
+    p_rank.add_argument("--seed", type=int, default=0)
+
+    p_cc = sub.add_parser("cc", help="connected components on one graph")
+    p_cc.add_argument("--n", type=int, default=1 << 16, help="vertices")
+    p_cc.add_argument("--edge-factor", type=int, default=8, help="m = factor * n")
+    p_cc.add_argument("--p", type=int, default=8, help="processors")
+    p_cc.add_argument(
+        "--graph", choices=("random", "rmat", "mesh"), default="random"
+    )
+    p_cc.add_argument("--seed", type=int, default=0)
+
+    p_f1 = sub.add_parser("fig1", help="miniature Fig. 1 sweep")
+    p_f1.add_argument("--max-n", type=int, default=1 << 18)
+
+    p_f2 = sub.add_parser("fig2", help="miniature Fig. 2 sweep")
+    p_f2.add_argument("--n", type=int, default=1 << 18)
+
+    p_t1 = sub.add_parser("table1", help="engine-measured MTA utilization")
+    p_t1.add_argument("--nodes-per-proc", type=int, default=8000)
+
+    return parser
+
+
+def _cmd_info() -> int:
+    print(f"repro {__version__}")
+    for cfg in (SUN_E4500, CRAY_MTA2):
+        print(f"\n{cfg.name}:")
+        for field_name, value in cfg.__dict__.items():
+            print(f"  {field_name:<28} {value}")
+    return 0
+
+
+def _cmd_rank(args) -> int:
+    from .lists import (
+        ordered_list,
+        random_list,
+        rank_helman_jaja,
+        rank_mta,
+        rank_sequential,
+        true_ranks,
+    )
+
+    nxt = (
+        ordered_list(args.n)
+        if args.list_class == "ordered"
+        else random_list(args.n, args.seed)
+    )
+    truth = true_ranks(nxt)
+    t_seq = SMPMachine(p=1).run(rank_sequential(nxt).steps).seconds
+    print(f"{args.list_class} list, n={args.n}, p={args.p}")
+    print(f"  sequential (1 CPU)    : {t_seq * 1e3:10.3f} ms")
+    if args.machine in ("smp", "both"):
+        run = rank_helman_jaja(nxt, p=args.p, rng=args.seed)
+        assert np.array_equal(run.ranks, truth)
+        t = SMPMachine(p=args.p).run(run.steps).seconds
+        print(
+            f"  SMP Helman-JaJa       : {t * 1e3:10.3f} ms"
+            f"   speedup {t_seq / t:5.2f}x   {run.triplet}"
+        )
+    if args.machine in ("mta", "both"):
+        run = rank_mta(nxt, p=args.p)
+        assert np.array_equal(run.ranks, truth)
+        res = MTAMachine(p=args.p).run(run.steps)
+        print(
+            f"  MTA Alg.1 walks       : {res.seconds * 1e3:10.3f} ms"
+            f"   speedup {t_seq / res.seconds:5.2f}x   util {res.utilization:.0%}"
+        )
+    return 0
+
+
+def _cmd_cc(args) -> int:
+    from .graphs import cc_union_find, mesh2d, random_graph, rmat_graph, sv_mta, sv_smp
+
+    n = args.n
+    if args.graph == "random":
+        g = random_graph(n, args.edge_factor * n, rng=args.seed)
+    elif args.graph == "rmat":
+        g = rmat_graph(max(1, n.bit_length() - 1), args.edge_factor, rng=args.seed)
+    else:
+        side = max(1, int(n**0.5))
+        g = mesh2d(side, side)
+    uf = cc_union_find(g)
+    print(f"{args.graph} graph, n={g.n}, m={g.m}, p={args.p}: {uf.n_components} component(s)")
+    t_seq = SMPMachine(p=1).run(uf.steps).seconds
+    print(f"  sequential union-find : {t_seq * 1e3:10.3f} ms")
+    smp_run = sv_smp(g, p=args.p)
+    assert np.array_equal(smp_run.labels, uf.labels)
+    t = SMPMachine(p=args.p).run(smp_run.steps).seconds
+    print(
+        f"  SMP Shiloach-Vishkin  : {t * 1e3:10.3f} ms"
+        f"   speedup {t_seq / t:5.2f}x   ({smp_run.iterations} iterations)"
+    )
+    mta_run = sv_mta(g, p=args.p, max_iter=600)
+    assert np.array_equal(mta_run.labels, uf.labels)
+    t = MTAMachine(p=args.p).run(mta_run.steps).seconds
+    print(
+        f"  MTA Shiloach-Vishkin  : {t * 1e3:10.3f} ms"
+        f"   speedup {t_seq / t:5.2f}x   ({mta_run.iterations} iterations)"
+    )
+    from .core import ClusterMachine
+
+    t = ClusterMachine(p=args.p).run(smp_run.steps).seconds
+    print(
+        f"  cluster (naive DSM)   : {t * 1e3:10.3f} ms"
+        f"   speedup {t_seq / t:5.2f}x   (the paper's intro claim)"
+    )
+    return 0
+
+
+def _cmd_fig1(args) -> int:
+    from .core import ascii_plot
+    from .lists import ordered_list, random_list, rank_helman_jaja, rank_mta
+
+    sizes = [args.max_n >> 2, args.max_n >> 1, args.max_n]
+    series: dict[str, tuple[list, list]] = {}
+    for label, make in (("ord", ordered_list), ("rand", lambda n: random_list(n, 0))):
+        for machine in ("smp", "mta"):
+            series[f"{machine}-{label}"] = ([], [])
+    for n in sizes:
+        for label, nxt in (("ord", ordered_list(n)), ("rand", random_list(n, 0))):
+            smp = SMPMachine(p=8).run(rank_helman_jaja(nxt, p=8, rng=0).steps).seconds
+            mta = MTAMachine(p=8).run(rank_mta(nxt, p=8).steps).seconds
+            series[f"smp-{label}"][0].append(n)
+            series[f"smp-{label}"][1].append(smp)
+            series[f"mta-{label}"][0].append(n)
+            series[f"mta-{label}"][1].append(mta)
+    print(
+        ascii_plot(
+            series,
+            logx=True,
+            logy=True,
+            title="Fig. 1 (p=8): list ranking, simulated seconds",
+            xlabel="n",
+            ylabel="seconds",
+        )
+    )
+    return 0
+
+
+def _cmd_fig2(args) -> int:
+    from .graphs import random_graph, sv_mta, sv_smp
+
+    n = args.n
+    print(f"Fig. 2 miniature: n={n}, p=8 (simulated seconds)")
+    print(f"{'m':>10} {'SMP':>10} {'MTA':>10} {'ratio':>7}")
+    for k in (4, 12, 20):
+        g = random_graph(n, k * n, rng=1)
+        smp_run = sv_smp(g, p=1)
+        mta_run = sv_mta(g, p=1)
+        t_smp = SMPMachine(p=8).run([s.redistributed(8) for s in smp_run.steps]).seconds
+        t_mta = MTAMachine(p=8).run([s.redistributed(8) for s in mta_run.steps]).seconds
+        print(f"{k * n:>10} {t_smp:>10.4f} {t_mta:>10.4f} {t_smp / t_mta:>6.1f}x")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from .lists import random_list, true_ranks
+    from .lists.programs import simulate_mta_list_ranking
+
+    print("engine-measured MTA utilization (list ranking, 100 streams/proc)")
+    print(f"{'p':>2} {'n':>8} {'util':>7}")
+    for p in (1, 4, 8):
+        n = args.nodes_per_proc * p
+        nxt = random_list(n, 0)
+        sim = simulate_mta_list_ranking(nxt, p=p, streams_per_proc=100, nodes_per_walk=10)
+        assert np.array_equal(sim.ranks, true_ranks(nxt))
+        print(f"{p:>2} {n:>8} {sim.report.utilization:>6.1%}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "info":
+            return _cmd_info()
+        if args.command == "rank":
+            return _cmd_rank(args)
+        if args.command == "cc":
+            return _cmd_cc(args)
+        if args.command == "fig1":
+            return _cmd_fig1(args)
+        if args.command == "fig2":
+            return _cmd_fig2(args)
+        if args.command == "table1":
+            return _cmd_table1(args)
+        parser.error(f"unknown command {args.command!r}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0

@@ -1,0 +1,49 @@
+"""Core of the reproduction: cost model, machine models, experiment harness."""
+
+from .cluster_machine import BEOWULF_2005, ClusterConfig, ClusterMachine
+from .cost import CostTriplet, StepCost, merge_steps, summarize
+from .experiment import ResultTable, Row
+from .machine import MachineModel, MachineResult, StepTime
+from .metrics import (
+    crossover,
+    geometric_mean,
+    parallel_efficiency,
+    ratio_series,
+    scaling_exponent,
+    speedup,
+)
+from .mta_machine import CRAY_MTA2, MTAConfig, MTAMachine
+from .plot import ascii_plot
+from .schedule import block_assign, dynamic_assign, per_proc_totals
+from .smp_machine import SUN_E4500, SMPConfig, SMPMachine
+
+__all__ = [
+    "CostTriplet",
+    "StepCost",
+    "merge_steps",
+    "summarize",
+    "MachineModel",
+    "MachineResult",
+    "StepTime",
+    "MTAConfig",
+    "MTAMachine",
+    "CRAY_MTA2",
+    "SMPConfig",
+    "SMPMachine",
+    "SUN_E4500",
+    "ClusterConfig",
+    "ClusterMachine",
+    "BEOWULF_2005",
+    "block_assign",
+    "dynamic_assign",
+    "per_proc_totals",
+    "ResultTable",
+    "Row",
+    "speedup",
+    "parallel_efficiency",
+    "ratio_series",
+    "crossover",
+    "scaling_exponent",
+    "geometric_mean",
+    "ascii_plot",
+]

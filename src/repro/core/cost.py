@@ -1,0 +1,310 @@
+"""The Helman–JáJá SMP complexity model used throughout the paper.
+
+The paper analyses every algorithm with the triplet
+
+.. math::
+
+    T(n, p) = \\langle T_M(n, p);\\ T_C(n, p);\\ B(n, p) \\rangle
+
+where ``T_M`` is the maximum number of *non-contiguous* main-memory
+accesses required by any processor, ``T_C`` bounds the local computation
+of any processor, and ``B`` counts barrier synchronizations.  This module
+provides the concrete data types that carry those quantities from an
+instrumented algorithm run to a machine model:
+
+* :class:`StepCost` — one parallel step of an algorithm: per-processor
+  access/operation counts, optional exact address traces, barrier count,
+  and the amount of exploitable parallelism (used by the MTA model).
+* :class:`CostTriplet` — the aggregated ⟨T_M; T_C; B⟩ summary of a run.
+* :func:`summarize` — collapse a sequence of :class:`StepCost` into a
+  :class:`CostTriplet`.
+
+Counts are in *words* (the paper's machines are word-oriented: 64-bit
+words on both the UltraSPARC II and the MTA-2) and *operations* (register
+arithmetic / control), never in seconds; converting to time is the job of
+the machine models in :mod:`repro.core.smp_machine` and
+:mod:`repro.core.mta_machine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "StepCost",
+    "CostTriplet",
+    "summarize",
+    "merge_steps",
+]
+
+
+def _as_per_proc(value, p: int) -> np.ndarray:
+    """Coerce ``value`` to a length-``p`` float array of per-processor counts.
+
+    Scalars are interpreted as *total* work divided evenly among the ``p``
+    processors, which is the common case for perfectly balanced steps.
+    """
+    if np.isscalar(value):
+        return np.full(p, float(value) / p)
+    arr = np.asarray(value, dtype=float)
+    if arr.shape != (p,):
+        raise ConfigurationError(
+            f"per-processor count must be scalar or shape ({p},), got shape {arr.shape}"
+        )
+    return arr
+
+
+@dataclass
+class StepCost:
+    """Measured cost of one parallel step of an instrumented algorithm.
+
+    Parameters
+    ----------
+    name:
+        Human-readable step label (e.g. ``"hj.step3.sublist-traversal"``).
+        Step names are stable identifiers used by tests and by the
+        experiment harness when printing per-step breakdowns.
+    p:
+        Number of processors the step was instrumented for.
+    contig:
+        Per-processor count of *contiguous* word reads — sequential
+        sweeps through arrays which the SMP model amortizes over cache
+        lines.  Scalar means "total, divided evenly".
+    noncontig:
+        Per-processor count of *non-contiguous* word reads — the
+        dependent pointer-chasing loads that dominate graph algorithms
+        and stall a cache processor for a full memory round-trip.  This
+        is the paper's ``T_M`` contribution (together with the write
+        counterparts below).
+    contig_writes, noncontig_writes:
+        Store counterparts of the above.  Stores matter differently on a
+        cache machine: the write buffer retires them without stalling
+        the processor, so they cost bandwidth (and write-allocate line
+        fills) rather than latency.  The MTA treats loads and stores
+        identically — one instruction each.
+    ops:
+        Per-processor count of local arithmetic/control operations
+        (``T_C`` contribution).
+    barriers:
+        Number of barrier synchronizations this step performs
+        (``B`` contribution; usually 1).
+    parallelism:
+        Number of independent work items available concurrently in this
+        step (e.g. the number of sublists/walks, or the number of edges).
+        The MTA model uses this to decide how many streams can be kept
+        busy; ``None`` means "amply parallel" (work item per element).
+    working_set:
+        Approximate number of distinct words touched by this step.  The
+        SMP model uses it to decide whether non-contiguous accesses are
+        served from L2 or from main memory.  ``None`` means "use the sum
+        of access counts" (a conservative upper bound).
+    traces:
+        Optional per-processor exact word-address streams
+        (``list of int64 arrays``, one per processor, in program order).
+        When present, the SMP machine can simulate the cache hierarchy
+        exactly rather than classifying accesses by the contiguous /
+        non-contiguous dichotomy.
+    hotspot_ops:
+        Number of atomic updates all directed at a *single* memory
+        location (e.g. an ``int_fetch_add`` shared loop counter).  The
+        memory system serializes these at one per cycle.
+    """
+
+    name: str
+    p: int
+    contig: np.ndarray | float = 0.0
+    noncontig: np.ndarray | float = 0.0
+    ops: np.ndarray | float = 0.0
+    contig_writes: np.ndarray | float = 0.0
+    noncontig_writes: np.ndarray | float = 0.0
+    barriers: int = 0
+    parallelism: float | None = None
+    working_set: int | None = None
+    traces: list[np.ndarray] | None = None
+    hotspot_ops: int = 0
+
+    def __post_init__(self) -> None:
+        if self.p < 1:
+            raise ConfigurationError(f"p must be >= 1, got {self.p}")
+        self.contig = _as_per_proc(self.contig, self.p)
+        self.noncontig = _as_per_proc(self.noncontig, self.p)
+        self.ops = _as_per_proc(self.ops, self.p)
+        self.contig_writes = _as_per_proc(self.contig_writes, self.p)
+        self.noncontig_writes = _as_per_proc(self.noncontig_writes, self.p)
+        if self.barriers < 0:
+            raise ConfigurationError("barriers must be non-negative")
+        if self.traces is not None and len(self.traces) != self.p:
+            raise ConfigurationError(
+                f"traces must have one entry per processor ({self.p}), got {len(self.traces)}"
+            )
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def total_accesses(self) -> float:
+        """Total word accesses (reads + writes, both classes) over all processors."""
+        return float(
+            self.contig.sum()
+            + self.noncontig.sum()
+            + self.contig_writes.sum()
+            + self.noncontig_writes.sum()
+        )
+
+    @property
+    def total_ops(self) -> float:
+        """Total local operations over all processors."""
+        return float(self.ops.sum())
+
+    @property
+    def max_noncontig(self) -> float:
+        """Largest per-processor non-contiguous access count — the T_M term."""
+        return float((self.noncontig + self.noncontig_writes).max())
+
+    @property
+    def max_ops(self) -> float:
+        """Largest per-processor operation count — the T_C term."""
+        return float(self.ops.max())
+
+    @property
+    def effective_parallelism(self) -> float:
+        """Concurrency available to a multithreaded machine in this step.
+
+        Defaults to one work item per word of total work when the
+        instrumenting algorithm did not say otherwise.
+        """
+        if self.parallelism is not None:
+            return max(1.0, float(self.parallelism))
+        return max(1.0, self.total_accesses + self.total_ops)
+
+    def redistributed(self, p: int) -> "StepCost":
+        """Return this step's totals split evenly across ``p`` processors.
+
+        Exact for steps whose counts were recorded as scalar totals (the
+        connected-components instrumentation); steps carrying genuine
+        per-processor imbalance (e.g. Helman–JáJá walk loads) lose it —
+        re-run the algorithm for those instead.  Traces are dropped.
+        """
+        return StepCost(
+            name=self.name,
+            p=p,
+            contig=float(self.contig.sum()),
+            noncontig=float(self.noncontig.sum()),
+            ops=float(self.ops.sum()),
+            contig_writes=float(self.contig_writes.sum()),
+            noncontig_writes=float(self.noncontig_writes.sum()),
+            barriers=self.barriers,
+            parallelism=self.parallelism,
+            working_set=self.working_set,
+            traces=None,
+            hotspot_ops=self.hotspot_ops,
+        )
+
+    def scaled(self, factor: float) -> "StepCost":
+        """Return a copy with all work counts multiplied by ``factor``.
+
+        Barrier counts and parallelism are preserved; traces are dropped
+        (they cannot be meaningfully rescaled).
+        """
+        return StepCost(
+            name=self.name,
+            p=self.p,
+            contig=self.contig * factor,
+            noncontig=self.noncontig * factor,
+            ops=self.ops * factor,
+            contig_writes=self.contig_writes * factor,
+            noncontig_writes=self.noncontig_writes * factor,
+            barriers=self.barriers,
+            parallelism=self.parallelism,
+            working_set=self.working_set,
+            traces=None,
+            hotspot_ops=int(self.hotspot_ops * factor),
+        )
+
+
+@dataclass(frozen=True)
+class CostTriplet:
+    """The paper's ⟨T_M; T_C; B⟩ summary of a full algorithm run.
+
+    Attributes
+    ----------
+    t_m:
+        Maximum non-contiguous accesses by any processor, summed over steps.
+    t_c:
+        Maximum local operations by any processor, summed over steps.
+    b:
+        Total number of barrier synchronizations.
+    """
+
+    t_m: float
+    t_c: float
+    b: int
+
+    def __add__(self, other: "CostTriplet") -> "CostTriplet":
+        return CostTriplet(self.t_m + other.t_m, self.t_c + other.t_c, self.b + other.b)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<T_M={self.t_m:.3g}; T_C={self.t_c:.3g}; B={self.b}>"
+
+
+def summarize(steps: Iterable[StepCost]) -> CostTriplet:
+    """Aggregate per-step costs into the paper's ⟨T_M; T_C; B⟩ triplet.
+
+    Per the model, each step contributes its *maximum* per-processor
+    non-contiguous access count and operation count (processors proceed
+    in lock-step between barriers, so the slowest processor sets the
+    pace) and its barrier count.
+    """
+    t_m = 0.0
+    t_c = 0.0
+    b = 0
+    for step in steps:
+        t_m += step.max_noncontig
+        t_c += step.max_ops
+        b += step.barriers
+    return CostTriplet(t_m, t_c, b)
+
+
+def merge_steps(name: str, steps: Sequence[StepCost]) -> StepCost:
+    """Fuse consecutive steps into one (work sums; barriers sum).
+
+    Useful when an algorithm's inner loop produces many tiny steps that a
+    machine model would rather treat as one phase.  All steps must agree
+    on ``p``.  Traces are concatenated per processor when *every* step
+    carries them, and dropped otherwise.
+    """
+    if not steps:
+        raise ConfigurationError("merge_steps requires at least one step")
+    p = steps[0].p
+    if any(s.p != p for s in steps):
+        raise ConfigurationError("cannot merge steps with differing processor counts")
+    traces: list[np.ndarray] | None
+    if all(s.traces is not None for s in steps):
+        traces = [
+            np.concatenate([s.traces[i] for s in steps])  # type: ignore[index]
+            for i in range(p)
+        ]
+    else:
+        traces = None
+    par = max(s.effective_parallelism for s in steps)
+    ws = None
+    if all(s.working_set is not None for s in steps):
+        ws = max(s.working_set for s in steps)  # type: ignore[type-var]
+    return StepCost(
+        name=name,
+        p=p,
+        contig=np.sum([s.contig for s in steps], axis=0),
+        noncontig=np.sum([s.noncontig for s in steps], axis=0),
+        ops=np.sum([s.ops for s in steps], axis=0),
+        contig_writes=np.sum([s.contig_writes for s in steps], axis=0),
+        noncontig_writes=np.sum([s.noncontig_writes for s in steps], axis=0),
+        barriers=sum(s.barriers for s in steps),
+        parallelism=par,
+        working_set=ws,
+        traces=traces,
+        hotspot_ops=sum(s.hotspot_ops for s in steps),
+    )

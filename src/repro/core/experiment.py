@@ -1,0 +1,138 @@
+"""Experiment harness: parameter sweeps and result tables.
+
+Every reproduced figure and table in the paper is a sweep — over list
+size, processor count, edge density, machine — producing one measured
+point per configuration.  :class:`ResultTable` is the tidy container
+those points land in: each :class:`Row` carries its parameters and
+measurements as plain dicts, and the table can slice itself into the
+series a figure plots (e.g. *seconds vs n, one line per p*) or render
+itself as the fixed-width text the benchmark harness prints.
+
+Kept deliberately free of plotting dependencies: the benchmark scripts
+print paper-shaped text tables and EXPERIMENTS.md records the numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["Row", "ResultTable"]
+
+
+@dataclass(frozen=True)
+class Row:
+    """One measured experimental point.
+
+    Attributes
+    ----------
+    experiment:
+        Experiment id, e.g. ``"fig1.mta"``.
+    params:
+        Input configuration (``{"n": 65536, "p": 4, "list": "random"}``).
+    values:
+        Measurements (``{"seconds": 0.012, "utilization": 0.93}``).
+    """
+
+    experiment: str
+    params: dict
+    values: dict
+
+    def get(self, key: str):
+        """Look up ``key`` in params first, then values."""
+        if key in self.params:
+            return self.params[key]
+        if key in self.values:
+            return self.values[key]
+        raise KeyError(f"{key!r} not present in row of {self.experiment}")
+
+
+@dataclass
+class ResultTable:
+    """A tidy collection of experiment rows with slicing and rendering."""
+
+    name: str
+    rows: list[Row] = field(default_factory=list)
+
+    def add(self, experiment: str | None = None, /, **kv) -> Row:
+        """Append a row; measurement keys vs parameter keys are split by caller.
+
+        Convenience form: ``table.add(n=..., p=..., seconds=...)`` puts
+        ``seconds``/``utilization``/``cycles`` (and any key ending in
+        ``_seconds``) into values, everything else into params.
+        """
+        value_keys = {"seconds", "utilization", "cycles", "iterations", "speedup"}
+        params = {
+            k: v
+            for k, v in kv.items()
+            if k not in value_keys and not k.endswith("_seconds")
+        }
+        values = {k: v for k, v in kv.items() if k not in params}
+        row = Row(experiment or self.name, params, values)
+        self.rows.append(row)
+        return row
+
+    def where(self, **conds) -> "ResultTable":
+        """Rows whose params match all of ``conds`` exactly."""
+        sel = [
+            r
+            for r in self.rows
+            if all(r.params.get(k) == v for k, v in conds.items())
+        ]
+        return ResultTable(self.name, sel)
+
+    def series(
+        self, x: str, y: str, group_by: str
+    ) -> dict[object, tuple[list, list]]:
+        """Slice into plot series: ``{group: (xs, ys)}`` sorted by x.
+
+        This is the shape of one paper-figure panel: ``x`` on the
+        abscissa, ``y`` on the ordinate, one line per ``group_by``
+        value (typically ``p``).
+        """
+        groups: dict[object, list[tuple]] = {}
+        for r in self.rows:
+            groups.setdefault(r.get(group_by), []).append((r.get(x), r.get(y)))
+        out = {}
+        for g, pts in groups.items():
+            pts.sort(key=lambda t: t[0])
+            out[g] = ([a for a, _ in pts], [b for _, b in pts])
+        return out
+
+    def column(self, key: str) -> list:
+        """All values of ``key`` across rows, in insertion order."""
+        return [r.get(key) for r in self.rows]
+
+    def to_text(self, columns: Sequence[str], *, floatfmt: str = "{:.6g}") -> str:
+        """Render the table as fixed-width text (one line per row)."""
+        if not columns:
+            raise ConfigurationError("need at least one column")
+        header = list(columns)
+        body = []
+        for r in self.rows:
+            cells = []
+            for c in header:
+                try:
+                    v = r.get(c)
+                except KeyError:
+                    v = ""
+                if isinstance(v, float):
+                    v = floatfmt.format(v)
+                cells.append(str(v))
+            body.append(cells)
+        widths = [
+            max(len(h), *(len(row[i]) for row in body)) if body else len(h)
+            for i, h in enumerate(header)
+        ]
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.rows)

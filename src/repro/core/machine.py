@@ -1,0 +1,156 @@
+"""Abstract machine model interface.
+
+A *machine model* converts the per-step costs measured by an
+instrumented algorithm run (:class:`repro.core.cost.StepCost`) into
+simulated execution time on a concrete architecture.  Two models ship
+with the library — :class:`repro.core.smp_machine.SMPMachine` (Sun
+E4500-style cache-based SMP) and
+:class:`repro.core.mta_machine.MTAMachine` (Cray MTA-2-style
+multithreaded machine) — and users can model hypothetical machines by
+subclassing :class:`MachineModel` (see ``examples/custom_machine.py``).
+
+Time is reported both in machine cycles and in seconds at the machine's
+clock rate, so cross-architecture comparisons (a 400 MHz SMP vs a
+220 MHz MTA) are apples-to-apples in seconds, exactly as the paper
+plots them.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .cost import StepCost
+
+__all__ = ["StepTime", "MachineResult", "MachineModel"]
+
+
+@dataclass(frozen=True)
+class StepTime:
+    """Timing verdict for one algorithm step on one machine.
+
+    Attributes
+    ----------
+    name:
+        The step's label (copied from the :class:`StepCost`).
+    cycles:
+        Simulated machine cycles charged to the step, including any
+        barrier at its end.
+    busy_cycles:
+        Cycles during which processors were doing useful work, summed
+        over processors.  ``busy_cycles / (p * cycles)`` is the step's
+        processor utilization — the quantity in the paper's Table 1.
+    detail:
+        Machine-specific breakdown (e.g. ``{"mem_cycles": ..., "bus_cycles": ...}``)
+        for reporting and tests.
+    """
+
+    name: str
+    cycles: float
+    busy_cycles: float
+    detail: dict = field(default_factory=dict)
+
+
+@dataclass
+class MachineResult:
+    """Aggregate timing of a full algorithm run on one machine."""
+
+    machine: str
+    p: int
+    clock_hz: float
+    steps: list[StepTime]
+
+    @property
+    def cycles(self) -> float:
+        """Total simulated cycles."""
+        return sum(s.cycles for s in self.steps)
+
+    @property
+    def seconds(self) -> float:
+        """Total simulated wall-clock seconds at the machine's clock rate."""
+        return self.cycles / self.clock_hz
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of issue slots doing useful work across the whole run."""
+        total = self.p * self.cycles
+        if total == 0:
+            return 1.0
+        return min(1.0, sum(s.busy_cycles for s in self.steps) / total)
+
+    def step(self, name: str) -> StepTime:
+        """Look up a step's timing by (unique) name."""
+        for s in self.steps:
+            if s.name == name:
+                return s
+        raise KeyError(f"no step named {name!r} in result for {self.machine}")
+
+    def breakdown(self, top: int | None = None) -> str:
+        """Per-step cost table, most expensive first.
+
+        Columns: step name, cycles, share of the run, and the dominant
+        machine-specific detail entry — the quickest answer to "where
+        did the time go?".  ``top`` limits the number of rows.
+        """
+        total = self.cycles or 1.0
+        rows = sorted(self.steps, key=lambda s: -s.cycles)
+        if top is not None:
+            rows = rows[:top]
+        width = max([len(s.name) for s in rows], default=4)
+        lines = [
+            f"{self.machine} p={self.p}: {self.seconds * 1e3:.3f} ms total,"
+            f" utilization {self.utilization:.1%}",
+            f"{'step'.ljust(width)}  {'cycles':>12}  {'share':>6}  dominant detail",
+        ]
+        for s in rows:
+            numeric = {
+                k: v for k, v in s.detail.items() if isinstance(v, (int, float)) and v > 0
+            }
+            dom = max(numeric, key=numeric.get) if numeric else "-"
+            dom_txt = f"{dom}={numeric[dom]:.3g}" if numeric else "-"
+            lines.append(
+                f"{s.name.ljust(width)}  {s.cycles:>12.0f}  {s.cycles / total:>6.1%}  {dom_txt}"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.machine}(p={self.p}): {self.seconds * 1e3:.3f} ms"
+            f" ({self.cycles:.3g} cycles, util {self.utilization:.1%})"
+        )
+
+
+class MachineModel(abc.ABC):
+    """Converts instrumented step costs into simulated time.
+
+    Subclasses implement :meth:`step_time`; :meth:`run` handles the
+    aggregation.  Models must be stateless with respect to runs — a
+    single model instance may be reused across experiments.
+    """
+
+    #: Human-readable machine name, e.g. ``"Sun-E4500"``.
+    name: str = "machine"
+
+    @property
+    @abc.abstractmethod
+    def clock_hz(self) -> float:
+        """Clock rate used to convert cycles to seconds."""
+
+    @property
+    @abc.abstractmethod
+    def p(self) -> int:
+        """Number of processors this model instance is configured for."""
+
+    @abc.abstractmethod
+    def step_time(self, step: StepCost) -> StepTime:
+        """Charge one algorithm step with machine cycles."""
+
+    def run(self, steps: Iterable[StepCost]) -> MachineResult:
+        """Time a whole sequence of algorithm steps."""
+        timed = [self.step_time(s) for s in steps]
+        return MachineResult(machine=self.name, p=self.p, clock_hz=self.clock_hz, steps=timed)
+
+    def seconds(self, steps: Iterable[StepCost]) -> float:
+        """Shortcut: total simulated seconds for ``steps``."""
+        return self.run(steps).seconds

@@ -1,0 +1,94 @@
+"""Derived metrics for the reproduction's shape checks.
+
+The paper's claims are *comparative*: who is faster, by what factor,
+how performance scales with processors, where regimes cross over.
+These helpers compute those quantities from measured series so the
+benchmarks and tests can assert them directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "speedup",
+    "parallel_efficiency",
+    "ratio_series",
+    "crossover",
+    "scaling_exponent",
+    "geometric_mean",
+]
+
+
+def speedup(baseline_seconds: float, parallel_seconds: float) -> float:
+    """Classic speedup: baseline time over parallel time."""
+    if parallel_seconds <= 0:
+        raise ConfigurationError("parallel time must be positive")
+    return baseline_seconds / parallel_seconds
+
+
+def parallel_efficiency(baseline_seconds: float, parallel_seconds: float, p: int) -> float:
+    """Speedup divided by processor count (1.0 = perfect scaling)."""
+    if p < 1:
+        raise ConfigurationError("p must be >= 1")
+    return speedup(baseline_seconds, parallel_seconds) / p
+
+
+def ratio_series(a: Sequence[float], b: Sequence[float]) -> list[float]:
+    """Elementwise ``a/b`` — e.g. SMP time over MTA time across sizes."""
+    if len(a) != len(b):
+        raise ConfigurationError("series must have equal length")
+    return [x / y for x, y in zip(a, b)]
+
+
+def crossover(xs: Sequence[float], a: Sequence[float], b: Sequence[float]) -> float | None:
+    """First x at which series ``a`` drops below series ``b``.
+
+    Linear interpolation between samples; ``None`` if ``a`` never beats
+    ``b`` in the sampled range.  Used for claims like "the parallel
+    algorithm overtakes the sequential one beyond size X".
+    """
+    if not (len(xs) == len(a) == len(b)):
+        raise ConfigurationError("series must have equal length")
+    prev = None
+    for i, x in enumerate(xs):
+        diff = a[i] - b[i]
+        if diff < 0:
+            if prev is None or prev[1] <= 0:
+                return float(x)
+            x0, d0 = prev
+            # interpolate the zero crossing of diff
+            return float(x0 + (x - x0) * d0 / (d0 - diff))
+        prev = (x, diff)
+    return None
+
+
+def scaling_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log y vs log x.
+
+    ≈ 1.0 for linear scaling in problem size, ≈ −1.0 for perfect
+    strong scaling in processors.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ConfigurationError("need at least two points")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    mx = sum(lx) / len(lx)
+    my = sum(ly) / len(ly)
+    num = sum((a - mx) * (b - my) for a, b in zip(lx, ly))
+    den = sum((a - mx) ** 2 for a in lx)
+    if den == 0:
+        raise ConfigurationError("x values must not all be equal")
+    return num / den
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the right average for ratios)."""
+    if not values:
+        raise ConfigurationError("need at least one value")
+    if any(v <= 0 for v in values):
+        raise ConfigurationError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

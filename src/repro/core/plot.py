@@ -1,0 +1,112 @@
+"""Terminal plots for experiment series.
+
+The benchmark harness and examples print the paper's figures as text;
+this module renders a quick ASCII scatter/line chart so the *shape* of
+a series (scaling slopes, crossovers, the ordered/random gap) is
+visible at a glance without any plotting dependency.
+
+Only the little that the harness needs: multiple named series on one
+canvas, optional log axes (the paper's figures are log-log), and a
+legend.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _transform(values: Sequence[float], log: bool, axis: str) -> list[float]:
+    if not log:
+        return [float(v) for v in values]
+    out = []
+    for v in values:
+        if v <= 0:
+            raise ConfigurationError(f"log {axis}-axis requires positive values, got {v}")
+        out.append(math.log10(v))
+    return out
+
+
+def ascii_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Render named (xs, ys) series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        ``{name: (xs, ys)}`` — the shape produced by
+        :meth:`repro.core.experiment.ResultTable.series`.
+    width, height:
+        Canvas size in characters (axes excluded).
+    logx, logy:
+        Log-scale the axes (the paper's running-time figures are
+        log-log); values must then be positive.
+    title, xlabel, ylabel:
+        Labels; the y-label is printed above the axis.
+
+    Returns
+    -------
+    str
+        The rendered chart, ready to ``print``.
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    if width < 8 or height < 4:
+        raise ConfigurationError("canvas too small")
+    pts: dict[str, tuple[list[float], list[float]]] = {}
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ConfigurationError(f"series {name!r} has mismatched lengths")
+        if not xs:
+            raise ConfigurationError(f"series {name!r} is empty")
+        pts[name] = (_transform(xs, logx, "x"), _transform(ys, logy, "y"))
+
+    all_x = [v for xs, _ in pts.values() for v in xs]
+    all_y = [v for _, ys in pts.values() for v in ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, (xs, ys)) in enumerate(pts.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(round((y - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    def fmt(v: float, log: bool) -> str:
+        return f"{10 ** v:.3g}" if log else f"{v:.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{ylabel} (top {fmt(y_hi, logy)}, bottom {fmt(y_lo, logy)})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" {xlabel}: {fmt(x_lo, logx)} .. {fmt(x_hi, logx)}"
+        + ("  [log-log]" if logx and logy else "")
+    )
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(pts)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)

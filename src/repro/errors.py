@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, cache, or experiment was configured with invalid parameters.
+
+    Examples: a cache whose size is not a multiple of its line size, a
+    machine with zero processors, a sublist count smaller than the
+    processor count.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload (list or graph) is malformed.
+
+    Examples: a successor array that is not a single cycle-free chain, an
+    edge list referencing vertices outside ``[0, n)``.
+    """
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulation reached an inconsistent state.
+
+    Examples: deadlock (no stream can make progress but threads remain),
+    a barrier waited on by more threads than were registered, a program
+    yielding an unknown opcode.
+    """
+
+
+class DeadlockError(SimulationError):
+    """All remaining simulated threads are blocked and none can ever wake.
+
+    Raised by the cycle engines instead of spinning forever; the message
+    includes the blocked-thread inventory to aid debugging of simulated
+    programs.
+    """

@@ -1,0 +1,55 @@
+"""Graph substrate: workloads, connected components, spanning forest."""
+
+from .edgelist import EdgeList
+from .generate import (
+    best_case_labeling,
+    chain_graph,
+    cliques_graph,
+    forest_of_chains,
+    mesh2d,
+    mesh3d,
+    random_graph,
+    rmat_graph,
+    star_graph,
+    worst_case_labeling,
+)
+from .msf import MSFRun, minimum_spanning_forest
+from .parallel_bfs import BFSRun, parallel_bfs
+from .sequential_cc import cc_bfs, cc_union_find
+from .shiloach_vishkin import star_vector, sv_pram
+from .spanning_forest import SpanningForest, spanning_forest
+from .sv_mta import sv_mta
+from .sv_smp import sv_smp
+from .types import CCRun, normalize_labels
+from .variants import awerbuch_shiloach, hybrid_cc, random_mating
+
+__all__ = [
+    "EdgeList",
+    "random_graph",
+    "rmat_graph",
+    "mesh2d",
+    "mesh3d",
+    "chain_graph",
+    "star_graph",
+    "cliques_graph",
+    "forest_of_chains",
+    "best_case_labeling",
+    "worst_case_labeling",
+    "CCRun",
+    "normalize_labels",
+    "cc_union_find",
+    "cc_bfs",
+    "BFSRun",
+    "parallel_bfs",
+    "MSFRun",
+    "minimum_spanning_forest",
+    "sv_pram",
+    "star_vector",
+    "sv_mta",
+    "sv_smp",
+    "awerbuch_shiloach",
+    "random_mating",
+    "hybrid_cc",
+    "SpanningForest",
+    "spanning_forest",
+]

@@ -1,0 +1,25 @@
+"""Small NumPy helpers shared by the graph modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["unique_sorted"]
+
+
+def unique_sorted(arr: np.ndarray) -> np.ndarray:
+    """Sorted deduplication via an explicit sort.
+
+    Equivalent to ``np.unique`` on 1-D integer arrays but much faster for
+    the multi-million-element int64 arrays the graph substrate handles
+    (NumPy ≥ 2.4 routes ``np.unique`` through a hash table that loses
+    badly to a plain sort at this size).
+    """
+    arr = np.asarray(arr)
+    if len(arr) == 0:
+        return arr
+    arr = np.sort(arr)
+    keep = np.empty(len(arr), dtype=bool)
+    keep[0] = True
+    np.not_equal(arr[1:], arr[:-1], out=keep[1:])
+    return arr[keep]

@@ -1,0 +1,146 @@
+"""Edge-list graph container used by all connected-components code.
+
+The paper's algorithms (Shiloach–Vishkin and friends) operate on an
+unordered edge array — exactly the ``E[i].v1 / E[i].v2`` layout of
+Alg. 3 — so the container is a thin pair of NumPy int64 arrays plus the
+vertex count.  Helpers cover the operations the algorithms and the
+experiment harness need: validation, deduplication, symmetrization
+(both edge directions, for the grafting loops), relabeling (for the
+labeling-sensitivity study), degree counts, and CSR adjacency
+construction (for the BFS baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ._util import unique_sorted
+
+__all__ = ["EdgeList"]
+
+
+@dataclass(frozen=True)
+class EdgeList:
+    """An undirected graph as arrays of edge endpoints.
+
+    Attributes
+    ----------
+    n:
+        Number of vertices; endpoints must lie in ``[0, n)``.
+    u, v:
+        int64 endpoint arrays of equal length ``m``.  Each undirected
+        edge is stored once, in arbitrary order and arbitrary endpoint
+        orientation (matching the paper's input convention).
+    """
+
+    n: int
+    u: np.ndarray
+    v: np.ndarray
+
+    def __post_init__(self) -> None:
+        u = np.asarray(self.u, dtype=np.int64)
+        v = np.asarray(self.v, dtype=np.int64)
+        object.__setattr__(self, "u", u)
+        object.__setattr__(self, "v", v)
+        if self.n < 0:
+            raise WorkloadError("vertex count must be non-negative")
+        if u.shape != v.shape or u.ndim != 1:
+            raise WorkloadError("endpoint arrays must be 1-D and of equal length")
+        if len(u) and (u.min() < 0 or v.min() < 0 or u.max() >= self.n or v.max() >= self.n):
+            raise WorkloadError("edge endpoint out of range")
+
+    # -- basic properties -----------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Number of stored (undirected) edges."""
+        return len(self.u)
+
+    def __len__(self) -> int:
+        return self.m
+
+    # -- transformations -------------------------------------------------------
+
+    def canonical(self) -> "EdgeList":
+        """Self-loops removed, endpoints ordered ``u < v``, duplicates dropped, sorted."""
+        u, v = self.u, self.v
+        keep = u != v
+        u, v = u[keep], v[keep]
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        codes = unique_sorted(lo * np.int64(self.n) + hi)
+        return EdgeList(self.n, codes // self.n, codes % self.n)
+
+    def symmetrized(self) -> "EdgeList":
+        """Both directions of every edge — the 2m entries Alg. 3 iterates over."""
+        return EdgeList(
+            self.n,
+            np.concatenate([self.u, self.v]),
+            np.concatenate([self.v, self.u]),
+        )
+
+    def relabeled(self, perm: np.ndarray) -> "EdgeList":
+        """Apply vertex permutation ``perm`` (old label → new label).
+
+        Shiloach–Vishkin's iteration count depends on vertex labels; the
+        labeling-sensitivity experiment drives this method.
+        """
+        perm = np.asarray(perm, dtype=np.int64)
+        if perm.shape != (self.n,):
+            raise WorkloadError(f"permutation must have shape ({self.n},)")
+        if not np.array_equal(np.sort(perm), np.arange(self.n)):
+            raise WorkloadError("relabeling must be a permutation of 0..n-1")
+        return EdgeList(self.n, perm[self.u], perm[self.v])
+
+    def shuffled(self, rng: np.random.Generator | int | None = None) -> "EdgeList":
+        """Edges in random order (the paper's 'arbitrary order' input)."""
+        rng = np.random.default_rng(rng)
+        order = rng.permutation(self.m)
+        return EdgeList(self.n, self.u[order], self.v[order])
+
+    # -- derived structures ------------------------------------------------------
+
+    def degrees(self) -> np.ndarray:
+        """Vertex degrees (self-loops count twice, like networkx)."""
+        return np.bincount(
+            np.concatenate([self.u, self.v]), minlength=self.n
+        ).astype(np.int64)
+
+    def adjacency_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR adjacency of the symmetrized graph: ``(indptr, indices)``.
+
+        Built with counting sort — O(n + m), no Python loop.
+        """
+        src = np.concatenate([self.u, self.v])
+        dst = np.concatenate([self.v, self.u])
+        order = np.argsort(src, kind="stable")
+        indices = dst[order]
+        counts = np.bincount(src, minlength=self.n)
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, indices
+
+    def component_count_reference(self) -> int:
+        """Number of connected components via a simple sequential union-find.
+
+        Used internally for validation; algorithm modules have richer
+        instrumented implementations.
+        """
+        parent = np.arange(self.n, dtype=np.int64)
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        comps = self.n
+        for a, b in zip(self.u.tolist(), self.v.tolist()):
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+                comps -= 1
+        return comps

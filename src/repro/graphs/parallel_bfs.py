@@ -1,0 +1,166 @@
+"""Level-synchronous parallel BFS, instrumented for both machines.
+
+Not one of the paper's two kernels, but the third member of the family
+it founded: BFS became *the* irregular-machine benchmark (Graph500) in
+the years after this paper, and it completes the characterization story
+nicely because its available parallelism is **data-dependent per
+step** — the frontier width.  On a random graph the frontier explodes
+after two levels and the MTA saturates; on a chain the frontier is a
+single vertex forever and *no* architecture can help — which is exactly
+the "performance is a function of parallelism" thesis, exercised from
+the algorithm side.
+
+Each level is one :class:`~repro.core.cost.StepCost`:
+
+* contiguous: the CSR row-pointer reads and the per-vertex neighbor
+  spans (adjacency lists are contiguous runs);
+* non-contiguous: the visited/depth checks of gathered neighbors and
+  the discovery writes;
+* ``parallelism``: the number of edges leaving the frontier — what the
+  MTA model can actually spread over streams this level.
+
+The result (parents, depths) is validated against the sequential
+reference in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.cost import CostTriplet, StepCost, summarize
+from ..errors import WorkloadError
+from .edgelist import EdgeList
+
+__all__ = ["BFSRun", "parallel_bfs"]
+
+
+@dataclass
+class BFSRun:
+    """Result of one instrumented parallel BFS.
+
+    Attributes
+    ----------
+    source:
+        Start vertex.
+    parent:
+        BFS-tree parent per vertex (−1 for the source and for
+        unreachable vertices).
+    depth:
+        Edge distance from the source (−1 if unreachable).
+    levels:
+        Number of frontier expansions.
+    steps:
+        One cost record per level.
+    stats:
+        Frontier widths and edge-expansion counts per level.
+    """
+
+    source: int
+    parent: np.ndarray
+    depth: np.ndarray
+    levels: int
+    steps: list[StepCost]
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def reached(self) -> int:
+        """Number of vertices reached (including the source)."""
+        return int((self.depth >= 0).sum())
+
+    @property
+    def triplet(self) -> CostTriplet:
+        return summarize(self.steps)
+
+
+def _span_gather(indptr: np.ndarray, frontier: np.ndarray) -> np.ndarray:
+    """Indices into the CSR ``indices`` array covering the frontier's spans.
+
+    Vectorized run-concatenation: no Python loop over frontier vertices.
+    """
+    starts = indptr[frontier]
+    deg = (indptr[frontier + 1] - starts).astype(np.int64)
+    total = int(deg.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.ones(total, dtype=np.int64)
+    ends = np.cumsum(deg)
+    nz = deg > 0
+    first_pos = (ends - deg)[nz]
+    out[first_pos[0]] = starts[nz][0]
+    if len(first_pos) > 1:
+        prev_last = starts[nz][:-1] + deg[nz][:-1] - 1
+        out[first_pos[1:]] = starts[nz][1:] - prev_last
+    return np.cumsum(out)
+
+
+def parallel_bfs(g: EdgeList, source: int = 0, p: int = 1) -> BFSRun:
+    """Run an instrumented level-synchronous BFS from ``source``.
+
+    Parameters
+    ----------
+    g:
+        Input graph (traversed as undirected).
+    source:
+        Start vertex.
+    p:
+        Processor count for cost instrumentation (frontier edges are
+        distributed evenly; the real imbalance story is in the
+        *frontier width*, which the per-step ``parallelism`` carries).
+    """
+    n = g.n
+    if n == 0:
+        raise WorkloadError("empty graph")
+    if not 0 <= source < n:
+        raise WorkloadError(f"source {source} out of range")
+    indptr, indices = g.adjacency_csr()
+
+    parent = np.full(n, -1, dtype=np.int64)
+    depth = np.full(n, -1, dtype=np.int64)
+    depth[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    steps: list[StepCost] = []
+    widths: list[int] = []
+    expansions: list[int] = []
+
+    level = 0
+    while len(frontier):
+        level += 1
+        widths.append(len(frontier))
+        span = _span_gather(indptr, frontier)
+        neigh = indices[span]
+        src = np.repeat(frontier, (indptr[frontier + 1] - indptr[frontier]))
+        expansions.append(len(neigh))
+
+        fresh_mask = depth[neigh] < 0
+        cand = neigh[fresh_mask]
+        cand_src = src[fresh_mask]
+        # priority-CRCW discovery: first writer per vertex wins
+        uniq, first = np.unique(cand, return_index=True)
+        parent[uniq] = cand_src[first]
+        depth[uniq] = level
+
+        steps.append(
+            StepCost(
+                name=f"bfs.level{level}",
+                p=p,
+                contig=float(2 * len(frontier) + len(neigh)),  # row ptrs + spans
+                noncontig=float(len(neigh)),  # visited checks
+                noncontig_writes=float(2 * len(uniq)),  # parent + depth
+                ops=float(3 * len(neigh) + 2 * len(frontier)),
+                barriers=1,
+                parallelism=max(1, len(neigh)),
+                working_set=2 * n,
+            )
+        )
+        frontier = uniq
+
+    return BFSRun(
+        source=source,
+        parent=parent,
+        depth=depth,
+        levels=level,
+        steps=steps,
+        stats={"frontier_widths": widths, "edge_expansions": expansions},
+    )

@@ -1,0 +1,177 @@
+"""Spanning forest via graft-and-shortcut — the paper's Section 6 direction.
+
+The conclusions mention the authors' companion work on spanning trees
+(refs [4], [13]): the same Shiloach–Vishkin grafting engine yields a
+spanning forest if every successful graft *remembers the edge that
+caused it* — those edges connect distinct components at the moment of
+grafting, so collectively they form an acyclic spanning substructure.
+
+The CRCW subtlety: several edges may try to graft the same root in one
+step, and only the one whose write survives may contribute its edge.
+NumPy's last-write-wins would make that hard to observe, so grafts are
+resolved *priority-CRCW* style: for each graft target the first
+qualifying edge (lowest index) wins, implemented with a stable
+first-occurrence reduction — deterministic and auditable, and a valid
+PRAM write-resolution policy.
+
+Returns both the component labeling and the forest edge ids; the test
+suite verifies the forest is acyclic, spanning, and has exactly
+``n − #components`` edges.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.cost import StepCost
+from ..errors import SimulationError, WorkloadError
+from .edgelist import EdgeList
+from .types import CCRun, normalize_labels
+
+__all__ = ["SpanningForest", "spanning_forest"]
+
+
+@dataclass
+class SpanningForest:
+    """Result of an instrumented spanning-forest run.
+
+    Attributes
+    ----------
+    edge_ids:
+        Indices into the *input* edge list of the forest edges
+        (``n − n_components`` of them).
+    cc:
+        The underlying connected-components run (labels, steps, stats).
+    """
+
+    edge_ids: np.ndarray
+    cc: CCRun
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edge_ids)
+
+
+def _first_per_target(targets: np.ndarray) -> np.ndarray:
+    """Indices of the first occurrence of each distinct value in ``targets``.
+
+    The priority-CRCW write resolution: among all writers aiming at the
+    same cell, the lowest-indexed one wins.
+    """
+    # stable sort by target groups duplicates; mark group heads
+    order = np.argsort(targets, kind="stable")
+    sorted_t = targets[order]
+    head = np.empty(len(targets), dtype=bool)
+    if len(targets):
+        head[0] = True
+        head[1:] = sorted_t[1:] != sorted_t[:-1]
+    return order[head]
+
+
+def spanning_forest(g: EdgeList, p: int = 1, *, max_iter: int | None = None) -> SpanningForest:
+    """Compute a spanning forest with the Alg. 3 graft-and-shortcut engine.
+
+    Parameters
+    ----------
+    g:
+        Input graph.
+    p:
+        Processor count for cost instrumentation.
+    max_iter:
+        Safety bound, default ``2·log₂ n + 8``.
+    """
+    n = g.n
+    if n == 0:
+        raise WorkloadError("empty graph")
+    if max_iter is None:
+        max_iter = 2 * max(1, math.ceil(math.log2(max(n, 2)))) + 8
+
+    sym = g.symmetrized()
+    eu, ev = sym.u, sym.v
+    # directed edge i corresponds to input edge i mod m
+    orig_id = np.concatenate(
+        [np.arange(g.m, dtype=np.int64), np.arange(g.m, dtype=np.int64)]
+    )
+    m2 = len(eu)
+
+    d = np.arange(n, dtype=np.int64)
+    forest: list[np.ndarray] = []
+    steps: list[StepCost] = []
+
+    iterations = 0
+    while True:
+        iterations += 1
+        if iterations > max_iter:
+            raise SimulationError(f"spanning forest failed to converge in {max_iter} iterations")
+
+        du = d[eu]
+        dv = d[ev]
+        ddv = d[dv]
+        candidates = np.flatnonzero((du < dv) & (dv == ddv))
+        if len(candidates) == 0:
+            steps.append(
+                StepCost(
+                    name=f"sf.it{iterations}.graft",
+                    p=p,
+                    contig=2.0 * m2,
+                    noncontig=3.0 * m2,
+                    ops=4.0 * m2,
+                    barriers=1,
+                    parallelism=m2,
+                    working_set=n,
+                )
+            )
+            break
+        winners = candidates[_first_per_target(dv[candidates])]
+        d[dv[winners]] = du[winners]
+        forest.append(orig_id[winners])
+        steps.append(
+            StepCost(
+                name=f"sf.it{iterations}.graft",
+                p=p,
+                contig=2.0 * m2,
+                noncontig=3.0 * m2,
+                noncontig_writes=2.0 * len(winners),  # parent link + edge record
+                ops=4.0 * m2,
+                barriers=1,
+                parallelism=m2,
+                working_set=n,
+            )
+        )
+
+        jumps = 0
+        while True:
+            dd = d[d]
+            changed = int((dd != d).sum())
+            if changed == 0:
+                break
+            jumps += changed
+            d = dd
+        steps.append(
+            StepCost(
+                name=f"sf.it{iterations}.shortcut",
+                p=p,
+                contig=float(n),
+                noncontig=float(n + 2 * jumps),
+                noncontig_writes=float(jumps),
+                ops=float(2 * n + 2 * jumps),
+                barriers=1,
+                parallelism=n,
+                working_set=n,
+            )
+        )
+
+    edge_ids = (
+        np.sort(np.concatenate(forest)) if forest else np.empty(0, dtype=np.int64)
+    )
+    cc = CCRun(
+        labels=normalize_labels(d),
+        parents=d,
+        iterations=iterations,
+        steps=steps,
+        stats={"forest_edges": len(edge_ids)},
+    )
+    return SpanningForest(edge_ids=edge_ids, cc=cc)

@@ -1,0 +1,153 @@
+"""SMP-optimized Shiloach–Vishkin connected components.
+
+The paper's SMP implementation applies "appropriate optimizations
+described by Greiner, Chung and Condon, Krishnamurthy et al., and Hsu
+et al." on top of SV.  The optimizations that matter on a cache
+machine, reproduced here:
+
+* **Edge filtering / graph contraction** (Greiner; Krishnamurthy): once
+  both endpoints of an edge carry the same label the edge can never
+  graft again, so each iteration compacts the active edge array.  The
+  active set shrinks geometrically, which slashes the non-contiguous
+  traffic of later iterations — the single biggest SMP win.
+* **Hook-to-minimum with full shortcutting** (Chung & Condon's
+  Borůvka-style structure): after a full shortcut every label is a
+  root, so the root test of Alg. 2 is vacuous and star checks are
+  unnecessary; each edge just hooks the larger root onto the smaller.
+* **Contiguous edge partitioning**: processors sweep disjoint
+  contiguous chunks of the edge array (reads of ``u``/``v`` are
+  streamed), reserving non-contiguous traffic for the unavoidable
+  ``D`` gathers.
+
+Three barriers per iteration (graft / shortcut / filter) instead of
+Alg. 2's four, and far less work per iteration — this is the "longer,
+more complex program" the paper says the SMP forces on you, in exchange
+for the locality the machine needs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.cost import StepCost
+from ..errors import SimulationError, WorkloadError
+from .edgelist import EdgeList
+from .types import CCRun, normalize_labels
+
+__all__ = ["sv_smp"]
+
+
+def sv_smp(g: EdgeList, p: int = 1, *, max_iter: int | None = None) -> CCRun:
+    """Run the instrumented SMP-optimized SV variant.
+
+    Parameters
+    ----------
+    g:
+        Input graph (each undirected edge stored once; the hook rule is
+        symmetric so no symmetrization is needed).
+    p:
+        Processor count for cost instrumentation.
+    max_iter:
+        Safety bound, default ``2·log₂ n + 8``.
+    """
+    n = g.n
+    if n == 0:
+        raise WorkloadError("empty graph")
+    if max_iter is None:
+        max_iter = 2 * max(1, math.ceil(math.log2(max(n, 2)))) + 8
+
+    eu = g.u.copy()
+    ev = g.v.copy()
+    d = np.arange(n, dtype=np.int64)
+    steps: list[StepCost] = []
+    m_history: list[int] = [len(eu)]
+    graft_history: list[int] = []
+
+    iterations = 0
+    while len(eu):
+        iterations += 1
+        if iterations > max_iter:
+            raise SimulationError(f"sv_smp failed to converge in {max_iter} iterations")
+        mk = len(eu)
+
+        # -- hook larger root onto smallest neighboring root ----------------------
+        # Priority-CRCW (minimum wins) resolution: every root receives the
+        # *minimum* label among all edges grafting it this step.  This is the
+        # Borůvka-style hook that gives the provable O(log n) iteration bound
+        # (with arbitrary winners, a high-degree root can absorb only one
+        # neighbor per iteration — the funnel the real SMP codes also avoid).
+        du = d[eu]
+        dv = d[ev]
+        lo = np.minimum(du, dv)
+        hi = np.maximum(du, dv)
+        mask = lo != hi
+        n_graft = int(mask.sum())
+        graft_history.append(n_graft)
+        np.minimum.at(d, hi[mask], lo[mask])
+        steps.append(
+            StepCost(
+                name=f"svsmp.it{iterations}.hook",
+                p=p,
+                contig=2.0 * mk,  # streamed edge chunk
+                noncontig=2.0 * mk,  # D[u], D[v] gathers
+                noncontig_writes=float(n_graft),
+                ops=5.0 * mk,
+                barriers=1,
+                parallelism=mk,
+                working_set=n,
+            )
+        )
+
+        # -- full shortcut ----------------------------------------------------------
+        rounds = 0
+        jumps = 0
+        while True:
+            dd = d[d]
+            changed = dd != d
+            n_changed = int(changed.sum())
+            if n_changed == 0:
+                break
+            rounds += 1
+            jumps += n_changed
+            d = dd
+        steps.append(
+            StepCost(
+                name=f"svsmp.it{iterations}.shortcut",
+                p=p,
+                contig=float(n),
+                noncontig=float(n + 2 * jumps),
+                noncontig_writes=float(jumps),
+                ops=float(2 * n + 2 * jumps),
+                barriers=1,
+                parallelism=n,
+                working_set=n,
+            )
+        )
+
+        # -- filter merged edges -------------------------------------------------------
+        du = d[eu]
+        dv = d[ev]
+        keep = du != dv
+        kept = int(keep.sum())
+        eu = eu[keep]
+        ev = ev[keep]
+        m_history.append(kept)
+        steps.append(
+            StepCost(
+                name=f"svsmp.it{iterations}.filter",
+                p=p,
+                contig=2.0 * mk,  # re-stream the chunk
+                noncontig=2.0 * mk,  # fresh D gathers (labels changed)
+                contig_writes=2.0 * kept,  # compact survivors
+                ops=3.0 * mk,
+                barriers=1,
+                parallelism=mk,
+                working_set=n,
+            )
+        )
+
+    labels = normalize_labels(d)
+    stats = {"m_history": m_history, "graft_history": graft_history}
+    return CCRun(labels=labels, parents=d, iterations=iterations, steps=steps, stats=stats)

@@ -1,0 +1,71 @@
+"""Result containers for instrumented connected-components runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.cost import CostTriplet, StepCost, summarize
+from ._util import unique_sorted
+
+__all__ = ["CCRun", "normalize_labels"]
+
+
+def normalize_labels(d: np.ndarray) -> np.ndarray:
+    """Collapse a parent forest to canonical component labels.
+
+    Follows parent pointers to the root (vectorized pointer jumping)
+    and returns, for every vertex, the *smallest vertex id* in its
+    component — a representation-independent canonical form used to
+    compare algorithms' outputs.
+    """
+    d = np.asarray(d, dtype=np.int64).copy()
+    while True:
+        dd = d[d]
+        if np.array_equal(dd, d):
+            break
+        d = dd
+    # map each root to the minimum vertex id of its component
+    n = len(d)
+    mins = np.full(n, n, dtype=np.int64)
+    np.minimum.at(mins, d, np.arange(n, dtype=np.int64))
+    return mins[d]
+
+
+@dataclass
+class CCRun:
+    """Output of one instrumented connected-components run.
+
+    Attributes
+    ----------
+    labels:
+        Canonical component label per vertex (smallest vertex id in the
+        component) — comparable across algorithms.
+    parents:
+        The raw parent/label array ``D`` the algorithm terminated with
+        (rooted stars for the Shiloach–Vishkin family).
+    iterations:
+        Outer graft-and-shortcut iterations executed.
+    steps:
+        Per-step measured costs for the machine models.
+    stats:
+        Algorithm diagnostics (per-iteration graft counts, shortcut
+        rounds, surviving edge counts, …).
+    """
+
+    labels: np.ndarray
+    parents: np.ndarray
+    iterations: int
+    steps: list[StepCost]
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def n_components(self) -> int:
+        """Number of connected components found."""
+        return len(unique_sorted(self.labels))
+
+    @property
+    def triplet(self) -> CostTriplet:
+        """The paper's ⟨T_M; T_C; B⟩ summary of this run."""
+        return summarize(self.steps)

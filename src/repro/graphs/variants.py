@@ -1,0 +1,354 @@
+"""Related-work connected-components algorithms the paper compares against.
+
+Section 4 of the paper surveys prior experimental studies; the
+algorithms those studies implemented are reproduced here so the
+baseline benchmark can stage the same comparison on the simulated
+machines:
+
+* :func:`awerbuch_shiloach` — Awerbuch & Shiloach (1987): like SV but
+  only *stars* hook (first onto smaller-labeled neighbors, then
+  stagnant stars onto any neighbor), followed by one shortcut.
+  Slightly fewer grafts per iteration than SV, same O(log n) depth.
+* :func:`random_mating` — the Reif (1985) / Phillips (1989) style
+  coin-flipping contraction Greiner benchmarked: each round every live
+  component root flips a coin; child (tails) roots hook onto adjacent
+  parent (heads) roots, merged edges are discarded.  Expected O(log n)
+  rounds, no label comparisons, no star checks.
+* :func:`hybrid_cc` — Greiner's best performer: random-mating rounds
+  while the active edge set is large, switching to the deterministic
+  hook-and-shortcut finish once contraction has thinned it.
+
+All return :class:`~repro.graphs.types.CCRun` with instrumented step
+costs, so any of them can be timed on either machine model.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.cost import StepCost
+from ..errors import SimulationError, WorkloadError
+from .edgelist import EdgeList
+from .shiloach_vishkin import star_vector
+from .types import CCRun, normalize_labels
+
+__all__ = ["awerbuch_shiloach", "random_mating", "hybrid_cc"]
+
+
+def awerbuch_shiloach(g: EdgeList, p: int = 1, *, max_iter: int | None = None) -> CCRun:
+    """Awerbuch–Shiloach connected components, instrumented.
+
+    Per iteration: (1) star roots hook onto smaller-labeled neighbors;
+    (2) stars that are still stars hook onto *any* differently-labeled
+    neighbor; (3) one pointer-jumping shortcut.  Terminates when all
+    vertices sit in rooted stars and no graft fired.
+    """
+    n = g.n
+    if n == 0:
+        raise WorkloadError("empty graph")
+    if max_iter is None:
+        max_iter = 4 * max(1, math.ceil(math.log2(max(n, 2)))) + 8
+    sym = g.symmetrized()
+    eu, ev = sym.u, sym.v
+    m2 = len(eu)
+
+    d = np.arange(n, dtype=np.int64)
+    steps: list[StepCost] = []
+    graft_history: list[int] = []
+
+    iterations = 0
+    while True:
+        iterations += 1
+        if iterations > max_iter:
+            raise SimulationError(f"Awerbuch–Shiloach failed to converge in {max_iter} iterations")
+
+        # -- step 1: star-hook onto smaller ---------------------------------
+        d_before = d.copy()
+        star = star_vector(d)
+        di = d[eu]
+        dj = d[ev]
+        mask1 = star[eu] & (dj < di)
+        n1 = int(mask1.sum())
+        d[di[mask1]] = dj[mask1]
+        steps.append(
+            StepCost(
+                name=f"as.it{iterations}.hook-smaller",
+                p=p,
+                contig=(2.0 * m2 + n),
+                noncontig=(3.0 * m2 + 2.0 * n),
+                noncontig_writes=float(n1) + n / 4.0,
+                ops=(4.0 * m2 + 3.0 * n),
+                barriers=1,
+                parallelism=m2,
+                working_set=2 * n,
+            )
+        )
+
+        # -- step 2: stagnant stars hook onto anyone ---------------------------
+        # stagnancy (tree untouched by step 1) prevents hook cycles —
+        # see repro.graphs.shiloach_vishkin for the triangle counterexample
+        star = star_vector(d)
+        changed = np.flatnonzero(d != d_before)
+        tree_changed = np.zeros(n, dtype=bool)
+        tree_changed[d[changed]] = True
+        stagnant = star & ~tree_changed[d]
+        di = d[eu]
+        dj = d[ev]
+        mask2 = stagnant[eu] & (dj != di)
+        n2 = int(mask2.sum())
+        d[di[mask2]] = dj[mask2]
+        steps.append(
+            StepCost(
+                name=f"as.it{iterations}.hook-any",
+                p=p,
+                contig=(2.0 * m2 + n),
+                noncontig=(3.0 * m2 + 2.0 * n),
+                noncontig_writes=float(n2) + n / 4.0,
+                ops=(4.0 * m2 + 3.0 * n),
+                barriers=1,
+                parallelism=m2,
+                working_set=2 * n,
+            )
+        )
+
+        # -- step 3: shortcut + exit check ------------------------------------
+        star = star_vector(d)
+        graft_history.append(n1 + n2)
+        if bool(star.all()) and n1 + n2 == 0:
+            steps.append(
+                StepCost(
+                    name=f"as.it{iterations}.exit-check",
+                    p=p,
+                    contig=float(n),
+                    noncontig=2.0 * n,
+                    ops=2.0 * n,
+                    barriers=1,
+                    parallelism=n,
+                    working_set=n,
+                )
+            )
+            break
+        d = d[d]
+        steps.append(
+            StepCost(
+                name=f"as.it{iterations}.shortcut",
+                p=p,
+                contig=2.0 * n,
+                noncontig=3.0 * n,
+                contig_writes=float(n),
+                ops=3.0 * n,
+                barriers=1,
+                parallelism=n,
+                working_set=n,
+            )
+        )
+
+    return CCRun(
+        labels=normalize_labels(d),
+        parents=d,
+        iterations=iterations,
+        steps=steps,
+        stats={"graft_history": graft_history, "directed_edges": m2},
+    )
+
+
+def random_mating(
+    g: EdgeList,
+    p: int = 1,
+    *,
+    rng: np.random.Generator | int | None = None,
+    max_iter: int | None = None,
+) -> CCRun:
+    """Reif/Phillips random-mating contraction, instrumented.
+
+    Each round: live roots flip coins; for every active edge whose
+    endpoints' roots drew (tails, heads), the tails root hooks onto the
+    heads root (arbitrary winner).  One jump re-roots all labels (hooks
+    only go child→parent, so depth stays 1), and edges internal to a
+    component are discarded.
+    """
+    n = g.n
+    if n == 0:
+        raise WorkloadError("empty graph")
+    if max_iter is None:
+        max_iter = 8 * max(1, math.ceil(math.log2(max(n, 2)))) + 32
+    rng = np.random.default_rng(rng)
+
+    labels = np.arange(n, dtype=np.int64)
+    eu = g.u.copy()
+    ev = g.v.copy()
+    steps: list[StepCost] = []
+    m_history: list[int] = [len(eu)]
+
+    iterations = 0
+    while len(eu):
+        iterations += 1
+        if iterations > max_iter:
+            raise SimulationError(
+                f"random mating failed to converge in {max_iter} rounds "
+                "(astronomically unlikely unless the RNG is broken)"
+            )
+        mk = len(eu)
+        heads = rng.random(n) < 0.5
+
+        du = labels[eu]
+        dv = labels[ev]
+        # orient each edge child→parent where possible (either endpoint works)
+        fwd = ~heads[du] & heads[dv]
+        bwd = heads[du] & ~heads[dv]
+        child = np.concatenate([du[fwd], dv[bwd]])
+        parent = np.concatenate([dv[fwd], du[bwd]])
+        hook = np.arange(n, dtype=np.int64)
+        hook[child] = parent  # arbitrary winner
+        labels = hook[labels]
+        n_hooked = int((hook != np.arange(n)).sum())
+
+        du = labels[eu]
+        dv = labels[ev]
+        keep = du != dv
+        kept = int(keep.sum())
+        eu = eu[keep]
+        ev = ev[keep]
+        m_history.append(kept)
+        steps.append(
+            StepCost(
+                name=f"rm.round{iterations}",
+                p=p,
+                contig=(4.0 * mk + n),  # two edge sweeps + coin flips
+                noncontig=(4.0 * mk + n),  # label gathers + hook gathers
+                contig_writes=(2.0 * kept + n),  # compaction + relabel
+                noncontig_writes=float(n_hooked),
+                ops=(8.0 * mk + 2.0 * n),
+                barriers=2,
+                parallelism=mk,
+                working_set=2 * n,
+            )
+        )
+
+    return CCRun(
+        labels=normalize_labels(labels),
+        parents=labels,
+        iterations=iterations,
+        steps=steps,
+        stats={"m_history": m_history},
+    )
+
+
+def hybrid_cc(
+    g: EdgeList,
+    p: int = 1,
+    *,
+    rng: np.random.Generator | int | None = None,
+    switch_ratio: float = 0.25,
+    max_iter: int | None = None,
+) -> CCRun:
+    """Greiner-style hybrid: random-mating contraction, deterministic finish.
+
+    Random-mating rounds run while the active edge count exceeds
+    ``switch_ratio × m``; the surviving contracted graph is finished
+    with hook-to-minimum + full shortcut (the :func:`repro.graphs.sv_smp`
+    inner loop).  Greiner reported this hybrid as the fastest of his
+    NESL implementations.
+    """
+    n = g.n
+    if n == 0:
+        raise WorkloadError("empty graph")
+    if not 0.0 <= switch_ratio <= 1.0:
+        raise WorkloadError("switch_ratio must be in [0, 1]")
+    if max_iter is None:
+        max_iter = 8 * max(1, math.ceil(math.log2(max(n, 2)))) + 32
+    rng = np.random.default_rng(rng)
+
+    labels = np.arange(n, dtype=np.int64)
+    eu = g.u.copy()
+    ev = g.v.copy()
+    steps: list[StepCost] = []
+    threshold = switch_ratio * max(len(eu), 1)
+    mating_rounds = 0
+
+    # -- phase 1: random mating while the edge set is fat -----------------------
+    while len(eu) > threshold:
+        mating_rounds += 1
+        if mating_rounds > max_iter:
+            raise SimulationError("hybrid mating phase failed to contract")
+        mk = len(eu)
+        heads = rng.random(n) < 0.5
+        du = labels[eu]
+        dv = labels[ev]
+        fwd = ~heads[du] & heads[dv]
+        bwd = heads[du] & ~heads[dv]
+        child = np.concatenate([du[fwd], dv[bwd]])
+        parent = np.concatenate([dv[fwd], du[bwd]])
+        hook = np.arange(n, dtype=np.int64)
+        hook[child] = parent
+        labels = hook[labels]
+        du = labels[eu]
+        dv = labels[ev]
+        keep = du != dv
+        eu = eu[keep]
+        ev = ev[keep]
+        steps.append(
+            StepCost(
+                name=f"hybrid.mate{mating_rounds}",
+                p=p,
+                contig=(4.0 * mk + n),
+                noncontig=(4.0 * mk + n),
+                contig_writes=(2.0 * int(keep.sum()) + n),
+                ops=(8.0 * mk + 2.0 * n),
+                barriers=2,
+                parallelism=mk,
+                working_set=2 * n,
+            )
+        )
+
+    # -- phase 2: deterministic hook + shortcut on the residue --------------------
+    det_iters = 0
+    while len(eu):
+        det_iters += 1
+        if det_iters > max_iter:
+            raise SimulationError("hybrid deterministic phase failed to converge")
+        mk = len(eu)
+        du = labels[eu]
+        dv = labels[ev]
+        lo = np.minimum(du, dv)
+        hi = np.maximum(du, dv)
+        mask = lo != hi
+        # minimum-wins write resolution — see repro.graphs.sv_smp for why
+        np.minimum.at(labels, hi[mask], lo[mask])
+        jumps = 0
+        while True:
+            dd = labels[labels]
+            changed = int((dd != labels).sum())
+            if changed == 0:
+                break
+            jumps += changed
+            labels = dd
+        du = labels[eu]
+        dv = labels[ev]
+        keep = du != dv
+        eu = eu[keep]
+        ev = ev[keep]
+        steps.append(
+            StepCost(
+                name=f"hybrid.det{det_iters}",
+                p=p,
+                contig=(4.0 * mk + n),
+                noncontig=(4.0 * mk + n + 2.0 * jumps),
+                contig_writes=2.0 * int(keep.sum()),
+                noncontig_writes=float(int(mask.sum()) + jumps),
+                ops=(8.0 * mk + 2.0 * n + 2.0 * jumps),
+                barriers=3,
+                parallelism=mk,
+                working_set=n,
+            )
+        )
+
+    return CCRun(
+        labels=normalize_labels(labels),
+        parents=labels,
+        iterations=mating_rounds + det_iters,
+        steps=steps,
+        stats={"mating_rounds": mating_rounds, "deterministic_iterations": det_iters},
+    )

@@ -1,0 +1,54 @@
+"""Linked-list substrate: workloads, ranking/prefix algorithms, instrumentation."""
+
+from .compaction import compaction_prefix, rank_by_compaction
+from .euler import EulerTour, RootedTree, euler_tour_successors, root_tree
+from .generate import (
+    TAIL,
+    clustered_list,
+    head_of,
+    list_from_order,
+    ordered_list,
+    random_list,
+    true_ranks,
+    validate_list,
+)
+from .helman_jaja import helman_jaja_prefix, rank_helman_jaja
+from .independent_set import rank_independent_set
+from .mta_ranking import mta_prefix, rank_mta
+from .prefix import ADD, MAX, MIN, MUL, PrefixOp
+from .sequential import prefix_sequential, rank_sequential
+from .types import PrefixRun
+from .wyllie import rank_wyllie, wyllie_exclusive, wyllie_prefix
+
+__all__ = [
+    "TAIL",
+    "ordered_list",
+    "random_list",
+    "clustered_list",
+    "list_from_order",
+    "head_of",
+    "validate_list",
+    "true_ranks",
+    "PrefixOp",
+    "ADD",
+    "MAX",
+    "MIN",
+    "MUL",
+    "PrefixRun",
+    "rank_sequential",
+    "prefix_sequential",
+    "helman_jaja_prefix",
+    "rank_helman_jaja",
+    "rank_independent_set",
+    "mta_prefix",
+    "rank_mta",
+    "wyllie_prefix",
+    "rank_wyllie",
+    "wyllie_exclusive",
+    "compaction_prefix",
+    "rank_by_compaction",
+    "EulerTour",
+    "RootedTree",
+    "euler_tour_successors",
+    "root_tree",
+]

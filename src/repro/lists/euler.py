@@ -1,0 +1,295 @@
+"""The Euler-tour technique — list ranking's flagship application.
+
+The paper motivates list ranking as "a key technique often needed in
+efficient parallel algorithms for … computing the centroid of a tree,
+expression evaluation, minimum spanning forest, connected components,
+and planarity testing", and the authors' companion work (Cong & Bader,
+ICPP 2004 — the paper's ref. [13]) builds rooted spanning trees with
+exactly this machinery.  This module implements it on top of the
+package's ranking algorithms:
+
+1. **Euler tour construction** (:func:`euler_tour_successors`): a tree
+   on n vertices becomes a linked list of its 2(n−1) directed arcs —
+   the successor of arc (u, v) is the arc leaving v counter-clockwise
+   after (v, u).  Fully vectorized; O(m log m) for the sorts.
+2. **Tree rooting** (:func:`root_tree`): ranking the tour list orients
+   every edge (the direction visited first points away from the root),
+   which yields parent pointers; prefix sums of ±1 over the tour give
+   depths; tour-position differences give subtree sizes.
+
+Everything is computed by the *parallel* instrumented ranking
+algorithms, so a rooted-tree computation carries a full set of
+:class:`~repro.core.cost.StepCost` and can be timed on either machine —
+the downstream-application benchmark the paper's Section 6 asks for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.cost import StepCost
+from ..errors import WorkloadError
+from ..graphs.edgelist import EdgeList
+from .generate import TAIL
+from .helman_jaja import helman_jaja_prefix
+from .mta_ranking import mta_prefix
+from .prefix import ADD
+from .types import PrefixRun
+
+__all__ = ["EulerTour", "RootedTree", "euler_tour_successors", "root_tree"]
+
+
+@dataclass(frozen=True)
+class EulerTour:
+    """A tree's Euler tour as a linked list of directed arcs.
+
+    Arc ``a`` for ``a < m`` is ``(u[a], v[a])`` of the input tree; arc
+    ``a + m`` is its reversal.  ``succ`` is the successor array of the
+    tour (a valid input to every list-ranking routine), starting at the
+    first arc out of ``root`` and ending (``TAIL``) on the arc that
+    returns to it.
+    """
+
+    tree: EdgeList
+    root: int
+    arc_u: np.ndarray
+    arc_v: np.ndarray
+    succ: np.ndarray
+
+    @property
+    def n_arcs(self) -> int:
+        return len(self.succ)
+
+    def reverse_arc(self, a) -> np.ndarray:
+        """Index of the reversed arc (vectorized)."""
+        m = self.tree.m
+        return (a + m) % (2 * m)
+
+
+def euler_tour_successors(tree: EdgeList, root: int = 0) -> EulerTour:
+    """Build the Euler-tour successor list of ``tree`` rooted at ``root``.
+
+    ``tree`` must be exactly a tree on its n vertices (n−1 edges, one
+    component); raises :class:`~repro.errors.WorkloadError` otherwise
+    (cycle/forest detection falls out of the construction).
+    """
+    n = tree.n
+    m = tree.m
+    if n < 1:
+        raise WorkloadError("empty tree")
+    if not 0 <= root < n:
+        raise WorkloadError(f"root {root} out of range")
+    if m != n - 1:
+        raise WorkloadError(f"a tree on {n} vertices has {n - 1} edges, got {m}")
+    if m == 0:
+        return EulerTour(
+            tree=tree,
+            root=root,
+            arc_u=np.empty(0, dtype=np.int64),
+            arc_v=np.empty(0, dtype=np.int64),
+            succ=np.empty(0, dtype=np.int64),
+        )
+
+    arc_u = np.concatenate([tree.u, tree.v])
+    arc_v = np.concatenate([tree.v, tree.u])
+    n_arcs = 2 * m
+
+    # order arcs by source vertex: position of each arc in its source's
+    # circular adjacency
+    order = np.argsort(arc_u * np.int64(n) + arc_v, kind="stable")
+    rank_in_order = np.empty(n_arcs, dtype=np.int64)
+    rank_in_order[order] = np.arange(n_arcs)
+    counts = np.bincount(arc_u, minlength=n)
+    starts = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    if counts[root] == 0:
+        raise WorkloadError(f"root {root} is an isolated vertex")
+
+    # successor of arc a=(u,v): the arc after (v,u) in v's circular order
+    rev = (np.arange(n_arcs) + m) % n_arcs
+    pos_rev = rank_in_order[rev]  # global sorted position of (v, u)
+    v_src = arc_v  # source vertex of the reversed arc == v
+    local = pos_rev - starts[v_src]
+    local_next = (local + 1) % counts[v_src]
+    succ = order[starts[v_src] + local_next]
+
+    # break the cycle: the tour starts at root's first outgoing arc and
+    # the arc whose successor would be that start terminates the list
+    start = order[starts[root]]
+    succ = succ.astype(np.int64)
+    enters = np.flatnonzero(succ == start)
+    if len(enters) != 1:
+        raise WorkloadError("input is not a tree (tour is not a single cycle)")
+    succ[enters[0]] = TAIL
+
+    # a disconnected "tree" (n−1 edges but a cycle + forest) leaves the
+    # tour as several cycles; the list validator catches that cheaply
+    from .generate import validate_list
+
+    head = validate_list(succ)
+    if head != start:
+        raise WorkloadError("input is not a tree (tour does not start at the root)")
+    return EulerTour(tree=tree, root=root, arc_u=arc_u, arc_v=arc_v, succ=succ)
+
+
+@dataclass
+class RootedTree:
+    """Result of rooting a tree via the Euler-tour technique.
+
+    Attributes
+    ----------
+    root:
+        The chosen root.
+    parent:
+        Parent per vertex (−1 for the root).
+    depth:
+        Edge distance from the root.
+    subtree_size:
+        Vertices in each vertex's subtree (``n`` at the root).
+    entry, exit:
+        Tour timestamps: the positions at which the tour enters and
+        leaves each vertex's subtree.  ``entry`` doubles as a preorder
+        numbering (by construction, parents precede children), and the
+        pair answers ancestor queries in O(1).
+    steps:
+        Combined instrumented costs: tour construction + two parallel
+        prefix computations over the 2(n−1)-arc list.
+    stats:
+        Diagnostics from the underlying ranking runs.
+    """
+
+    root: int
+    parent: np.ndarray
+    depth: np.ndarray
+    subtree_size: np.ndarray
+    entry: np.ndarray
+    exit: np.ndarray
+    steps: list[StepCost] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    def preorder(self) -> np.ndarray:
+        """Vertices in preorder (root first), derived from tour entries."""
+        return np.argsort(self.entry, kind="stable")
+
+    def is_ancestor(self, a, b):
+        """Whether ``a`` is an ancestor of ``b`` (inclusive), vectorized.
+
+        A vertex's subtree occupies the contiguous tour interval
+        ``[entry, exit]``, so ancestorship is two comparisons.
+        """
+        return (self.entry[a] <= self.entry[b]) & (self.exit[b] <= self.exit[a])
+
+
+def root_tree(
+    tree: EdgeList,
+    root: int = 0,
+    p: int = 1,
+    *,
+    method: str = "mta",
+    rng: np.random.Generator | int | None = None,
+) -> RootedTree:
+    """Root ``tree`` at ``root``: parents, depths, subtree sizes.
+
+    Parameters
+    ----------
+    tree:
+        A tree as an edge list (n−1 undirected edges).
+    root:
+        Vertex to root at.
+    p:
+        Processor count for cost instrumentation.
+    method:
+        Which parallel prefix engine ranks the tour: ``"mta"`` (Alg. 1
+        walks) or ``"smp"`` (Helman–JáJá).
+    rng:
+        Randomness for the SMP algorithm's splitter selection.
+    """
+    n = tree.n
+    tour = euler_tour_successors(tree, root)
+    if tour.n_arcs == 0:
+        return RootedTree(
+            root=root,
+            parent=np.array([-1] * n, dtype=np.int64)
+            if n
+            else np.empty(0, np.int64),
+            depth=np.zeros(n, dtype=np.int64),
+            subtree_size=np.ones(n, dtype=np.int64),
+            entry=np.full(n, -1, dtype=np.int64),
+            exit=np.zeros(n, dtype=np.int64),
+            steps=[],
+            stats={"arcs": 0},
+        )
+    m = tree.m
+    n_arcs = tour.n_arcs
+
+    def prefix(values: np.ndarray, tag: str) -> PrefixRun:
+        if method == "mta":
+            run = mta_prefix(tour.succ, p, values=values, op=ADD)
+        elif method == "smp":
+            run = helman_jaja_prefix(tour.succ, p, values=values, op=ADD, rng=rng)
+        else:
+            raise WorkloadError(f"unknown method {method!r}")
+        for s in run.steps:
+            s.name = f"euler.{tag}.{s.name}"
+        return run
+
+    # pass 1: tour positions (rank) — orients every edge
+    rank_run = prefix(np.ones(n_arcs, dtype=np.int64), "rank")
+    pos = rank_run.prefix - 1  # 0-based tour position per arc
+    rev = tour.reverse_arc(np.arange(n_arcs))
+    forward = pos < pos[rev]  # traversed away from the root first
+
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[tour.arc_v[forward]] = tour.arc_u[forward]
+
+    # pass 2: depths — prefix sum of +1 on forward arcs, −1 on backward
+    delta = np.where(forward, 1, -1).astype(np.int64)
+    depth_run = prefix(delta, "depth")
+    depth = np.zeros(n, dtype=np.int64)
+    depth[tour.arc_v[forward]] = depth_run.prefix[forward]
+
+    # subtree sizes from tour-position spans: the subtree of v occupies
+    # the arcs strictly between its entry (forward) and exit (backward)
+    size = np.full(n, 1, dtype=np.int64)
+    fwd_idx = np.flatnonzero(forward)
+    size[tour.arc_v[fwd_idx]] = (pos[rev[fwd_idx]] - pos[fwd_idx] + 1) // 2
+    size[root] = n
+
+    # tour timestamps: entry = position of the arc entering v, exit = the
+    # arc returning to its parent; the root brackets the whole tour
+    entry = np.full(n, -1, dtype=np.int64)
+    exit_ = np.full(n, n_arcs, dtype=np.int64)
+    entry[tour.arc_v[fwd_idx]] = pos[fwd_idx]
+    exit_[tour.arc_v[fwd_idx]] = pos[rev[fwd_idx]]
+
+    # O(n_arcs) construction work for the tour itself (sorts + gathers)
+    setup = StepCost(
+        name="euler.build-tour",
+        p=p,
+        contig=float(4 * n_arcs),
+        noncontig=float(2 * n_arcs),
+        contig_writes=float(n_arcs),
+        ops=float(6 * n_arcs),
+        barriers=1,
+        parallelism=n_arcs,
+        working_set=4 * n_arcs,
+    )
+    steps = [setup, *rank_run.steps, *depth_run.steps]
+    stats = {
+        "arcs": n_arcs,
+        "method": method,
+        "rank_stats": rank_run.stats,
+        "depth_stats": depth_run.stats,
+    }
+    return RootedTree(
+        root=root,
+        parent=parent,
+        depth=depth,
+        subtree_size=size,
+        entry=entry,
+        exit=exit_,
+        steps=steps,
+        stats=stats,
+    )

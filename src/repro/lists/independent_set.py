@@ -1,0 +1,185 @@
+"""Randomized independent-set list ranking (Anderson–Miller style).
+
+The third classic strategy for the paper's "holy grail" problem,
+alongside pointer jumping (Wyllie) and sublist splitting (Helman–JáJá
+/ Alg. 1):
+
+* each round, every interior node flips a coin; a node is *selected*
+  when it drew heads and its predecessor drew tails — no two adjacent
+  nodes can both be selected, so all selected nodes can be **spliced
+  out simultaneously**: the predecessor inherits the node's span
+  (``D[pred] += D[v]``) and the doubly-linked neighbors reconnect;
+* an expected quarter of the nodes leaves per round, so O(log n)
+  rounds shrink the list to a stub that is ranked directly;
+* removed nodes are **reinserted in reverse round order**, each
+  recovering its rank from its saved successor:
+  ``R[v] = D_v + R[succ_v]`` (ranks measured from the tail, converted
+  at the end).
+
+Work is O(n) in expectation (geometric round sizes), depth O(log n),
+and — unlike Helman–JáJá — no step is serial in the number of
+processors; the price is randomization and the doubly-linked scratch
+state.  Memory behaviour: every round touches the *surviving* nodes
+scattered across the original array, so locality decays round by round
+even on an Ordered list — an interesting contrast the ablation
+benchmark can show.
+
+Ranking only (values = 1, ⊕ = +): the splice accumulates *suffix*
+spans, which converts to ranks only for invertible operators, so the
+generic-⊕ interface of the other algorithms does not apply here.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.cost import StepCost
+from ..errors import ConfigurationError, SimulationError
+from .generate import TAIL, head_of
+from .types import PrefixRun
+
+__all__ = ["rank_independent_set"]
+
+
+def rank_independent_set(
+    nxt: np.ndarray,
+    p: int = 1,
+    *,
+    rng: np.random.Generator | int | None = None,
+    stub: int = 32,
+    max_rounds: int | None = None,
+) -> PrefixRun:
+    """Rank a list by repeated independent-set splicing.
+
+    Parameters
+    ----------
+    nxt:
+        Successor array.
+    p:
+        Processor count for cost instrumentation.
+    rng:
+        Coin-flip randomness.
+    stub:
+        Remaining-size threshold below which the list is ranked by a
+        direct chase.
+    max_rounds:
+        Safety bound, default ``8·log₂ n + 32`` (each round removes an
+        expected quarter of the interior nodes).
+    """
+    n = len(nxt)
+    if n == 0:
+        raise ConfigurationError("cannot rank an empty list")
+    if p < 1:
+        raise ConfigurationError("p must be >= 1")
+    if stub < 2:
+        raise ConfigurationError("stub must be >= 2")
+    if max_rounds is None:
+        max_rounds = 8 * max(1, math.ceil(math.log2(max(n, 2)))) + 32
+    rng = np.random.default_rng(rng)
+
+    head = head_of(nxt)
+    succ = nxt.astype(np.int64).copy()
+    pred = np.full(n, -1, dtype=np.int64)
+    valid = succ != TAIL
+    pred[succ[valid]] = np.flatnonzero(valid)
+    tail = int(np.flatnonzero(~valid)[0])
+
+    d = np.ones(n, dtype=np.int64)  # span to current successor
+    d[tail] = 0
+    active = np.ones(n, dtype=bool)
+    steps: list[StepCost] = []
+    removed_per_round: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    n_active = n
+
+    rounds = 0
+    while n_active > stub:
+        rounds += 1
+        if rounds > max_rounds:
+            raise SimulationError(
+                f"independent-set ranking failed to shrink in {max_rounds} rounds "
+                "(astronomically unlikely unless the RNG is broken)"
+            )
+        idx = np.flatnonzero(active)
+        heads_coin = rng.random(n_active) < 0.5
+        coin = np.zeros(n, dtype=bool)
+        coin[idx] = heads_coin
+        interior = active.copy()
+        interior[head] = False
+        interior[tail] = False
+        cand = np.flatnonzero(interior & coin)
+        sel = cand[~coin[pred[cand]]]
+        if len(sel):
+            u = pred[sel]
+            w = succ[sel]
+            removed_per_round.append((sel, w.copy(), d[sel].copy()))
+            d[u] += d[sel]
+            succ[u] = w
+            pred[w] = u
+            active[sel] = False
+            n_active -= len(sel)
+        steps.append(
+            StepCost(
+                name=f"is.round{rounds}.splice",
+                p=p,
+                contig=float(len(idx)),  # coin sweep over the active index set
+                noncontig=float(3 * len(idx) + 2 * len(sel)),
+                noncontig_writes=float(4 * len(sel)),
+                ops=float(4 * len(idx)),
+                barriers=1,
+                parallelism=max(1, len(idx)),
+                working_set=4 * n,
+            )
+        )
+
+    # -- rank the stub directly (≤ stub nodes: negligible) -----------------------
+    r = np.zeros(n, dtype=np.int64)  # distance-to-tail over spans
+    j = tail
+    acc = 0
+    while j != head:
+        u = int(pred[j])
+        acc += int(d[u])
+        r[u] = acc
+        j = u
+    steps.append(
+        StepCost(
+            name="is.stub-chase",
+            p=p,
+            noncontig=float(2 * n_active),
+            noncontig_writes=float(n_active),
+            ops=float(2 * n_active),
+            barriers=1,
+            parallelism=1,
+            working_set=3 * n_active,
+        )
+    )
+
+    # -- reinsert in reverse order -------------------------------------------------
+    for k, (sel, w, dv) in enumerate(reversed(removed_per_round)):
+        r[sel] = dv + r[w]
+        steps.append(
+            StepCost(
+                name=f"is.reinsert{k + 1}",
+                p=p,
+                noncontig=float(2 * len(sel)),
+                noncontig_writes=float(len(sel)),
+                ops=float(2 * len(sel)),
+                barriers=1,
+                parallelism=max(1, len(sel)),
+                working_set=3 * n,
+            )
+        )
+
+    ranks = (n - 1) - r
+    run = PrefixRun(
+        prefix=ranks + 1,
+        ranks=ranks,
+        steps=steps,
+        stats={
+            "rounds": rounds,
+            "stub_size": n_active,
+            "removed_per_round": [len(s) for s, _, _ in removed_per_round],
+        },
+    )
+    return run

@@ -1,0 +1,81 @@
+"""Binary associative operators for generic list prefix computations.
+
+The paper frames list ranking as the special case of the *prefix
+problem* — given values ``X(i).value`` and a binary associative operator
+⊕, compute ``X(i).prefix = X(i).value ⊕ X(predecessor).prefix`` along
+the list — where every value is 1 and ⊕ is addition.  The parallel
+algorithms in this package (:mod:`repro.lists.helman_jaja`,
+:mod:`repro.lists.mta_ranking`) are implemented against this interface,
+so they compute arbitrary prefix reductions, not just ranks.
+
+An operator must be *associative* (the sublist decomposition reorders
+the parenthesization) but need not be commutative: values are always
+combined in list order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["PrefixOp", "ADD", "MAX", "MIN", "MUL"]
+
+
+@dataclass(frozen=True)
+class PrefixOp:
+    """A binary associative operator with identity, vectorized over NumPy arrays.
+
+    Attributes
+    ----------
+    name:
+        Short label used in step names and reports.
+    fn:
+        ``fn(a, b) -> a ⊕ b`` applied elementwise; ``a`` is always the
+        earlier-in-list-order operand, so non-commutative operators work.
+    identity:
+        The value *e* with ``e ⊕ x = x`` for all x; seeds the prefix of
+        the first sublist.
+    dtype:
+        Preferred accumulator dtype.
+    ufunc:
+        Optional NumPy ufunc implementing the same operation; when
+        present, bulk traversals use ``ufunc.accumulate`` for running
+        prefixes instead of an element-at-a-time loop.  Custom
+        operators may leave it ``None`` (correct everywhere, slower on
+        the long-sublist traversal path).
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    identity: float
+    dtype: np.dtype = np.dtype(np.int64)
+    ufunc: np.ufunc | None = None
+
+    def __call__(self, a, b):
+        return self.fn(a, b)
+
+    def accumulate(self, values: np.ndarray) -> np.ndarray:
+        """Inclusive running prefix of ``values`` (in array order)."""
+        if self.ufunc is not None:
+            return self.ufunc.accumulate(values)
+        out = np.empty_like(values)
+        acc = self.identity
+        for i, v in enumerate(values):
+            acc = self.fn(acc, v)
+            out[i] = acc
+        return out
+
+
+#: Addition with identity 0 — list ranking uses this with all-ones values.
+ADD = PrefixOp("add", lambda a, b: a + b, 0, ufunc=np.add)
+
+#: Running maximum with identity −inf (int64 min for integer inputs).
+MAX = PrefixOp("max", np.maximum, np.iinfo(np.int64).min, ufunc=np.maximum)
+
+#: Running minimum with identity +inf (int64 max for integer inputs).
+MIN = PrefixOp("min", np.minimum, np.iinfo(np.int64).max, ufunc=np.minimum)
+
+#: Product with identity 1 (useful with float values; beware overflow on ints).
+MUL = PrefixOp("mul", lambda a, b: a * b, 1, np.dtype(np.float64), ufunc=np.multiply)

@@ -1,0 +1,43 @@
+"""Result containers for instrumented list-algorithm runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.cost import CostTriplet, StepCost, summarize
+
+__all__ = ["PrefixRun"]
+
+
+@dataclass
+class PrefixRun:
+    """Output of one instrumented parallel prefix / list-ranking run.
+
+    Attributes
+    ----------
+    prefix:
+        Inclusive prefix value per node (for ranking with all-ones
+        values this is ``rank + 1``).
+    ranks:
+        0-based rank per node when the run was a ranking; ``None`` for
+        generic prefix computations.
+    steps:
+        Per-step measured costs, ready for any
+        :class:`~repro.core.machine.MachineModel` configured with the
+        same ``p``.
+    stats:
+        Algorithm diagnostics (sublist count, walk lengths, rounds,
+        contiguity fractions, scheduling loads, …).
+    """
+
+    prefix: np.ndarray
+    ranks: np.ndarray | None
+    steps: list[StepCost]
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def triplet(self) -> CostTriplet:
+        """The paper's ⟨T_M; T_C; B⟩ summary of this run."""
+        return summarize(self.steps)

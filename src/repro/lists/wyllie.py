@@ -1,0 +1,133 @@
+"""Wyllie's pointer-jumping prefix — the classic PRAM list-ranking algorithm.
+
+Wyllie's algorithm ranks a list in O(log n) rounds of pointer doubling,
+performing O(n log n) total work — simple and maximally parallel, but
+not work-efficient, which is why Helman–JáJá (O(n) work) beats it on
+real machines once n grows.  It appears here in three roles:
+
+* the **top-level prefix over walk records** inside the paper's Alg. 1
+  (step 3) and the compaction technique of the paper's Section 6;
+* a standalone instrumented algorithm (:func:`wyllie_prefix`) used by
+  the work-efficiency ablation benchmark;
+* a pure helper (:func:`wyllie_exclusive`) shared by the other list
+  modules.
+
+The doubling runs over *predecessor* links, accumulating each node's
+exclusive prefix (⊕ of all values strictly before it in list order), so
+it is correct for non-commutative operators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cost import StepCost
+from ..errors import ConfigurationError
+from .generate import TAIL
+from .prefix import ADD, PrefixOp
+from .types import PrefixRun
+
+__all__ = ["wyllie_exclusive", "wyllie_prefix", "rank_wyllie"]
+
+
+def wyllie_exclusive(
+    succ: np.ndarray, values: np.ndarray, op: PrefixOp
+) -> tuple[np.ndarray, int]:
+    """Exclusive ⊕-prefix of ``values`` along the chain ``succ``.
+
+    Parameters
+    ----------
+    succ:
+        Successor links; exactly one entry is ``TAIL`` (−1).  The chain
+        must be a single simple path covering all elements.
+    values:
+        Per-element values in storage order.
+    op:
+        Associative operator.
+
+    Returns
+    -------
+    (offsets, rounds):
+        ``offsets[i]`` = ⊕ over the values of all elements strictly
+        before ``i`` in chain order (``op.identity`` for the head);
+        ``rounds`` = number of doubling iterations (⌈log₂ n⌉).
+    """
+    succ = np.asarray(succ, dtype=np.int64)
+    s = len(succ)
+    values = np.asarray(values)
+    pred = np.full(s, -1, dtype=np.int64)
+    valid = succ >= 0
+    pred[succ[valid]] = np.flatnonzero(valid)
+
+    seg = values.copy()  # ⊕ over the covered window ending at each element
+    off = np.full(s, op.identity, dtype=np.result_type(values.dtype, op.dtype))
+    seg = seg.astype(off.dtype, copy=True)
+    ptr = pred.copy()
+    rounds = 0
+    while np.any(ptr >= 0):
+        rounds += 1
+        has = ptr >= 0
+        src = ptr[has]
+        off[has] = op(seg[src], off[has])
+        new_seg = seg.copy()
+        new_seg[has] = op(seg[src], seg[has])
+        new_ptr = np.full(s, -1, dtype=np.int64)
+        new_ptr[has] = ptr[src]
+        seg = new_seg
+        ptr = new_ptr
+    return off, rounds
+
+
+def wyllie_prefix(
+    nxt: np.ndarray,
+    p: int = 1,
+    values: np.ndarray | None = None,
+    op: PrefixOp = ADD,
+) -> PrefixRun:
+    """Instrumented full-list Wyllie prefix (inclusive).
+
+    Every doubling round touches every node: read its pointer, read its
+    partner's pointer and partial value, write both back — five
+    non-contiguous accesses and a handful of register ops per node per
+    round, with a barrier between rounds.  Total work O(n log n), depth
+    O(log n): the shape the work-efficiency ablation contrasts with
+    Helman–JáJá.
+    """
+    n = len(nxt)
+    if n == 0:
+        raise ConfigurationError("cannot rank an empty list")
+    if p < 1:
+        raise ConfigurationError("p must be >= 1")
+    if values is None:
+        values = np.ones(n, dtype=np.int64)
+    values = np.asarray(values)
+    if values.shape != (n,):
+        raise ConfigurationError("values must have one entry per node")
+
+    offsets, rounds = wyllie_exclusive(nxt, values, op)
+    prefix = op(offsets, values.astype(offsets.dtype))
+    steps = [
+        StepCost(
+            name="wyllie.doubling",
+            p=p,
+            noncontig=float(3 * n * rounds),
+            noncontig_writes=float(2 * n * rounds),
+            ops=float(4 * n * rounds),
+            barriers=max(rounds, 1),
+            parallelism=n,
+            working_set=3 * n,
+        )
+    ]
+    return PrefixRun(
+        prefix=prefix,
+        ranks=None,
+        steps=steps,
+        stats={"rounds": rounds, "work": 5 * n * max(rounds, 1)},
+    )
+
+
+def rank_wyllie(nxt: np.ndarray, p: int = 1) -> PrefixRun:
+    """List ranking via :func:`wyllie_prefix` with all-ones values."""
+    run = wyllie_prefix(nxt, p)
+    run.ranks = run.prefix - 1
+    return run

@@ -1,0 +1,9 @@
+"""Cycle-level simulation substrate: ISA, thread state, SMP and MTA engines."""
+
+from . import isa
+from .mta_engine import MTAEngine
+from .smp_engine import SMPEngine
+from .stats import SimReport, combine_reports
+from .thread import SimThread
+
+__all__ = ["isa", "MTAEngine", "SMPEngine", "SimReport", "combine_reports", "SimThread"]

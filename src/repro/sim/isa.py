@@ -1,0 +1,127 @@
+"""Operation vocabulary for the cycle-level engines.
+
+Simulated threads are Python generators that *compute on real data*
+(NumPy arrays, Python ints) and ``yield`` one operation tuple per
+machine instruction they would execute.  The engine interleaves the
+generators according to the machine's scheduling rules and charges
+cycles; values that must round-trip through the simulated machine
+(``FETCH_ADD`` results, sync-load values) come back as the value of the
+``yield`` expression.
+
+Ops are plain tuples ``(tag, *operands)`` — the engines dispatch on the
+tag string.  Tags:
+
+``("C", k)``
+    ``k`` back-to-back register/compute instructions (no memory).
+
+``("L", addr)``
+    Independent load: the thread may keep issuing up to the machine's
+    lookahead before the result is needed.
+
+``("LD", addr)``
+    Dependent load: the next instruction consumes the value (pointer
+    chase), so the thread blocks until the load completes.
+
+``("S", addr)``
+    Store: retired by the write buffer / memory pipeline; the thread
+    does not wait for completion (subject to outstanding-op limits).
+
+``("FA", addr, inc)``
+    Atomic ``int_fetch_add``: returns the old value via ``send``;
+    serialized at one per cycle per memory cell (the MTA hotspot).
+
+``("SLE", addr)`` / ``("SLF", addr)``
+    Synchronous load on a full/empty-tagged word: wait until *full*,
+    read, and either set Empty (consume) or leave Full (peek).
+    Returns the value.
+
+``("SSF", addr, value)``
+    Synchronous store: wait until *empty*, write ``value``, set Full.
+
+``("B", barrier_id)``
+    Barrier: block until every registered participant arrives.
+
+Addresses are word addresses in a shared
+:class:`repro.arch.memory.AddressSpace`; the engines only use them for
+banking/hash/cache decisions — actual data lives in the program's own
+arrays (except full/empty words and FA cells, whose values the engine
+owns so that atomicity and blocking are real).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "COMPUTE",
+    "LOAD",
+    "LOAD_DEP",
+    "STORE",
+    "FETCH_ADD",
+    "SYNC_LOAD_EMPTY",
+    "SYNC_LOAD_FULL",
+    "SYNC_STORE_FULL",
+    "BARRIER",
+    "compute",
+    "load",
+    "load_dep",
+    "store",
+    "fetch_add",
+    "sync_load_consume",
+    "sync_load_peek",
+    "sync_store",
+    "barrier",
+]
+
+COMPUTE = "C"
+LOAD = "L"
+LOAD_DEP = "LD"
+STORE = "S"
+FETCH_ADD = "FA"
+SYNC_LOAD_EMPTY = "SLE"
+SYNC_LOAD_FULL = "SLF"
+SYNC_STORE_FULL = "SSF"
+BARRIER = "B"
+
+
+def compute(k: int = 1) -> tuple:
+    """``k`` compute instructions."""
+    return (COMPUTE, k)
+
+
+def load(addr: int) -> tuple:
+    """An independent (overlappable) load of one word."""
+    return (LOAD, addr)
+
+
+def load_dep(addr: int) -> tuple:
+    """A dependent load — the thread needs the value immediately."""
+    return (LOAD_DEP, addr)
+
+
+def store(addr: int) -> tuple:
+    """A buffered store of one word."""
+    return (STORE, addr)
+
+
+def fetch_add(addr: int, inc: int = 1) -> tuple:
+    """Atomic fetch-and-add; old value returned via the yield expression."""
+    return (FETCH_ADD, addr, inc)
+
+
+def sync_load_consume(addr: int) -> tuple:
+    """Wait-until-full load that sets the word Empty (consume)."""
+    return (SYNC_LOAD_EMPTY, addr)
+
+
+def sync_load_peek(addr: int) -> tuple:
+    """Wait-until-full load that leaves the word Full (peek)."""
+    return (SYNC_LOAD_FULL, addr)
+
+
+def sync_store(addr: int, value) -> tuple:
+    """Wait-until-empty store that sets the word Full (produce)."""
+    return (SYNC_STORE_FULL, addr, value)
+
+
+def barrier(barrier_id: str = "default") -> tuple:
+    """Block until all registered participants of ``barrier_id`` arrive."""
+    return (BARRIER, barrier_id)

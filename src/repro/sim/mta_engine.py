@@ -1,0 +1,390 @@
+"""Cycle-level engine for the multithreaded (Cray MTA-2 style) machine.
+
+This engine *executes* simulated thread programs under the MTA's rules,
+so utilization (the paper's Table 1) is measured, not asserted:
+
+* Each of the ``p`` processors holds up to ``streams_per_proc`` streams
+  and issues **one instruction per cycle from some ready stream**,
+  round-robin among ready streams (the hardware's fair scheduler).
+* A memory operation takes ``mem_latency`` cycles.  After issuing one,
+  a stream may issue up to ``lookahead`` further instructions (the
+  compiler-scheduled lookahead; the MTA-2 allowed 8 outstanding
+  references per stream) before it must wait — a *dependent* load
+  (``LD``) waits immediately.
+* ``int_fetch_add`` is atomic and its target cell services **one
+  request per cycle**: concurrent FAs to one counter serialize, the
+  hotspot the paper mentions.
+* Full/empty bits implement synchronous loads and stores with real
+  blocking and FIFO wakeup.
+* Barriers block until every registered participant arrives.
+
+There are no caches and no locality effects: an address's cost is the
+flat memory latency, exactly like the hashed MTA memory.  (Addresses
+still matter — FA serialization and full/empty state are per-address.)
+
+The engine advances cycle by cycle but fast-forwards over globally idle
+spans, so phase drains don't cost wall-clock time to simulate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Generator
+
+import numpy as np
+
+from ..errors import ConfigurationError, DeadlockError, SimulationError
+from .isa import (
+    BARRIER,
+    COMPUTE,
+    FETCH_ADD,
+    LOAD,
+    LOAD_DEP,
+    STORE,
+    SYNC_LOAD_EMPTY,
+    SYNC_LOAD_FULL,
+    SYNC_STORE_FULL,
+)
+from .stats import SimReport
+from .thread import (
+    BLOCKED,
+    DONE,
+    READY,
+    WAIT_BARRIER,
+    WAIT_EMPTY,
+    WAIT_FULL,
+    SimThread,
+)
+
+__all__ = ["MTAEngine"]
+
+
+@dataclass
+class _Proc:
+    ready: deque = field(default_factory=deque)
+    wake: list = field(default_factory=list)  # heap of (cycle, tid, thread)
+    issued: int = 0
+    live: int = 0
+
+
+@dataclass
+class _Barrier:
+    need: int
+    waiting: list = field(default_factory=list)
+
+
+class MTAEngine:
+    """One simulated multithreaded machine, ready to run thread programs.
+
+    Parameters
+    ----------
+    p:
+        Processor count.
+    streams_per_proc:
+        Hardware streams per processor; spawning more threads than
+        ``p × streams_per_proc`` raises (map your work to fewer worker
+        threads and use ``FA`` self-scheduling, like the real machine).
+    mem_latency:
+        Round-trip memory latency in cycles (~100 on the MTA-2).
+    lookahead:
+        Instructions a stream may issue past an outstanding memory op.
+    max_outstanding:
+        Hardware limit of in-flight memory refs per stream (8).
+    barrier_latency:
+        Cycles from last arrival to release.
+    clock_hz:
+        For seconds conversion in reports.
+    n_banks:
+        Simulated memory banks (power of two).  0 (default) disables
+        bank modeling — appropriate because the MTA hashes logical
+        addresses across physical banks, making collisions rare.
+        Enable it to study hotspot traffic beyond ``int_fetch_add``:
+        each bank services one request per cycle, addresses map to
+        banks through :func:`repro.arch.memory.bank_of` (the same
+        multiplicative hash the machine model describes).
+    """
+
+    def __init__(
+        self,
+        p: int = 1,
+        *,
+        streams_per_proc: int = 128,
+        mem_latency: int = 100,
+        lookahead: int = 2,
+        max_outstanding: int = 8,
+        barrier_latency: int = 20,
+        clock_hz: float = 220e6,
+        n_banks: int = 0,
+    ) -> None:
+        if p < 1:
+            raise ConfigurationError("p must be >= 1")
+        if streams_per_proc < 1:
+            raise ConfigurationError("streams_per_proc must be >= 1")
+        if mem_latency < 1:
+            raise ConfigurationError("mem_latency must be >= 1")
+        self.p = p
+        self.streams_per_proc = streams_per_proc
+        self.mem_latency = mem_latency
+        self.lookahead = lookahead
+        self.max_outstanding = max_outstanding
+        self.barrier_latency = barrier_latency
+        self.clock_hz = clock_hz
+        if n_banks and (n_banks < 1 or (n_banks & (n_banks - 1)) != 0):
+            raise ConfigurationError(f"n_banks must be 0 or a power of two, got {n_banks}")
+        self.n_banks = n_banks
+        self._bank_next_free: dict[int, int] = {}
+        self.bank_contention_stalls = 0
+
+        self._procs = [_Proc() for _ in range(p)]
+        self._threads: list[SimThread] = []
+        self._next_proc = 0
+        # full/empty memory: address present in _full ⇔ word is Full
+        self._full: dict[int, object] = {}
+        self._wait_full: dict[int, deque] = {}
+        self._wait_empty: dict[int, deque] = {}
+        # fetch-add cells
+        self.fa_values: dict[int, int] = {}
+        self._fa_next_free: dict[int, int] = {}
+        self.fa_serialization_stalls = 0
+        self._barriers: dict[str, _Barrier] = {}
+        self._op_counts: dict[str, int] = {}
+        self._live = 0
+        self._last_issue = -1
+
+    # -- setup -----------------------------------------------------------------
+
+    def spawn(self, gen: Generator, proc: int | None = None) -> SimThread:
+        """Add a thread; round-robin processor placement unless pinned."""
+        if proc is None:
+            proc = self._next_proc
+            self._next_proc = (self._next_proc + 1) % self.p
+        if not 0 <= proc < self.p:
+            raise ConfigurationError(f"proc {proc} out of range")
+        if self._procs[proc].live >= self.streams_per_proc:
+            raise ConfigurationError(
+                f"processor {proc} already has {self.streams_per_proc} streams;"
+                " use FA self-scheduling instead of more threads"
+            )
+        t = SimThread(tid=len(self._threads), gen=gen, proc=proc)
+        self._threads.append(t)
+        self._procs[proc].ready.append(t)
+        self._procs[proc].live += 1
+        self._live += 1
+        return t
+
+    def register_barrier(self, barrier_id: str, count: int) -> None:
+        """Declare that ``count`` threads will meet at ``barrier_id``."""
+        if count < 1:
+            raise ConfigurationError("barrier count must be >= 1")
+        self._barriers[barrier_id] = _Barrier(need=count)
+
+    def set_full(self, addr: int, value=0) -> None:
+        """Pre-set a full/empty word to Full with ``value``."""
+        self._full[addr] = value
+
+    def set_counter(self, addr: int, value: int = 0) -> None:
+        """Initialize a fetch-add cell."""
+        self.fa_values[addr] = value
+
+    # -- run --------------------------------------------------------------------
+
+    def run(self, name: str = "phase", max_cycles: int = 200_000_000) -> SimReport:
+        """Execute until every spawned thread finishes; return measurements."""
+        cycle = 0
+        while self._live > 0:
+            if cycle > max_cycles:
+                raise SimulationError(f"exceeded max_cycles={max_cycles}")
+            any_ready = False
+            for proc in self._procs:
+                wake = proc.wake
+                while wake and wake[0][0] <= cycle:
+                    _, _, t = heapq.heappop(wake)
+                    t.state = READY
+                    proc.ready.append(t)
+                if proc.ready:
+                    any_ready = True
+                    self._issue(proc, proc.ready.popleft(), cycle)
+            if any_ready:
+                cycle += 1
+            else:
+                nxt = min(
+                    (proc.wake[0][0] for proc in self._procs if proc.wake),
+                    default=None,
+                )
+                if nxt is None:
+                    if self._live > 0:
+                        self._raise_deadlock()
+                    break
+                cycle = max(cycle + 1, nxt)
+
+        issued = np.array([proc.issued for proc in self._procs], dtype=np.int64)
+        report = SimReport(
+            name=name,
+            p=self.p,
+            cycles=self._last_issue + 1,  # span up to the final real issue
+            issued=issued,
+            clock_hz=self.clock_hz,
+            op_counts=dict(self._op_counts),
+            detail={"fa_serialization_stalls": self.fa_serialization_stalls},
+        )
+        return report
+
+    # -- internals ----------------------------------------------------------------
+
+    def _raise_deadlock(self) -> None:
+        stuck = [t for t in self._threads if t.state not in (DONE, READY)]
+        inventory = ", ".join(f"tid{t.tid}:{t.state}" for t in stuck[:10])
+        raise DeadlockError(
+            f"{len(stuck)} threads blocked with no wake source ({inventory} …)"
+        )
+
+    def _count(self, tag: str) -> None:
+        self._op_counts[tag] = self._op_counts.get(tag, 0) + 1
+
+    def _finish(self, t: SimThread) -> None:
+        t.state = DONE
+        self._procs[t.proc].live -= 1
+        self._live -= 1
+
+    def _mem_done(self, addr: int, cycle: int) -> int:
+        """Completion cycle of a memory reference issued now.
+
+        With bank modeling on, the hashed bank serving ``addr`` admits
+        one request per cycle, so colliding references queue.
+        """
+        earliest = cycle + self.mem_latency
+        if not self.n_banks:
+            return earliest
+        from ..arch.memory import bank_of
+
+        bank = int(bank_of(addr, self.n_banks))
+        done = max(earliest, self._bank_next_free.get(bank, 0) + 1)
+        self.bank_contention_stalls += done - earliest
+        self._bank_next_free[bank] = done
+        return done
+
+    def _block_until(self, t: SimThread, when: int) -> None:
+        t.state = BLOCKED
+        t.wake_at = when
+        heapq.heappush(self._procs[t.proc].wake, (when, t.tid, t))
+
+    def _requeue(self, t: SimThread) -> None:
+        self._procs[t.proc].ready.append(t)
+
+    def _issue(self, proc: _Proc, t: SimThread, cycle: int) -> None:
+        """Issue one instruction from thread ``t`` at ``cycle``."""
+        t.drain_completed(cycle)
+        if not t.outstanding:
+            t.lookahead_credit = self.lookahead
+
+        if t.compute_remaining > 0:
+            t.compute_remaining -= 1
+            t.issued += 1
+            proc.issued += 1
+            self._last_issue = max(self._last_issue, cycle)
+            self._count(COMPUTE)
+            self._requeue(t)
+            return
+
+        try:
+            op = t.gen.send(t.pending_value)
+        except StopIteration:
+            self._finish(t)
+            return
+        t.pending_value = None
+        tag = op[0]
+        t.issued += 1
+        proc.issued += 1
+        self._last_issue = max(self._last_issue, cycle)
+        self._count(tag)
+
+        if tag == COMPUTE:
+            k = op[1]
+            if k < 1:
+                raise SimulationError(f"compute burst must be >= 1, got {k}")
+            t.compute_remaining = k - 1
+            self._requeue(t)
+        elif tag in (LOAD, STORE):
+            done_at = self._mem_done(op[1], cycle)
+            t.outstanding.append(done_at)
+            if len(t.outstanding) > self.max_outstanding:
+                self._block_until(t, t.outstanding.popleft())
+            elif t.lookahead_credit > 0:
+                t.lookahead_credit -= 1
+                self._requeue(t)
+            else:
+                self._block_until(t, t.outstanding[0])
+        elif tag == LOAD_DEP:
+            self._block_until(t, self._mem_done(op[1], cycle))
+        elif tag == FETCH_ADD:
+            addr, inc = op[1], op[2] if len(op) > 2 else 1
+            old = self.fa_values.get(addr, 0)
+            self.fa_values[addr] = old + inc
+            earliest = cycle + self.mem_latency
+            queued = self._fa_next_free.get(addr, 0) + 1
+            done_at = max(earliest, queued)
+            self.fa_serialization_stalls += done_at - earliest
+            self._fa_next_free[addr] = done_at
+            t.pending_value = old
+            self._block_until(t, done_at)
+        elif tag in (SYNC_LOAD_EMPTY, SYNC_LOAD_FULL):
+            addr = op[1]
+            if addr in self._full:
+                value = self._full[addr]
+                if tag == SYNC_LOAD_EMPTY:
+                    del self._full[addr]
+                    self._drain_empty_waiters(addr, cycle)
+                t.pending_value = value
+                self._block_until(t, cycle + self.mem_latency)
+            else:
+                t.state = WAIT_FULL
+                t.pending_value = tag  # remember consume-vs-peek
+                self._wait_full.setdefault(addr, deque()).append(t)
+        elif tag == SYNC_STORE_FULL:
+            addr, value = op[1], op[2]
+            if addr not in self._full:
+                self._fill(addr, value, cycle)
+                self._block_until(t, cycle + self.mem_latency)
+            else:
+                t.state = WAIT_EMPTY
+                t.pending_value = value  # the value awaiting an Empty slot
+                self._wait_empty.setdefault(addr, deque()).append(t)
+        elif tag == BARRIER:
+            bid = op[1]
+            if bid not in self._barriers:
+                raise SimulationError(f"barrier {bid!r} was never registered")
+            b = self._barriers[bid]
+            t.state = WAIT_BARRIER
+            b.waiting.append(t)
+            if len(b.waiting) == b.need:
+                release = cycle + self.barrier_latency
+                for w in b.waiting:
+                    self._block_until(w, release)
+                b.waiting = []
+        else:
+            raise SimulationError(f"unknown opcode {tag!r} from tid {t.tid}")
+
+    def _fill(self, addr: int, value, cycle: int) -> None:
+        """Set a word Full and service waiting sync-loads FIFO."""
+        self._full[addr] = value
+        waiters = self._wait_full.get(addr)
+        while waiters and addr in self._full:
+            w = waiters.popleft()
+            mode = w.pending_value
+            w.pending_value = self._full[addr]
+            self._block_until(w, cycle + self.mem_latency)
+            if mode == SYNC_LOAD_EMPTY:
+                del self._full[addr]
+                self._drain_empty_waiters(addr, cycle)
+
+    def _drain_empty_waiters(self, addr: int, cycle: int) -> None:
+        """A word just became Empty: let one waiting producer store."""
+        waiters = self._wait_empty.get(addr)
+        if waiters and addr not in self._full:
+            w = waiters.popleft()
+            value = w.pending_value
+            w.pending_value = None
+            self._block_until(w, cycle + self.mem_latency)
+            self._fill(addr, value, cycle)

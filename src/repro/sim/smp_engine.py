@@ -1,0 +1,215 @@
+"""Cycle-level engine for the cache-based SMP machine.
+
+Executes one simulated thread per processor (the paper's POSIX-threads
+model) against per-processor L1/L2 cache hierarchies, a shared bus, and
+software barriers:
+
+* Every load goes through the processor's
+  :class:`~repro.arch.cache.CacheHierarchy`; the level that serves it
+  sets its latency.  Misses to memory also arbitrate for the shared
+  bus, which transfers one cache line at the configured bandwidth —
+  concurrent misses from different processors queue, which is what
+  erodes SMP scalability at higher p.
+* Stores probe the cache (write-allocate) but retire through the write
+  buffer: the processor is charged a cycle of occupancy (plus bus
+  traffic on a miss), not the miss latency.
+* Barriers are software: the last arrival releases everyone after
+  ``barrier_cycles(p)``.
+* ``FETCH_ADD`` models a lock-free atomic: serialized per cell with a
+  memory round-trip.
+
+The engine is event-driven — processors advance independently in local
+time, globally ordered through the bus and barriers — so there is no
+per-cycle loop and large programs simulate quickly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Generator
+
+import numpy as np
+
+from ..arch.cache import CacheHierarchy
+from ..errors import ConfigurationError, DeadlockError, SimulationError
+from ..core.smp_machine import SMPConfig, SUN_E4500
+from .isa import (
+    BARRIER,
+    COMPUTE,
+    FETCH_ADD,
+    LOAD,
+    LOAD_DEP,
+    STORE,
+)
+from .stats import SimReport
+
+__all__ = ["SMPEngine"]
+
+
+@dataclass
+class _ProcState:
+    gen: Generator
+    time: float = 0.0
+    issued: int = 0
+    pending_value: object = None
+    done: bool = False
+    at_barrier: str | None = None
+    hier: CacheHierarchy | None = None
+
+
+class SMPEngine:
+    """One simulated SMP, running exactly one thread per processor.
+
+    Parameters
+    ----------
+    p:
+        Processor count (== number of programs to attach).
+    config:
+        Machine description; defaults to the paper's Sun E4500.
+    """
+
+    def __init__(self, p: int = 1, config: SMPConfig = SUN_E4500) -> None:
+        if not 1 <= p <= config.max_p:
+            raise ConfigurationError(f"p={p} outside [1, {config.max_p}]")
+        self.p = p
+        self.config = config
+        self._procs: list[_ProcState] = []
+        self._bus_free = 0.0
+        self._bus_busy_cycles = 0.0
+        self.fa_values: dict[int, int] = {}
+        self._fa_next_free: dict[int, float] = {}
+        self._op_counts: dict[str, int] = {}
+        self._line_transfer = config.l2.line_words / config.bus_words_per_cycle
+
+    def attach(self, gen: Generator) -> int:
+        """Attach the program for the next processor; returns its index."""
+        if len(self._procs) >= self.p:
+            raise ConfigurationError(f"all {self.p} processors already have programs")
+        ps = _ProcState(gen=gen, hier=CacheHierarchy(self.config.l1, self.config.l2))
+        self._procs.append(ps)
+        return len(self._procs) - 1
+
+    def set_counter(self, addr: int, value: int = 0) -> None:
+        """Initialize a fetch-add cell."""
+        self.fa_values[addr] = value
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, name: str = "phase", max_ops: int = 500_000_000) -> SimReport:
+        """Run all processors to completion; return measurements."""
+        if len(self._procs) != self.p:
+            raise ConfigurationError(
+                f"{len(self._procs)} programs attached but machine has p={self.p}"
+            )
+        heap: list[tuple[float, int]] = [(0.0, i) for i in range(self.p)]
+        heapq.heapify(heap)
+        waiting: dict[str, list[int]] = {}
+        ops_done = 0
+
+        while heap:
+            time, idx = heapq.heappop(heap)
+            ps = self._procs[idx]
+            ops_done += 1
+            if ops_done > max_ops:
+                raise SimulationError(f"exceeded max_ops={max_ops}")
+            try:
+                op = ps.gen.send(ps.pending_value)
+            except StopIteration:
+                ps.done = True
+                continue
+            ps.pending_value = None
+            tag = op[0]
+            ps.issued += 1
+            self._op_counts[tag] = self._op_counts.get(tag, 0) + 1
+
+            if tag == COMPUTE:
+                ps.time = time + op[1] * self.config.cpi
+            elif tag in (LOAD, LOAD_DEP):
+                ps.time = time + self._load_cost(ps, op[1], time)
+            elif tag == STORE:
+                ps.time = time + self._store_cost(ps, op[1], time)
+            elif tag == FETCH_ADD:
+                addr = op[1]
+                inc = op[2] if len(op) > 2 else 1
+                old = self.fa_values.get(addr, 0)
+                self.fa_values[addr] = old + inc
+                ps.pending_value = old
+                start = max(time, self._fa_next_free.get(addr, 0.0))
+                done = start + self.config.l2_hit_cycles  # atomic at the coherence point
+                self._fa_next_free[addr] = done
+                ps.time = done
+            elif tag == BARRIER:
+                bid = op[1]
+                ps.at_barrier = bid
+                ps.time = time
+                group = waiting.setdefault(bid, [])
+                group.append(idx)
+                if len(group) == self.p:
+                    release = max(self._procs[i].time for i in group)
+                    release += self.config.barrier_cycles(self.p)
+                    for i in group:
+                        self._procs[i].time = release
+                        self._procs[i].at_barrier = None
+                        heapq.heappush(heap, (release, i))
+                    waiting[bid] = []
+                continue  # pushed (or parked) above
+            else:
+                raise SimulationError(f"unknown opcode {tag!r} on SMP processor {idx}")
+            heapq.heappush(heap, (ps.time, idx))
+
+        parked = [i for i, ps in enumerate(self._procs) if ps.at_barrier is not None]
+        if parked:
+            raise DeadlockError(
+                f"processors {parked} parked at barriers no one else reached"
+            )
+
+        cycles = max((ps.time for ps in self._procs), default=0.0)
+        issued = np.array([ps.issued for ps in self._procs], dtype=np.int64)
+        l1 = [ps.hier.l1_stats for ps in self._procs]
+        l2 = [ps.hier.l2_stats for ps in self._procs]
+        return SimReport(
+            name=name,
+            p=self.p,
+            cycles=int(round(cycles)),
+            issued=issued,
+            clock_hz=self.config.clock_hz,
+            op_counts=dict(self._op_counts),
+            detail={
+                "l1_hit_rate": [s.hit_rate for s in l1],
+                "l2_hit_rate": [s.hit_rate for s in l2],
+                "bus_busy_cycles": self._bus_busy_cycles,
+            },
+        )
+
+    # -- cost helpers ------------------------------------------------------------
+
+    def _bus_transfer(self, time: float) -> float:
+        """Arbitrate one line transfer; returns its completion time."""
+        start = max(time, self._bus_free)
+        self._bus_free = start + self._line_transfer
+        self._bus_busy_cycles += self._line_transfer
+        return self._bus_free
+
+    def _load_cost(self, ps: _ProcState, addr: int, time: float) -> float:
+        level = ps.hier.access(addr)
+        c = self.config
+        if level == "l1":
+            return c.l1_hit_cycles
+        if level == "l2":
+            return c.l2_hit_cycles
+        done = self._bus_transfer(time) + c.mem_cycles - self._line_transfer
+        return max(done - time, c.mem_cycles)
+
+    def _store_cost(self, ps: _ProcState, addr: int, time: float) -> float:
+        level = ps.hier.access(addr)  # write-allocate
+        if level == "mem":
+            self._bus_transfer(time)  # line fill occupies the bus, not the CPU
+            # write-buffer backpressure: once the buffer's worth of line
+            # fills is queued behind the bus, the processor stalls until
+            # the backlog drains below the buffer depth
+            allowance = self.config.store_buffer_depth * self._line_transfer
+            backlog = self._bus_free - time
+            if backlog > allowance:
+                return backlog - allowance + 1.0
+        return 1.0

@@ -1,0 +1,89 @@
+"""Result records for cycle-level simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SimReport", "combine_reports"]
+
+
+@dataclass
+class SimReport:
+    """Measured outcome of one engine run (one parallel phase).
+
+    Attributes
+    ----------
+    name:
+        Phase label.
+    p:
+        Number of processors simulated.
+    cycles:
+        Total machine cycles from start to last thread completion.
+    issued:
+        Instructions issued per processor (length-``p`` array).
+    clock_hz:
+        Clock rate for seconds conversion.
+    op_counts:
+        Instructions by opcode tag (``{"LD": ..., "C": ..., ...}``).
+    detail:
+        Engine-specific extras (fetch-add serialization stalls, cache
+        hit rates, barrier waits, …).
+    """
+
+    name: str
+    p: int
+    cycles: int
+    issued: np.ndarray
+    clock_hz: float
+    op_counts: dict = field(default_factory=dict)
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def total_issued(self) -> int:
+        return int(self.issued.sum())
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of issue slots used — the paper's Table 1 metric."""
+        if self.cycles == 0:
+            return 1.0
+        return self.total_issued / (self.p * self.cycles)
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.clock_hz
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name}: {self.cycles} cycles ({self.seconds * 1e3:.3f} ms),"
+            f" util {self.utilization:.1%}"
+        )
+
+
+def combine_reports(name: str, reports: list[SimReport]) -> SimReport:
+    """Aggregate sequential phases into one run-level report.
+
+    Cycles add; issued instructions add; utilization becomes the
+    cycle-weighted whole-run figure (phases must share ``p`` and clock).
+    """
+    if not reports:
+        raise ValueError("need at least one report")
+    p = reports[0].p
+    clock = reports[0].clock_hz
+    if any(r.p != p or r.clock_hz != clock for r in reports):
+        raise ValueError("cannot combine reports from different machines")
+    op_counts: dict = {}
+    for r in reports:
+        for k, v in r.op_counts.items():
+            op_counts[k] = op_counts.get(k, 0) + v
+    return SimReport(
+        name=name,
+        p=p,
+        cycles=sum(r.cycles for r in reports),
+        issued=np.sum([r.issued for r in reports], axis=0),
+        clock_hz=clock,
+        op_counts=op_counts,
+        detail={"phases": [r.name for r in reports]},
+    )

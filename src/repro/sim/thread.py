@@ -1,0 +1,58 @@
+"""Simulated-thread state shared by the cycle engines."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Generator, Iterator
+
+__all__ = ["SimThread"]
+
+# thread lifecycle states
+READY = "ready"
+BLOCKED = "blocked"  # waiting on a completion time (memory, barrier release)
+WAIT_FULL = "wait-full"  # sync load on an Empty word
+WAIT_EMPTY = "wait-empty"  # sync store on a Full word
+WAIT_BARRIER = "wait-barrier"
+DONE = "done"
+
+
+@dataclass
+class SimThread:
+    """One simulated thread: a generator plus its scheduling state.
+
+    The engine resumes :attr:`gen` with the previous op's result value;
+    the generator runs its Python code up to the next ``yield`` and
+    hands back the next op.  Everything else here is bookkeeping the
+    engines use to decide *when* that resume may happen.
+    """
+
+    tid: int
+    gen: Generator
+    proc: int
+    state: str = READY
+    #: Cycle at which a BLOCKED thread becomes ready again.
+    wake_at: int = 0
+    #: Value to send into the generator on next resume (FA/sync-load results).
+    pending_value: object = None
+    #: Remaining instructions of an in-progress ("C", k) burst.
+    compute_remaining: int = 0
+    #: Completion cycles of outstanding memory operations (FIFO).
+    outstanding: deque = field(default_factory=deque)
+    #: Instructions the thread may still issue past its outstanding memory
+    #: ops before it must wait (the MTA's compiler lookahead).
+    lookahead_credit: int = 0
+    #: Total instructions issued on behalf of this thread.
+    issued: int = 0
+
+    def drain_completed(self, now: int) -> None:
+        """Drop outstanding memory ops that have completed by cycle ``now``."""
+        out = self.outstanding
+        while out and out[0] <= now:
+            out.popleft()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimThread(tid={self.tid}, proc={self.proc}, state={self.state},"
+            f" wake_at={self.wake_at}, issued={self.issued})"
+        )

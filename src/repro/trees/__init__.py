@@ -1,0 +1,23 @@
+"""Tree algorithms built on the list/graph substrates.
+
+The paper's introduction cites "tree contraction and expression
+evaluation" (ref. [3], Bader–Sreshta–Weisse-Bernstein) among the
+algorithms that list ranking enables; this subpackage implements them:
+
+* :mod:`repro.trees.expression` — binary expression trees: container,
+  random generator, and the sequential reference evaluator.
+* :mod:`repro.trees.contraction` — parallel tree contraction (the rake
+  operation with linear-function composition), instrumented for the
+  machine models, with leaf numbering done by the Euler-tour/list-
+  ranking machinery of :mod:`repro.lists`.
+"""
+
+from .contraction import ContractionRun, evaluate_by_contraction
+from .expression import ExpressionTree, random_expression_tree
+
+__all__ = [
+    "ExpressionTree",
+    "random_expression_tree",
+    "ContractionRun",
+    "evaluate_by_contraction",
+]

@@ -1,0 +1,157 @@
+"""Binary arithmetic expression trees.
+
+The input of the tree-contraction study: a *full* binary tree (every
+internal node has exactly two children) whose internal nodes apply
+``+`` or ``×`` and whose leaves hold values.  Arithmetic can run in
+two modes:
+
+* **modular** (default for testing): all values and operations are
+  taken mod a prime — exact, overflow-free, and linear functions
+  ``a·x + b (mod p)`` compose exactly, which is what the contraction
+  algorithm needs;
+* **float**: ordinary float64, for demonstration (deep products
+  overflow integers and lose precision in floats; the tests therefore
+  verify against the same-mode sequential reference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = ["ADD_OP", "MUL_OP", "ExpressionTree", "random_expression_tree"]
+
+#: Operator codes stored at internal nodes.
+ADD_OP = 0
+MUL_OP = 1
+
+
+@dataclass(frozen=True)
+class ExpressionTree:
+    """A full binary expression tree in array form.
+
+    Attributes
+    ----------
+    left, right:
+        Child indices per node; −1 at leaves (both or neither).
+    op:
+        ``ADD_OP`` / ``MUL_OP`` per internal node (ignored at leaves).
+    value:
+        Leaf values (ignored at internal nodes).
+    root:
+        Index of the root node.
+    """
+
+    left: np.ndarray
+    right: np.ndarray
+    op: np.ndarray
+    value: np.ndarray
+    root: int
+
+    def __post_init__(self) -> None:
+        n = len(self.left)
+        for name in ("right", "op", "value"):
+            if len(getattr(self, name)) != n:
+                raise WorkloadError(f"array {name!r} length mismatch")
+        if not 0 <= self.root < n:
+            raise WorkloadError("root out of range")
+        leaf = (self.left < 0) & (self.right < 0)
+        internal = (self.left >= 0) & (self.right >= 0)
+        if not np.all(leaf | internal):
+            raise WorkloadError("tree must be full binary (0 or 2 children per node)")
+        # children must be valid and used exactly once
+        kids = np.concatenate([self.left[internal], self.right[internal]])
+        if len(kids) and (kids.min() < 0 or kids.max() >= n):
+            raise WorkloadError("child index out of range")
+        if len(np.unique(kids)) != len(kids):
+            raise WorkloadError("a node is the child of two parents")
+        if self.root in set(kids.tolist()):
+            raise WorkloadError("root must not be anyone's child")
+        if len(kids) != n - 1:
+            raise WorkloadError("tree must span all nodes")
+
+    @property
+    def n(self) -> int:
+        return len(self.left)
+
+    @property
+    def is_leaf(self) -> np.ndarray:
+        return self.left < 0
+
+    @property
+    def n_leaves(self) -> int:
+        return int(self.is_leaf.sum())
+
+    def parents(self) -> tuple[np.ndarray, np.ndarray]:
+        """(parent, is_left_child) arrays; parent of root is −1."""
+        n = self.n
+        parent = np.full(n, -1, dtype=np.int64)
+        is_left = np.zeros(n, dtype=bool)
+        internal = np.flatnonzero(~self.is_leaf)
+        parent[self.left[internal]] = internal
+        is_left[self.left[internal]] = True
+        parent[self.right[internal]] = internal
+        return parent, is_left
+
+    def evaluate_reference(self, modulus: int | None = None) -> float | int:
+        """Sequential evaluation (iterative post-order) — the ground truth."""
+        result = np.zeros(self.n, dtype=np.float64 if modulus is None else np.int64)
+        stack = [(self.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if self.left[node] < 0:
+                result[node] = (
+                    self.value[node] if modulus is None else int(self.value[node]) % modulus
+                )
+                continue
+            if not expanded:
+                stack.append((node, True))
+                stack.append((int(self.left[node]), False))
+                stack.append((int(self.right[node]), False))
+                continue
+            a = result[self.left[node]]
+            b = result[self.right[node]]
+            out = a + b if self.op[node] == ADD_OP else a * b
+            result[node] = out if modulus is None else int(out) % modulus
+        return result[self.root] if modulus is None else int(result[self.root])
+
+
+def random_expression_tree(
+    n_leaves: int,
+    rng: np.random.Generator | int | None = None,
+    *,
+    value_range: tuple[int, int] = (0, 10),
+    add_probability: float = 0.5,
+) -> ExpressionTree:
+    """A random full binary expression tree with ``n_leaves`` leaves.
+
+    Built top-down by repeatedly splitting leaf budgets at uniform
+    points, giving a mix of balanced and skewed shapes.
+    """
+    if n_leaves < 1:
+        raise WorkloadError("need at least one leaf")
+    rng = np.random.default_rng(rng)
+    n = 2 * n_leaves - 1
+    left = np.full(n, -1, dtype=np.int64)
+    right = np.full(n, -1, dtype=np.int64)
+    op = np.zeros(n, dtype=np.int64)
+    value = np.zeros(n, dtype=np.int64)
+
+    next_id = 1
+    stack = [(0, n_leaves)]  # (node, leaf budget)
+    while stack:
+        node, budget = stack.pop()
+        if budget == 1:
+            value[node] = rng.integers(value_range[0], value_range[1] + 1)
+            continue
+        op[node] = ADD_OP if rng.random() < add_probability else MUL_OP
+        split = int(rng.integers(1, budget))
+        l, r = next_id, next_id + 1
+        next_id += 2
+        left[node], right[node] = l, r
+        stack.append((l, split))
+        stack.append((r, budget - split))
+    return ExpressionTree(left=left, right=right, op=op, value=value, root=0)

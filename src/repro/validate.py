@@ -1,0 +1,114 @@
+"""Public invariant checkers for algorithm outputs.
+
+The test suite verifies every algorithm against ground truth; these
+helpers package the same checks for downstream users — validating a
+custom workload's results, or a new algorithm plugged into the
+harness.  Each checker raises :class:`~repro.errors.WorkloadError`
+with a precise message on violation and returns ``None`` on success,
+so they compose with ``pytest.raises`` and plain asserts alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import WorkloadError
+from .graphs.edgelist import EdgeList
+
+__all__ = [
+    "check_ranks",
+    "check_rooted_forest",
+    "check_component_labels",
+    "check_spanning_forest",
+]
+
+
+def check_ranks(nxt: np.ndarray, ranks: np.ndarray) -> None:
+    """Verify that ``ranks`` are the 0-based list ranks of ``nxt``.
+
+    Checks shape, that the ranks form a permutation of ``0..n−1``, and
+    that every successor's rank is exactly one more than its
+    predecessor's.
+    """
+    nxt = np.asarray(nxt)
+    ranks = np.asarray(ranks)
+    n = len(nxt)
+    if ranks.shape != (n,):
+        raise WorkloadError(f"ranks shape {ranks.shape} does not match list length {n}")
+    if not np.array_equal(np.sort(ranks), np.arange(n)):
+        raise WorkloadError("ranks are not a permutation of 0..n-1")
+    has_succ = nxt >= 0
+    if not np.array_equal(ranks[nxt[has_succ]], ranks[has_succ] + 1):
+        bad = np.flatnonzero(ranks[nxt[has_succ]] != ranks[has_succ] + 1)[:5]
+        raise WorkloadError(f"successor ranks are not predecessor+1 (e.g. positions {bad})")
+
+
+def check_rooted_forest(parents: np.ndarray) -> None:
+    """Verify that ``parents`` encodes rooted stars: ``D[D] == D``.
+
+    This is the termination invariant of the Shiloach–Vishkin family —
+    every vertex points directly at its component's root.
+    """
+    d = np.asarray(parents)
+    if len(d) and not np.array_equal(d[d], d):
+        bad = np.flatnonzero(d[d] != d)[:5]
+        raise WorkloadError(f"parent array is not rooted stars (e.g. vertices {bad})")
+
+
+def check_component_labels(g: EdgeList, labels: np.ndarray) -> None:
+    """Verify that ``labels`` is a correct, canonical component labeling.
+
+    Checks that every edge's endpoints share a label, that each label
+    is the smallest vertex id in its class, and — via an independent
+    union-find — that no two distinct components were merged.
+    """
+    labels = np.asarray(labels)
+    if labels.shape != (g.n,):
+        raise WorkloadError(f"labels shape {labels.shape} does not match n={g.n}")
+    if len(g.u) and not np.array_equal(labels[g.u], labels[g.v]):
+        bad = np.flatnonzero(labels[g.u] != labels[g.v])[:5]
+        raise WorkloadError(f"edges cross label boundaries (e.g. edges {bad})")
+    # canonical: label == min vertex of its class
+    mins = np.full(g.n, g.n, dtype=np.int64)
+    np.minimum.at(mins, labels, np.arange(g.n, dtype=np.int64))
+    if len(labels) and not np.array_equal(mins[labels], labels):
+        raise WorkloadError("labels are not canonical minima of their classes")
+    # completeness: the labeling may not merge what the graph does not
+    expected = g.component_count_reference()
+    found = len(np.unique(labels)) if g.n else 0
+    if found != expected:
+        raise WorkloadError(
+            f"labeling has {found} classes but the graph has {expected} components"
+        )
+
+
+def check_spanning_forest(g: EdgeList, edge_ids: np.ndarray) -> None:
+    """Verify that ``edge_ids`` index an acyclic, spanning edge subset.
+
+    The forest must contain exactly ``n − #components`` edges, never
+    close a cycle, and connect exactly the graph's components.
+    """
+    edge_ids = np.asarray(edge_ids)
+    if len(edge_ids) and (edge_ids.min() < 0 or edge_ids.max() >= g.m):
+        raise WorkloadError("forest edge index out of range")
+    if len(np.unique(edge_ids)) != len(edge_ids):
+        raise WorkloadError("forest contains a duplicate edge")
+    parent = list(range(g.n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for e in edge_ids.tolist():
+        a, b = find(int(g.u[e])), find(int(g.v[e]))
+        if a == b:
+            raise WorkloadError(f"forest edge {e} closes a cycle")
+        parent[a] = b
+    expected = g.component_count_reference()
+    roots = len({find(v) for v in range(g.n)})
+    if roots != expected:
+        raise WorkloadError(
+            f"forest leaves {roots} trees but the graph has {expected} components"
+        )

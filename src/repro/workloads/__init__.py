@@ -1,0 +1,23 @@
+"""Declarative experiment configurations for the paper's figures and tables."""
+
+from .specs import (
+    FIG1_SPEC,
+    FIG2_SPEC,
+    TABLE1_SPEC,
+    Fig1Spec,
+    Fig2Spec,
+    Table1Spec,
+    paper_scale_fig1,
+    paper_scale_fig2,
+)
+
+__all__ = [
+    "Fig1Spec",
+    "Fig2Spec",
+    "Table1Spec",
+    "FIG1_SPEC",
+    "FIG2_SPEC",
+    "TABLE1_SPEC",
+    "paper_scale_fig1",
+    "paper_scale_fig2",
+]

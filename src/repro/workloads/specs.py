@@ -1,0 +1,118 @@
+"""Experiment specifications for each of the paper's evaluation artifacts.
+
+The paper's evaluation (Section 5):
+
+* **Fig. 1** — list ranking: running time vs list size on the Cray MTA
+  (left panel) and Sun SMP (right panel), p ∈ {1, 2, 4, 8}, Ordered and
+  Random lists.  The largest list in Table 1 is 20M nodes (M = 2²⁰).
+* **Fig. 2** — connected components: running time on both machines for
+  a random graph with n = 1M vertices and m = 4M…20M edges,
+  p ∈ {1, 2, 4, 8}.
+* **Table 1** — MTA processor utilization for list ranking (Random and
+  Ordered, 20M nodes) and connected components (n = 1M, m = 20M ≈
+  n·log n), p ∈ {1, 4, 8}.
+
+Default specs here are *scaled* so the whole suite runs in minutes on a
+laptop; :func:`paper_scale_fig1` / :func:`paper_scale_fig2` return the
+paper's full sizes for the analytic models (which handle them easily —
+only the cycle engines need small inputs).  Every benchmark consumes
+these specs, so scaling the reproduction up or down is one edit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Fig1Spec",
+    "Fig2Spec",
+    "Table1Spec",
+    "FIG1_SPEC",
+    "FIG2_SPEC",
+    "TABLE1_SPEC",
+    "paper_scale_fig1",
+    "paper_scale_fig2",
+]
+
+M = 1 << 20  # the paper's "M = 2^20"
+
+
+@dataclass(frozen=True)
+class Fig1Spec:
+    """List-ranking sweep (paper Fig. 1)."""
+
+    sizes: tuple[int, ...] = (1 << 16, 1 << 18, 1 << 20)
+    procs: tuple[int, ...] = (1, 2, 4, 8)
+    list_classes: tuple[str, ...] = ("ordered", "random")
+    seed: int = 20050615  # ICPP'05 — fixed for reproducibility
+
+    #: Paper headline shapes checked against the measured series.
+    smp_random_over_ordered: tuple[float, float] = (3.0, 4.0)
+    mta_speedup_over_smp_ordered: float = 10.0
+    mta_speedup_over_smp_random: float = 35.0
+
+
+@dataclass(frozen=True)
+class Fig2Spec:
+    """Connected-components sweep (paper Fig. 2).
+
+    Runs at the paper's full n = 1M: the analytic models handle it
+    easily, and the SMP comparison *needs* it — the n-word parent array
+    must exceed the 4 MB L2 for the cache behaviour the paper measured
+    (a scaled-down n would sit inside the cache and flip the result).
+    """
+
+    n: int = M
+    edge_multipliers: tuple[int, ...] = (4, 8, 12, 16, 20)
+    procs: tuple[int, ...] = (1, 2, 4, 8)
+    seed: int = 20050615
+
+    #: Paper headline shape: MTA is 5–6× faster than the SMP.
+    mta_speedup_over_smp: tuple[float, float] = (5.0, 6.0)
+
+    @property
+    def edge_counts(self) -> tuple[int, ...]:
+        return tuple(k * self.n for k in self.edge_multipliers)
+
+
+@dataclass(frozen=True)
+class Table1Spec:
+    """MTA utilization measurements (paper Table 1).
+
+    ``nodes_per_proc`` sets the cycle-engine list size (n = that × p);
+    the engine's absolute utilization converges to the paper's numbers
+    as this grows — the benchmark reports the trend alongside the
+    analytic-model value at full paper scale.
+    """
+
+    procs: tuple[int, ...] = (1, 4, 8)
+    nodes_per_proc: int = 20000
+    streams_per_proc: int = 100
+    nodes_per_walk: int = 10
+    cc_n_per_proc: int = 1500
+    cc_edge_multiplier: int = 10
+    seed: int = 20050615
+
+    #: The paper's measured utilizations, for side-by-side reporting.
+    paper_list_random: dict = field(
+        default_factory=lambda: {1: 0.98, 4: 0.90, 8: 0.82}
+    )
+    paper_list_ordered: dict = field(
+        default_factory=lambda: {1: 0.97, 4: 0.85, 8: 0.80}
+    )
+    paper_cc: dict = field(default_factory=lambda: {1: 0.99, 4: 0.93, 8: 0.91})
+
+
+FIG1_SPEC = Fig1Spec()
+FIG2_SPEC = Fig2Spec()
+TABLE1_SPEC = Table1Spec()
+
+
+def paper_scale_fig1() -> Fig1Spec:
+    """Fig. 1 at the paper's sizes (analytic models only)."""
+    return Fig1Spec(sizes=(M, 4 * M, 20 * M))
+
+
+def paper_scale_fig2() -> Fig2Spec:
+    """Fig. 2 at the paper's sizes (analytic models only)."""
+    return Fig2Spec(n=M)

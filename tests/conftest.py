@@ -1,0 +1,27 @@
+"""Shared fixtures and helpers for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+def nx_cc_labels(g):
+    """Canonical component labels via networkx — the external reference."""
+    import networkx as nx
+
+    G = nx.Graph()
+    G.add_nodes_from(range(g.n))
+    G.add_edges_from(zip(g.u.tolist(), g.v.tolist()))
+    labels = np.empty(g.n, dtype=np.int64)
+    for comp in nx.connected_components(G):
+        root = min(comp)
+        for v in comp:
+            labels[v] = root
+    return labels

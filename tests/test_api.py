@@ -1,0 +1,83 @@
+"""Public API surface and error-hierarchy tests."""
+
+import inspect
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    DeadlockError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ConfigurationError, WorkloadError, SimulationError, DeadlockError):
+            assert issubclass(exc, ReproError)
+
+    def test_deadlock_is_simulation_error(self):
+        assert issubclass(DeadlockError, SimulationError)
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            repro.SMPMachine(p=0)
+
+
+class TestPublicAPI:
+    def test_top_level_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports_exist(self):
+        for pkg in (repro.core, repro.arch, repro.sim, repro.lists, repro.graphs,
+                    repro.trees, repro.workloads):
+            for name in pkg.__all__:
+                assert hasattr(pkg, name), f"{pkg.__name__}.{name}"
+
+    def test_public_callables_documented(self):
+        """Every public function/class in every subpackage has a docstring."""
+        undocumented = []
+        for pkg in (repro.core, repro.arch, repro.sim, repro.lists, repro.graphs,
+                    repro.trees):
+            for name in pkg.__all__:
+                obj = getattr(pkg, name)
+                if inspect.isfunction(obj) or inspect.isclass(obj):
+                    if not (obj.__doc__ or "").strip():
+                        undocumented.append(f"{pkg.__name__}.{name}")
+        assert not undocumented, undocumented
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_machine_configs_are_frozen(self):
+        with pytest.raises(Exception):
+            repro.SUN_E4500.clock_hz = 1.0
+        with pytest.raises(Exception):
+            repro.CRAY_MTA2.clock_hz = 1.0
+
+    def test_quickstart_from_docstring_runs(self):
+        nxt = repro.lists.random_list(1 << 12, rng=0)
+        run = repro.lists.rank_helman_jaja(nxt, p=8)
+        smp = repro.core.SMPMachine(p=8)
+        assert smp.run(run.steps).seconds > 0
+
+
+class TestWorkloadSpecs:
+    def test_default_specs_consistent(self):
+        from repro.workloads import FIG1_SPEC, FIG2_SPEC, TABLE1_SPEC
+
+        assert FIG1_SPEC.procs == (1, 2, 4, 8)
+        assert FIG2_SPEC.edge_counts == tuple(k * FIG2_SPEC.n for k in (4, 8, 12, 16, 20))
+        assert TABLE1_SPEC.procs == (1, 4, 8)
+        assert set(TABLE1_SPEC.paper_cc) == {1, 4, 8}
+
+    def test_paper_scale_builders(self):
+        from repro.workloads import paper_scale_fig1, paper_scale_fig2
+
+        M = 1 << 20
+        assert max(paper_scale_fig1().sizes) == 20 * M
+        assert paper_scale_fig2().n == M

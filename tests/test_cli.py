@@ -1,0 +1,80 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["info"],
+            ["rank", "--n", "100", "--p", "2"],
+            ["cc", "--n", "64", "--edge-factor", "3"],
+            ["fig1", "--max-n", "4096"],
+            ["fig2", "--n", "1024"],
+            ["table1", "--nodes-per-proc", "500"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Sun-E4500" in out and "Cray-MTA2" in out
+
+    def test_rank_both_machines(self, capsys):
+        assert main(["rank", "--n", "4096", "--p", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "SMP Helman-JaJa" in out
+        assert "MTA Alg.1 walks" in out
+
+    def test_rank_single_machine(self, capsys):
+        assert main(["rank", "--n", "2048", "--machine", "mta"]) == 0
+        out = capsys.readouterr().out
+        assert "MTA" in out and "Helman-JaJa" not in out
+
+    def test_rank_ordered(self, capsys):
+        assert main(["rank", "--n", "2048", "--list", "ordered"]) == 0
+        assert "ordered list" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("graph", ["random", "rmat", "mesh"])
+    def test_cc_graph_families(self, graph, capsys):
+        assert main(["cc", "--n", "1024", "--edge-factor", "4", "--graph", graph]) == 0
+        out = capsys.readouterr().out
+        assert "component" in out
+        assert "Shiloach-Vishkin" in out
+
+    def test_fig1_plots(self, capsys):
+        assert main(["fig1", "--max-n", "8192"]) == 0
+        out = capsys.readouterr().out
+        assert "log-log" in out
+        assert "smp-rand" in out
+
+    def test_fig2_table(self, capsys):
+        assert main(["fig2", "--n", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--nodes-per-proc", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "utilization" in out
+
+    def test_workload_error_exit_code(self, capsys):
+        # p = 0 is a configuration error surfaced as exit code 2
+        assert main(["rank", "--n", "16", "--p", "0"]) == 2
+        assert "error" in capsys.readouterr().err

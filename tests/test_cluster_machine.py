@@ -1,0 +1,101 @@
+"""Tests for the cluster machine model (repro.core.cluster_machine)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BEOWULF_2005, ClusterConfig, ClusterMachine, SMPMachine
+from repro.core.cost import StepCost
+from repro.errors import ConfigurationError
+
+
+def step(p=1, **kw):
+    kw.setdefault("name", "s")
+    return StepCost(p=p, **kw)
+
+
+class TestClusterConfig:
+    def test_remote_access_is_microseconds(self):
+        cyc = BEOWULF_2005.remote_access_cycles
+        us = cyc / BEOWULF_2005.clock_hz * 1e6
+        assert 5.0 < us < 20.0  # sw overhead + RTT
+
+    def test_batching_amortizes_but_bandwidth_floors(self):
+        naive = ClusterConfig(batching=1).remote_access_cycles
+        batched = ClusterConfig(batching=100).remote_access_cycles
+        extreme = ClusterConfig(batching=1e9).remote_access_cycles
+        assert batched < naive / 10
+        assert extreme > 0  # the wire cost never vanishes
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(batching=0.5)
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(bandwidth_mb_s=0)
+
+
+class TestClusterMachine:
+    def test_single_node_is_all_local(self):
+        m = ClusterMachine(p=1)
+        st = m.step_time(step(noncontig=1000.0))
+        assert st.detail["remote_accesses"] == 0.0
+
+    def test_remote_fraction_grows_with_p(self):
+        s8 = ClusterMachine(p=8).step_time(step(p=8, noncontig=800.0))
+        s2 = ClusterMachine(p=2).step_time(step(p=2, noncontig=800.0))
+        assert s8.detail["remote_accesses"] > s2.detail["remote_accesses"]
+
+    def test_scattered_access_is_catastrophic(self):
+        """One remote get costs ~4 orders of magnitude more than a local
+        cache miss — the cluster's defining property."""
+        m = ClusterMachine(p=8)
+        remote = m.config.remote_access_cycles
+        assert remote > 100 * m.config.local_noncontig_cycles
+
+    def test_p_bounds_and_with_p(self):
+        with pytest.raises(ConfigurationError):
+            ClusterMachine(p=0)
+        assert ClusterMachine(p=2).with_p(16).p == 16
+
+    def test_step_p_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ClusterMachine(p=2).step_time(step(p=4, ops=1.0))
+
+
+class TestIntroClaim:
+    """The paper's framing: 'few parallel graph algorithms outperform
+    their best sequential implementation on clusters.'"""
+
+    def test_fine_grained_parallel_loses_to_one_cpu(self):
+        from repro.lists import random_list, rank_helman_jaja, rank_sequential
+
+        nxt = random_list(1 << 16, 3)
+        seq = SMPMachine(p=1).run(rank_sequential(nxt).steps).seconds
+        par = ClusterMachine(p=8).run(rank_helman_jaja(nxt, p=8, rng=0).steps).seconds
+        assert par > 3 * seq
+
+    def test_aggregation_helps_but_rarely_enough(self):
+        from repro.lists import random_list, rank_helman_jaja
+
+        nxt = random_list(1 << 16, 3)
+        run = rank_helman_jaja(nxt, p=8, rng=0)
+        naive = ClusterMachine(p=8).run(run.steps).seconds
+        batched = ClusterMachine(
+            p=8, config=ClusterConfig(batching=256)
+        ).run(run.steps).seconds
+        assert batched < naive / 5  # aggregation is a big lever...
+        from repro.lists import rank_sequential
+
+        seq = SMPMachine(p=1).run(rank_sequential(nxt).steps).seconds
+        assert batched > 0.3 * seq  # ...but still no clear win at this scale
+
+    def test_shared_memory_wins_the_three_way_comparison(self):
+        from repro.core import MTAMachine
+        from repro.graphs import random_graph, sv_mta, sv_smp
+
+        g = random_graph(1 << 15, 8 << 15, rng=2)
+        smp_run = sv_smp(g, p=8)
+        mta_run = sv_mta(g, p=8)
+        t_cluster = ClusterMachine(p=8).run(smp_run.steps).seconds
+        t_smp = SMPMachine(p=8).run(smp_run.steps).seconds
+        t_mta = MTAMachine(p=8).run(mta_run.steps).seconds
+        assert t_mta < t_smp < t_cluster

@@ -1,0 +1,76 @@
+"""Tests for recursive list compaction (repro.lists.compaction)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lists.compaction import compaction_prefix, rank_by_compaction
+from repro.lists.generate import ordered_list, random_list, true_ranks
+from repro.lists.prefix import ADD, MAX
+from repro.lists.sequential import prefix_sequential
+from repro.lists.wyllie import wyllie_prefix
+
+
+class TestCompactionCorrectness:
+    @pytest.mark.parametrize("n", [1, 5, 255, 256, 257, 5000])
+    def test_ranks_match_truth(self, n):
+        nxt = random_list(n, 6)
+        run = rank_by_compaction(nxt, p=2)
+        assert np.array_equal(run.ranks, true_ranks(nxt))
+
+    def test_ordered_lists(self):
+        nxt = ordered_list(3000)
+        run = rank_by_compaction(nxt, p=4)
+        assert np.array_equal(run.ranks, true_ranks(nxt))
+
+    def test_deep_recursion(self):
+        # fanout 4 with a tiny threshold forces several compaction levels
+        nxt = random_list(4096, 8)
+        run = rank_by_compaction(nxt, p=2, fanout=4, threshold=8)
+        assert np.array_equal(run.ranks, true_ranks(nxt))
+        assert run.stats["levels"] >= 3
+
+    def test_generic_operator(self, rng):
+        nxt = random_list(1000, rng)
+        values = rng.integers(0, 10_000, 1000)
+        run = compaction_prefix(nxt, p=2, values=values, op=MAX)
+        assert np.array_equal(run.prefix, prefix_sequential(nxt, values, MAX))
+
+    def test_add_values(self, rng):
+        nxt = random_list(900, rng)
+        values = rng.integers(-5, 5, 900)
+        run = compaction_prefix(nxt, p=2, values=values, op=ADD)
+        assert np.array_equal(run.prefix, prefix_sequential(nxt, values, ADD))
+
+
+class TestCompactionEfficiency:
+    def test_less_total_work_than_wyllie(self):
+        """The point of the paper's Section 6 technique: compaction makes
+        the non-work-efficient Wyllie part vanish."""
+        n = 8192
+        nxt = random_list(n, 2)
+        comp = rank_by_compaction(nxt, p=1, fanout=10, threshold=256)
+        wy = wyllie_prefix(nxt, p=1)
+        assert comp.triplet.t_m < 0.25 * wy.triplet.t_m
+
+    def test_base_case_small(self):
+        run = rank_by_compaction(random_list(10_000, 3), p=1, fanout=10, threshold=256)
+        assert run.stats["base_n"] <= 256
+
+
+class TestCompactionErrors:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rank_by_compaction(np.empty(0, dtype=np.int64))
+
+    def test_bad_fanout(self):
+        with pytest.raises(ConfigurationError):
+            rank_by_compaction(ordered_list(10), fanout=1)
+
+    def test_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            rank_by_compaction(ordered_list(10), threshold=0)
+
+    def test_values_shape_checked(self):
+        with pytest.raises(ConfigurationError):
+            compaction_prefix(ordered_list(10), values=np.ones(3))

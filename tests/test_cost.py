@@ -1,0 +1,184 @@
+"""Tests for the ⟨T_M; T_C; B⟩ cost model (repro.core.cost)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import CostTriplet, StepCost, merge_steps, summarize
+from repro.errors import ConfigurationError
+
+
+class TestStepCostConstruction:
+    def test_scalar_counts_divide_evenly(self):
+        s = StepCost(name="x", p=4, contig=100.0, noncontig=8.0, ops=40.0)
+        assert np.allclose(s.contig, 25.0)
+        assert np.allclose(s.noncontig, 2.0)
+        assert np.allclose(s.ops, 10.0)
+
+    def test_array_counts_kept_verbatim(self):
+        s = StepCost(name="x", p=2, noncontig=np.array([3.0, 7.0]))
+        assert s.noncontig.tolist() == [3.0, 7.0]
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StepCost(name="x", p=2, contig=np.array([1.0, 2.0, 3.0]))
+
+    def test_zero_processors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StepCost(name="x", p=0)
+
+    def test_negative_barriers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StepCost(name="x", p=1, barriers=-1)
+
+    def test_traces_must_match_processor_count(self):
+        with pytest.raises(ConfigurationError):
+            StepCost(name="x", p=2, traces=[np.array([1, 2])])
+
+    def test_write_fields_default_zero(self):
+        s = StepCost(name="x", p=2)
+        assert np.allclose(s.contig_writes, 0.0)
+        assert np.allclose(s.noncontig_writes, 0.0)
+
+
+class TestStepCostDerived:
+    def test_total_accesses_sums_reads_and_writes(self):
+        s = StepCost(
+            name="x", p=2, contig=10.0, noncontig=6.0, contig_writes=4.0, noncontig_writes=2.0
+        )
+        assert s.total_accesses == pytest.approx(22.0)
+
+    def test_max_noncontig_includes_writes(self):
+        s = StepCost(
+            name="x",
+            p=2,
+            noncontig=np.array([5.0, 1.0]),
+            noncontig_writes=np.array([0.0, 10.0]),
+        )
+        assert s.max_noncontig == pytest.approx(11.0)
+
+    def test_effective_parallelism_explicit(self):
+        s = StepCost(name="x", p=1, parallelism=64)
+        assert s.effective_parallelism == 64.0
+
+    def test_effective_parallelism_defaults_to_work(self):
+        s = StepCost(name="x", p=1, contig=10.0, ops=5.0)
+        assert s.effective_parallelism == pytest.approx(15.0)
+
+    def test_effective_parallelism_at_least_one(self):
+        s = StepCost(name="x", p=1)
+        assert s.effective_parallelism >= 1.0
+
+    def test_scaled_multiplies_work_not_barriers(self):
+        s = StepCost(name="x", p=2, contig=10.0, noncontig=4.0, ops=6.0, barriers=3,
+                     hotspot_ops=8)
+        t = s.scaled(2.0)
+        assert np.allclose(t.contig, s.contig * 2)
+        assert np.allclose(t.noncontig, s.noncontig * 2)
+        assert t.barriers == 3
+        assert t.hotspot_ops == 16
+
+    def test_scaled_drops_traces(self):
+        s = StepCost(name="x", p=1, traces=[np.array([1, 2, 3])])
+        assert s.scaled(2.0).traces is None
+
+
+class TestSummarize:
+    def test_triplet_accumulates_max_per_step(self):
+        steps = [
+            StepCost(name="a", p=2, noncontig=np.array([4.0, 6.0]),
+                     ops=np.array([10.0, 2.0]), barriers=1),
+            StepCost(name="b", p=2, noncontig=np.array([1.0, 1.0]),
+                     ops=np.array([3.0, 5.0]), barriers=2),
+        ]
+        t = summarize(steps)
+        assert t.t_m == pytest.approx(7.0)  # 6 + 1
+        assert t.t_c == pytest.approx(15.0)  # 10 + 5
+        assert t.b == 3
+
+    def test_empty_is_zero(self):
+        t = summarize([])
+        assert (t.t_m, t.t_c, t.b) == (0.0, 0.0, 0)
+
+    def test_triplet_addition(self):
+        a = CostTriplet(1.0, 2.0, 3)
+        b = CostTriplet(10.0, 20.0, 30)
+        c = a + b
+        assert (c.t_m, c.t_c, c.b) == (11.0, 22.0, 33)
+
+
+class TestMergeSteps:
+    def test_work_sums_and_barriers_sum(self):
+        steps = [
+            StepCost(name="a", p=2, contig=4.0, noncontig=2.0, ops=6.0, barriers=1),
+            StepCost(name="b", p=2, contig=6.0, noncontig=8.0, ops=4.0, barriers=2),
+        ]
+        m = merge_steps("ab", steps)
+        assert m.name == "ab"
+        assert float(m.contig.sum()) == pytest.approx(10.0)
+        assert float(m.noncontig.sum()) == pytest.approx(10.0)
+        assert m.barriers == 3
+
+    def test_traces_concatenated_when_all_present(self):
+        steps = [
+            StepCost(name="a", p=1, traces=[np.array([1, 2])]),
+            StepCost(name="b", p=1, traces=[np.array([3])]),
+        ]
+        m = merge_steps("ab", steps)
+        assert m.traces[0].tolist() == [1, 2, 3]
+
+    def test_traces_dropped_when_any_missing(self):
+        steps = [
+            StepCost(name="a", p=1, traces=[np.array([1])]),
+            StepCost(name="b", p=1),
+        ]
+        assert merge_steps("ab", steps).traces is None
+
+    def test_mixed_p_rejected(self):
+        steps = [StepCost(name="a", p=1), StepCost(name="b", p=2)]
+        with pytest.raises(ConfigurationError):
+            merge_steps("ab", steps)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            merge_steps("x", [])
+
+
+class TestRedistributed:
+    def test_totals_preserved(self):
+        s = StepCost(
+            name="x", p=4, contig=100.0, noncontig=60.0, ops=40.0,
+            contig_writes=20.0, noncontig_writes=12.0, barriers=2,
+            parallelism=500, working_set=1000, hotspot_ops=7,
+        )
+        r = s.redistributed(8)
+        assert r.p == 8
+        assert float(r.contig.sum()) == pytest.approx(100.0)
+        assert float(r.noncontig.sum()) == pytest.approx(60.0)
+        assert float(r.noncontig_writes.sum()) == pytest.approx(12.0)
+        assert r.barriers == 2
+        assert r.parallelism == 500
+        assert r.working_set == 1000
+        assert r.hotspot_ops == 7
+
+    def test_even_split(self):
+        s = StepCost(name="x", p=1, noncontig=80.0)
+        r = s.redistributed(4)
+        assert np.allclose(r.noncontig, 20.0)
+
+    def test_traces_dropped(self):
+        s = StepCost(name="x", p=1, traces=[np.array([1, 2])])
+        assert s.redistributed(2).traces is None
+
+    def test_machine_timing_agrees_for_scalar_steps(self):
+        """For evenly-split steps, rerunning an algorithm at p and
+        redistributing a p=1 run must give identical model times."""
+        from repro.core.smp_machine import SMPMachine
+
+        base = StepCost(name="x", p=1, contig=1000.0, noncontig=400.0,
+                        ops=600.0, barriers=1, parallelism=100, working_set=2000)
+        direct = StepCost(name="x", p=4, contig=1000.0, noncontig=400.0,
+                          ops=600.0, barriers=1, parallelism=100, working_set=2000)
+        m = SMPMachine(p=4)
+        assert m.step_time(base.redistributed(4)).cycles == pytest.approx(
+            m.step_time(direct).cycles
+        )

@@ -1,0 +1,97 @@
+"""Tests for the edge-list container (repro.graphs.edgelist)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graphs.edgelist import EdgeList
+
+
+def el(n, pairs):
+    u = np.array([a for a, _ in pairs], dtype=np.int64)
+    v = np.array([b for _, b in pairs], dtype=np.int64)
+    return EdgeList(n, u, v)
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = el(4, [(0, 1), (2, 3)])
+        assert g.m == 2
+        assert len(g) == 2
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(WorkloadError):
+            el(2, [(0, 2)])
+        with pytest.raises(WorkloadError):
+            el(2, [(-1, 0)])
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(WorkloadError):
+            EdgeList(3, np.array([0, 1]), np.array([1]))
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(WorkloadError):
+            EdgeList(-1, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+
+    def test_empty_graph_ok(self):
+        g = EdgeList(5, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert g.m == 0
+
+
+class TestCanonical:
+    def test_removes_self_loops(self):
+        g = el(3, [(0, 0), (0, 1)]).canonical()
+        assert g.m == 1
+
+    def test_removes_duplicates_both_orientations(self):
+        g = el(3, [(0, 1), (1, 0), (0, 1)]).canonical()
+        assert g.m == 1
+
+    def test_orders_endpoints(self):
+        g = el(3, [(2, 1)]).canonical()
+        assert (g.u <= g.v).all()
+
+
+class TestTransforms:
+    def test_symmetrized_doubles(self):
+        g = el(3, [(0, 1), (1, 2)]).symmetrized()
+        assert g.m == 4
+        pairs = set(zip(g.u.tolist(), g.v.tolist()))
+        assert (1, 0) in pairs and (2, 1) in pairs
+
+    def test_relabeled(self):
+        g = el(3, [(0, 1)])
+        perm = np.array([2, 0, 1])
+        h = g.relabeled(perm)
+        assert (h.u[0], h.v[0]) == (2, 0)
+
+    def test_relabeled_requires_permutation(self):
+        g = el(3, [(0, 1)])
+        with pytest.raises(WorkloadError):
+            g.relabeled(np.array([0, 0, 1]))
+        with pytest.raises(WorkloadError):
+            g.relabeled(np.array([0, 1]))
+
+    def test_shuffled_preserves_edge_set(self):
+        g = el(5, [(0, 1), (1, 2), (3, 4)])
+        h = g.shuffled(rng=0)
+        assert set(map(tuple, np.sort(np.stack([h.u, h.v], 1), axis=1).tolist())) == set(
+            map(tuple, np.sort(np.stack([g.u, g.v], 1), axis=1).tolist())
+        )
+
+
+class TestDerived:
+    def test_degrees(self):
+        g = el(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degrees().tolist() == [3, 1, 1, 1]
+
+    def test_adjacency_csr_roundtrip(self):
+        g = el(4, [(0, 1), (1, 2), (0, 3)])
+        indptr, indices = g.adjacency_csr()
+        assert indptr[-1] == 2 * g.m
+        neigh0 = sorted(indices[indptr[0] : indptr[1]].tolist())
+        assert neigh0 == [1, 3]
+
+    def test_component_count_reference(self):
+        g = el(6, [(0, 1), (1, 2), (3, 4)])
+        assert g.component_count_reference() == 3  # {0,1,2}, {3,4}, {5}

@@ -1,0 +1,215 @@
+"""Tests for the Euler-tour technique (repro.lists.euler)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.graphs.edgelist import EdgeList
+from repro.lists.euler import euler_tour_successors, root_tree
+from repro.lists.generate import TAIL, validate_list
+
+
+def chain_tree(n):
+    idx = np.arange(n - 1, dtype=np.int64)
+    return EdgeList(n, idx, idx + 1)
+
+
+def star_tree(n):
+    leaves = np.arange(1, n, dtype=np.int64)
+    return EdgeList(n, np.zeros(n - 1, dtype=np.int64), leaves)
+
+
+def random_tree(n, seed):
+    """Random tree via a random parent function (Prüfer-ish)."""
+    rng = np.random.default_rng(seed)
+    parent = np.array(
+        [rng.integers(0, max(v, 1)) for v in range(n)], dtype=np.int64
+    )
+    u = np.arange(1, n, dtype=np.int64)
+    return EdgeList(n, parent[1:], u)
+
+
+def reference_rooting(tree: EdgeList, root: int):
+    """Parents/depths/sizes by plain BFS + bottom-up accumulation."""
+    indptr, indices = tree.adjacency_csr()
+    n = tree.n
+    parent = np.full(n, -1, dtype=np.int64)
+    depth = np.full(n, -1, dtype=np.int64)
+    order = []
+    depth[root] = 0
+    frontier = [root]
+    while frontier:
+        order.extend(frontier)
+        nxt = []
+        for f in frontier:
+            for w in indices[indptr[f] : indptr[f + 1]]:
+                if depth[w] < 0:
+                    depth[w] = depth[f] + 1
+                    parent[w] = f
+                    nxt.append(int(w))
+        frontier = nxt
+    size = np.ones(n, dtype=np.int64)
+    for v in reversed(order):
+        if parent[v] >= 0:
+            size[parent[v]] += size[v]
+    return parent, depth, size
+
+
+TREES = {
+    "chain": chain_tree(50),
+    "star": star_tree(40),
+    "random60": random_tree(60, 1),
+    "random200": random_tree(200, 2),
+}
+
+
+class TestEulerTour:
+    @pytest.mark.parametrize("name", TREES)
+    def test_tour_is_a_valid_list_over_all_arcs(self, name):
+        tree = TREES[name]
+        tour = euler_tour_successors(tree, root=0)
+        assert tour.n_arcs == 2 * tree.m
+        validate_list(tour.succ)
+
+    def test_single_vertex(self):
+        tour = euler_tour_successors(EdgeList(1, np.empty(0, np.int64), np.empty(0, np.int64)))
+        assert tour.n_arcs == 0
+
+    def test_single_edge(self):
+        tour = euler_tour_successors(EdgeList(2, np.array([0]), np.array([1])), root=0)
+        assert tour.n_arcs == 2
+        assert (tour.succ == TAIL).sum() == 1
+
+    def test_reverse_arc_involution(self):
+        tour = euler_tour_successors(TREES["random60"], root=0)
+        arcs = np.arange(tour.n_arcs)
+        assert np.array_equal(tour.reverse_arc(tour.reverse_arc(arcs)), arcs)
+
+    def test_wrong_edge_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            euler_tour_successors(EdgeList(3, np.array([0]), np.array([1])))
+
+    def test_cycle_plus_isolated_rejected(self):
+        # 3 edges on 4 vertices but a triangle + isolated vertex
+        bad = EdgeList(4, np.array([0, 1, 2]), np.array([1, 2, 0]))
+        with pytest.raises(WorkloadError):
+            euler_tour_successors(bad, root=0)
+
+    def test_bad_root_rejected(self):
+        with pytest.raises(WorkloadError):
+            euler_tour_successors(chain_tree(5), root=9)
+
+
+class TestRootTree:
+    @pytest.mark.parametrize("name", TREES)
+    @pytest.mark.parametrize("method", ["mta", "smp"])
+    def test_matches_bfs_reference(self, name, method):
+        tree = TREES[name]
+        parent, depth, size = reference_rooting(tree, 0)
+        rt = root_tree(tree, root=0, p=4, method=method, rng=0)
+        assert np.array_equal(rt.parent, parent)
+        assert np.array_equal(rt.depth, depth)
+        assert np.array_equal(rt.subtree_size, size)
+
+    @pytest.mark.parametrize("root", [0, 3, 19])
+    def test_any_root(self, root):
+        tree = random_tree(20, 5)
+        parent, depth, size = reference_rooting(tree, root)
+        rt = root_tree(tree, root=root, p=2)
+        assert np.array_equal(rt.parent, parent)
+        assert np.array_equal(rt.depth, depth)
+        assert np.array_equal(rt.subtree_size, size)
+
+    def test_costs_attached(self):
+        rt = root_tree(TREES["random200"], p=4)
+        assert rt.steps[0].name == "euler.build-tour"
+        assert any(s.name.startswith("euler.rank") for s in rt.steps)
+        assert any(s.name.startswith("euler.depth") for s in rt.steps)
+        # total barrier count is positive and finite
+        assert sum(s.barriers for s in rt.steps) > 0
+
+    def test_subtree_sizes_sum_along_root_path(self):
+        rt = root_tree(TREES["chain"], root=0, p=1)
+        # chain rooted at one end: size[v] = n - v
+        n = TREES["chain"].n
+        assert rt.subtree_size.tolist() == [n - v for v in range(n)]
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(WorkloadError):
+            root_tree(chain_tree(4), method="gpu")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=80),
+    seed=st.integers(min_value=0, max_value=2**31),
+    root_pick=st.integers(min_value=0, max_value=10**6),
+)
+def test_property_rooting_matches_reference(n, seed, root_pick):
+    tree = random_tree(n, seed)
+    root = root_pick % n
+    parent, depth, size = reference_rooting(tree, root)
+    rt = root_tree(tree, root=root, p=3)
+    assert np.array_equal(rt.parent, parent)
+    assert np.array_equal(rt.depth, depth)
+    assert np.array_equal(rt.subtree_size, size)
+    # global invariants
+    assert rt.subtree_size[root] == n
+    assert int(rt.depth.max()) < n
+    assert (rt.parent == -1).sum() == 1
+
+
+class TestTourTimestamps:
+    def test_preorder_root_first_parents_before_children(self):
+        tree = random_tree(80, 9)
+        rt = root_tree(tree, root=0, p=2)
+        order = rt.preorder()
+        assert order[0] == 0
+        position = np.empty(80, dtype=np.int64)
+        position[order] = np.arange(80)
+        for v in range(80):
+            if rt.parent[v] >= 0:
+                assert position[rt.parent[v]] < position[v]
+
+    def test_is_ancestor_matches_parent_chains(self):
+        tree = random_tree(60, 4)
+        rt = root_tree(tree, root=0, p=1)
+
+        def chain_ancestor(a, b):
+            while b != -1:
+                if b == a:
+                    return True
+                b = int(rt.parent[b])
+            return False
+
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            a, b = int(rng.integers(0, 60)), int(rng.integers(0, 60))
+            assert bool(rt.is_ancestor(a, b)) == chain_ancestor(a, b), (a, b)
+
+    def test_is_ancestor_vectorized(self):
+        tree = chain_tree(10)
+        rt = root_tree(tree, root=0)
+        a = np.zeros(10, dtype=np.int64)
+        b = np.arange(10)
+        assert rt.is_ancestor(a, b).all()  # root ancestors everyone
+        assert rt.is_ancestor(b, a)[1:].sum() == 0  # nobody ancestors the root
+
+    def test_entry_exit_bracket_subtree(self):
+        tree = random_tree(40, 7)
+        rt = root_tree(tree, root=0)
+        for v in range(1, 40):
+            inside = np.flatnonzero(rt.is_ancestor(v, np.arange(40)))
+            assert len(inside) == rt.subtree_size[v]
+
+
+class TestSingleVertexTimestamps:
+    def test_single_vertex_tree_timestamps(self):
+        t1 = EdgeList(1, np.empty(0, np.int64), np.empty(0, np.int64))
+        rt = root_tree(t1)
+        assert rt.entry.tolist() == [-1]
+        assert rt.exit.tolist() == [0]
+        assert rt.preorder().tolist() == [0]
+        assert bool(rt.is_ancestor(0, 0))

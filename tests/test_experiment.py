@@ -1,0 +1,72 @@
+"""Tests for the experiment harness (repro.core.experiment)."""
+
+import pytest
+
+from repro.core.experiment import ResultTable, Row
+from repro.errors import ConfigurationError
+
+
+class TestRow:
+    def test_get_prefers_params(self):
+        r = Row("e", {"n": 10}, {"seconds": 1.5})
+        assert r.get("n") == 10
+        assert r.get("seconds") == 1.5
+
+    def test_get_missing_raises(self):
+        r = Row("e", {}, {})
+        with pytest.raises(KeyError):
+            r.get("nope")
+
+
+class TestResultTable:
+    def make(self):
+        t = ResultTable("fig1")
+        for n in (100, 200):
+            for p in (1, 2):
+                t.add(n=n, p=p, machine="mta", seconds=n / (50.0 * p))
+        return t
+
+    def test_add_splits_params_and_values(self):
+        t = ResultTable("x")
+        row = t.add(n=5, p=2, seconds=0.1, utilization=0.9, smp_seconds=0.5)
+        assert row.params == {"n": 5, "p": 2}
+        assert set(row.values) == {"seconds", "utilization", "smp_seconds"}
+
+    def test_where_filters(self):
+        t = self.make()
+        sub = t.where(p=2)
+        assert len(sub) == 2
+        assert all(r.params["p"] == 2 for r in sub.rows)
+
+    def test_where_chains(self):
+        t = self.make()
+        assert len(t.where(p=1).where(n=100)) == 1
+
+    def test_series_groups_and_sorts(self):
+        t = self.make()
+        series = t.series(x="n", y="seconds", group_by="p")
+        assert set(series) == {1, 2}
+        xs, ys = series[1]
+        assert xs == [100, 200]
+        assert ys == [2.0, 4.0]
+
+    def test_column(self):
+        t = self.make()
+        assert t.column("n") == [100, 100, 200, 200]
+
+    def test_to_text_renders_all_rows(self):
+        t = self.make()
+        text = t.to_text(["n", "p", "seconds"])
+        lines = text.splitlines()
+        assert len(lines) == 2 + len(t)
+        assert "seconds" in lines[0]
+
+    def test_to_text_missing_column_blank(self):
+        t = ResultTable("x")
+        t.add(n=1, seconds=0.5)
+        text = t.to_text(["n", "ghost"])
+        assert "ghost" in text
+
+    def test_to_text_requires_columns(self):
+        with pytest.raises(ConfigurationError):
+            ResultTable("x").to_text([])

@@ -1,0 +1,113 @@
+"""Tests for graph workload generators (repro.graphs.generate)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graphs.generate import (
+    best_case_labeling,
+    chain_graph,
+    cliques_graph,
+    forest_of_chains,
+    mesh2d,
+    mesh3d,
+    random_graph,
+    star_graph,
+    worst_case_labeling,
+)
+
+
+class TestRandomGraph:
+    def test_exact_unique_edge_count(self):
+        g = random_graph(100, 500, rng=0)
+        assert g.m == 500
+        assert g.canonical().m == 500  # already unique and loop-free
+
+    def test_deterministic(self):
+        a = random_graph(50, 100, rng=3)
+        b = random_graph(50, 100, rng=3)
+        assert np.array_equal(a.u, b.u) and np.array_equal(a.v, b.v)
+
+    def test_dense_request(self):
+        g = random_graph(10, 45, rng=0)  # complete graph
+        assert g.m == 45
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(WorkloadError):
+            random_graph(10, 46)
+
+    def test_zero_edges(self):
+        assert random_graph(10, 0, rng=0).m == 0
+
+
+class TestMeshes:
+    def test_mesh2d_edge_count(self):
+        g = mesh2d(4, 5)
+        assert g.n == 20
+        assert g.m == 4 * 4 + 3 * 5  # horiz + vert
+
+    def test_mesh3d_edge_count(self):
+        g = mesh3d(3, 3, 3)
+        assert g.n == 27
+        assert g.m == 3 * (2 * 3 * 3)
+
+    def test_mesh_connected(self):
+        assert mesh2d(6, 7).component_count_reference() == 1
+        assert mesh3d(2, 3, 4).component_count_reference() == 1
+
+    def test_degenerate_dimensions(self):
+        assert mesh2d(1, 5).m == 4
+        with pytest.raises(WorkloadError):
+            mesh2d(0, 5)
+
+
+class TestFamilies:
+    def test_chain(self):
+        g = chain_graph(10)
+        assert g.m == 9
+        assert g.component_count_reference() == 1
+
+    def test_star(self):
+        g = star_graph(10)
+        assert g.m == 9
+        assert g.degrees()[0] == 9
+
+    def test_cliques(self):
+        g = cliques_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 6
+        assert g.component_count_reference() == 3
+
+    def test_forest_of_chains(self):
+        g = forest_of_chains(4, 25, rng=0)
+        assert g.n == 100
+        assert g.m == 4 * 24
+        assert g.component_count_reference() == 4
+
+    def test_single_vertex_families(self):
+        assert chain_graph(1).m == 0
+        assert star_graph(1).m == 0
+
+
+class TestLabelings:
+    def test_labelings_are_permutations_of_same_graph(self):
+        g = random_graph(40, 80, rng=1)
+        for relabel in (best_case_labeling, worst_case_labeling):
+            h = relabel(g)
+            assert h.n == g.n
+            assert h.m == g.m
+            assert h.component_count_reference() == g.component_count_reference()
+
+    def test_best_case_star_center_gets_smallest_label(self):
+        g = star_graph(20)
+        h = best_case_labeling(g)
+        # BFS starts at the center (vertex 0), so it keeps label 0,
+        # and every edge touches it
+        degs = h.degrees()
+        assert degs[0] == 19
+
+    def test_worst_case_reverses(self):
+        g = chain_graph(10)
+        h = worst_case_labeling(g)
+        # endpoint that was 0 becomes n-1
+        assert h.degrees().tolist() == g.degrees()[::1].tolist()

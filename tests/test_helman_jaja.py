@@ -1,0 +1,153 @@
+"""Tests for the Helman–JáJá SMP algorithm (repro.lists.helman_jaja)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lists.generate import clustered_list, ordered_list, random_list, true_ranks
+from repro.lists.helman_jaja import helman_jaja_prefix, rank_helman_jaja
+from repro.lists.prefix import ADD, MAX, MIN
+from repro.lists.sequential import prefix_sequential
+
+
+class TestRankingCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 17, 100, 4096])
+    @pytest.mark.parametrize("make", [ordered_list, lambda n: random_list(n, 42)])
+    def test_ranks_match_truth(self, n, make):
+        nxt = make(n)
+        run = rank_helman_jaja(nxt, p=4, rng=0)
+        assert np.array_equal(run.ranks, true_ranks(nxt))
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 8])
+    def test_independent_of_processor_count(self, p):
+        nxt = random_list(2000, 7)
+        run = rank_helman_jaja(nxt, p=p, rng=0)
+        assert np.array_equal(run.ranks, true_ranks(nxt))
+
+    @pytest.mark.parametrize("s", [1, 2, 5, 64, 1000])
+    def test_independent_of_sublist_count(self, s):
+        nxt = random_list(1500, 3)
+        run = rank_helman_jaja(nxt, p=2, s=s, rng=0)
+        assert np.array_equal(run.ranks, true_ranks(nxt))
+
+    def test_clustered_lists(self):
+        nxt = clustered_list(1000, block=32, rng=5)
+        run = rank_helman_jaja(nxt, p=4, rng=0)
+        assert np.array_equal(run.ranks, true_ranks(nxt))
+
+    def test_block_schedule_still_correct(self):
+        nxt = random_list(800, 11)
+        run = rank_helman_jaja(nxt, p=4, rng=0, schedule="block")
+        assert np.array_equal(run.ranks, true_ranks(nxt))
+
+
+class TestGenericPrefix:
+    def test_add_with_values(self, rng):
+        nxt = random_list(500, rng)
+        values = rng.integers(-50, 50, 500)
+        run = helman_jaja_prefix(nxt, p=4, values=values, rng=0)
+        assert np.array_equal(run.prefix, prefix_sequential(nxt, values, ADD))
+
+    def test_max_prefix(self, rng):
+        nxt = random_list(300, rng)
+        values = rng.integers(0, 10_000, 300)
+        run = helman_jaja_prefix(nxt, p=3, values=values, op=MAX, rng=1)
+        assert np.array_equal(run.prefix, prefix_sequential(nxt, values, MAX))
+
+    def test_min_prefix(self, rng):
+        nxt = random_list(300, rng)
+        values = rng.integers(0, 10_000, 300)
+        run = helman_jaja_prefix(nxt, p=3, values=values, op=MIN, rng=1)
+        assert np.array_equal(run.prefix, prefix_sequential(nxt, values, MIN))
+
+
+class TestInstrumentation:
+    def test_five_steps_with_barriers(self):
+        run = rank_helman_jaja(random_list(500, 1), p=2, rng=0)
+        names = [s.name for s in run.steps]
+        assert names == [
+            "hj.1.find-head",
+            "hj.2.select-sublists",
+            "hj.3.traverse-sublists",
+            "hj.4.sublist-prefix",
+            "hj.5.combine",
+        ]
+        assert run.triplet.b == 5
+
+    def test_step3_work_accounts_for_every_node(self):
+        n = 1000
+        run = rank_helman_jaja(random_list(n, 2), p=4, rng=0)
+        s3 = run.steps[2]
+        total = float(
+            s3.contig.sum() + s3.noncontig.sum()
+            + s3.contig_writes.sum() + s3.noncontig_writes.sum()
+        )
+        assert total == pytest.approx(4 * n)  # 2 reads + 2 writes per node
+
+    def test_contiguity_measured_from_data(self):
+        ordered = rank_helman_jaja(ordered_list(2000), p=2, rng=0)
+        rand = rank_helman_jaja(random_list(2000, 3), p=2, rng=0)
+        assert ordered.stats["contig_fraction"] > 0.95
+        assert rand.stats["contig_fraction"] < 0.05
+
+    def test_t_m_scales_with_n_over_p(self):
+        """The paper's bound: T_M ≈ n/p for the random case."""
+        n = 4000
+        run = rank_helman_jaja(random_list(n, 5), p=4, rng=0)
+        t_m = run.triplet.t_m
+        # 4 accesses per node, max processor ≈ n/p nodes with 8p sublists
+        assert t_m <= 4 * (n / 4) * 1.6
+
+    def test_dynamic_schedule_balances_better_than_block(self):
+        nxt = random_list(5000, 9)
+        dyn = rank_helman_jaja(nxt, p=4, rng=0, schedule="dynamic")
+        blk = rank_helman_jaja(nxt, p=4, rng=0, schedule="block")
+        assert dyn.stats["load_imbalance"] <= blk.stats["load_imbalance"] + 1e-9
+
+    def test_default_sublists_is_8p(self):
+        run = rank_helman_jaja(random_list(10_000, 4), p=4, rng=0)
+        assert run.stats["s"] <= 8 * 4
+        assert run.stats["s"] >= 8 * 4 - 2  # head-collision dedup may drop a couple
+
+
+class TestTraces:
+    def test_traces_attach_to_dominant_steps(self):
+        run = rank_helman_jaja(random_list(600, 1), p=2, rng=0, collect_traces=True)
+        s3, s5 = run.steps[2], run.steps[4]
+        assert s3.traces is not None and len(s3.traces) == 2
+        assert s5.traces is not None and len(s5.traces) == 2
+
+    def test_step3_trace_covers_every_node_twice(self):
+        n = 400
+        run = rank_helman_jaja(random_list(n, 1), p=2, rng=0, collect_traces=True)
+        s3 = run.steps[2]
+        assert sum(len(t) for t in s3.traces) == 2 * n
+
+    def test_trace_addresses_fall_in_address_space(self):
+        run = rank_helman_jaja(random_list(300, 1), p=2, rng=0, collect_traces=True)
+        hi = run.stats["address_space_words"]
+        for s in run.steps:
+            if s.traces is None:
+                continue
+            for t in s.traces:
+                if len(t):
+                    assert t.min() >= 0
+                    assert t.max() < hi
+
+
+class TestErrors:
+    def test_empty_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rank_helman_jaja(np.empty(0, dtype=np.int64), p=1)
+
+    def test_bad_p_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rank_helman_jaja(ordered_list(10), p=0)
+
+    def test_bad_schedule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rank_helman_jaja(ordered_list(10), p=1, schedule="magic")
+
+    def test_values_shape_checked(self):
+        with pytest.raises(ConfigurationError):
+            helman_jaja_prefix(ordered_list(10), p=1, values=np.ones(5))

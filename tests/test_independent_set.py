@@ -1,0 +1,89 @@
+"""Tests for randomized independent-set ranking (repro.lists.independent_set)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MTAMachine, SMPMachine
+from repro.errors import ConfigurationError
+from repro.lists.generate import list_from_order, ordered_list, random_list, true_ranks
+from repro.lists.independent_set import rank_independent_set
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 17, 100, 5000])
+    def test_ranks_match_truth(self, n):
+        nxt = random_list(n, 4)
+        run = rank_independent_set(nxt, p=2, rng=0)
+        assert np.array_equal(run.ranks, true_ranks(nxt))
+
+    def test_ordered_list(self):
+        nxt = ordered_list(2000)
+        run = rank_independent_set(nxt, rng=1)
+        assert np.array_equal(run.ranks, true_ranks(nxt))
+
+    @pytest.mark.parametrize("stub", [2, 8, 512])
+    def test_any_stub_threshold(self, stub):
+        nxt = random_list(1000, 2)
+        run = rank_independent_set(nxt, rng=3, stub=stub)
+        assert np.array_equal(run.ranks, true_ranks(nxt))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_any_coin_sequence(self, seed):
+        nxt = random_list(700, 9)
+        run = rank_independent_set(nxt, rng=seed)
+        assert np.array_equal(run.ranks, true_ranks(nxt))
+
+
+class TestComplexity:
+    def test_rounds_logarithmic(self):
+        n = 1 << 14
+        run = rank_independent_set(random_list(n, 1), rng=0)
+        assert run.stats["rounds"] <= 4 * math.ceil(math.log2(n))
+
+    def test_geometric_shrinkage(self):
+        run = rank_independent_set(random_list(1 << 13, 1), rng=0)
+        removed = run.stats["removed_per_round"]
+        # the first round removes roughly a quarter of the nodes
+        assert removed[0] > (1 << 13) / 6
+
+    def test_total_work_linear(self):
+        """T_M is O(n): geometric round sizes sum to a constant factor."""
+        n = 1 << 13
+        run = rank_independent_set(random_list(n, 1), rng=0)
+        assert run.triplet.t_m < 25 * n
+
+    def test_timeable_on_both_machines(self):
+        run = rank_independent_set(random_list(4000, 2), p=4, rng=0)
+        assert MTAMachine(p=4).run(run.steps).seconds > 0
+        assert SMPMachine(p=4).run(run.steps).seconds > 0
+
+
+class TestErrors:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rank_independent_set(np.empty(0, dtype=np.int64))
+
+    def test_bad_p(self):
+        with pytest.raises(ConfigurationError):
+            rank_independent_set(ordered_list(4), p=0)
+
+    def test_bad_stub(self):
+        with pytest.raises(ConfigurationError):
+            rank_independent_set(ordered_list(4), stub=1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    order=st.integers(min_value=1, max_value=200).flatmap(
+        lambda n: st.permutations(list(range(n)))
+    ),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_matches_truth(order, seed):
+    nxt = list_from_order(np.array(order))
+    run = rank_independent_set(nxt, p=3, rng=seed, stub=4)
+    assert np.array_equal(run.ranks, true_ranks(nxt))

@@ -1,0 +1,130 @@
+"""Tests for list workload generators (repro.lists.generate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.lists.generate import (
+    TAIL,
+    clustered_list,
+    head_of,
+    list_from_order,
+    ordered_list,
+    random_list,
+    true_ranks,
+    validate_list,
+)
+
+
+class TestOrderedList:
+    def test_structure(self):
+        nxt = ordered_list(5)
+        assert nxt.tolist() == [1, 2, 3, 4, TAIL]
+        assert head_of(nxt) == 0
+
+    def test_single_node(self):
+        nxt = ordered_list(1)
+        assert nxt.tolist() == [TAIL]
+        assert head_of(nxt) == 0
+
+    def test_ranks_match_positions(self):
+        assert true_ranks(ordered_list(100)).tolist() == list(range(100))
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(WorkloadError):
+            ordered_list(-1)
+
+
+class TestRandomList:
+    def test_valid_chain(self):
+        nxt = random_list(500, rng=0)
+        assert validate_list(nxt) == head_of(nxt)
+
+    def test_deterministic_given_seed(self):
+        assert np.array_equal(random_list(100, rng=7), random_list(100, rng=7))
+
+    def test_ranks_form_permutation(self):
+        ranks = true_ranks(random_list(200, rng=1))
+        assert sorted(ranks.tolist()) == list(range(200))
+
+
+class TestClusteredList:
+    def test_block_one_is_ordered(self):
+        assert np.array_equal(clustered_list(64, block=1, rng=0), ordered_list(64))
+
+    def test_big_block_is_fully_random_layout(self):
+        nxt = clustered_list(64, block=64, rng=0)
+        validate_list(nxt)
+
+    def test_intermediate_blocks_valid(self):
+        for block in (2, 7, 16):
+            validate_list(clustered_list(100, block=block, rng=3))
+
+    def test_bad_block_rejected(self):
+        with pytest.raises(WorkloadError):
+            clustered_list(10, block=0)
+
+
+class TestHeadRecovery:
+    def test_head_formula_matches_traversal(self, rng):
+        for _ in range(10):
+            nxt = random_list(int(rng.integers(1, 300)), rng)
+            ranks = true_ranks(nxt)
+            assert ranks[head_of(nxt)] == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            head_of(np.empty(0, dtype=np.int64))
+
+
+class TestValidateList:
+    def test_cycle_detected(self):
+        nxt = np.array([1, 2, 0, TAIL])  # 0→1→2→0 cycle plus orphan tail
+        with pytest.raises(WorkloadError):
+            validate_list(nxt)
+
+    def test_fork_detected(self):
+        # two nodes share a successor
+        nxt = np.array([2, 2, TAIL])
+        with pytest.raises(WorkloadError):
+            validate_list(nxt)
+
+    def test_no_tail_detected(self):
+        nxt = np.array([1, 0])
+        with pytest.raises(WorkloadError):
+            validate_list(nxt)
+
+    def test_two_tails_detected(self):
+        nxt = np.array([TAIL, TAIL])
+        with pytest.raises(WorkloadError):
+            validate_list(nxt)
+
+    def test_out_of_range_detected(self):
+        nxt = np.array([5, TAIL])
+        with pytest.raises(WorkloadError):
+            validate_list(nxt)
+
+    def test_float_dtype_rejected(self):
+        with pytest.raises(WorkloadError):
+            validate_list(np.array([1.0, -1.0]))
+
+
+class TestTrueRanks:
+    def test_malformed_detected(self):
+        # head formula gives a plausible head but the chain is short
+        nxt = np.array([1, 0, TAIL])  # 2 is unreachable; head formula breaks
+        with pytest.raises(WorkloadError):
+            true_ranks(nxt)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=400), st.integers(min_value=0, max_value=2**31))
+def test_property_any_permutation_is_a_valid_list(n, seed):
+    order = np.random.default_rng(seed).permutation(n)
+    nxt = list_from_order(order)
+    head = validate_list(nxt)
+    assert head == order[0]
+    ranks = true_ranks(nxt)
+    assert np.array_equal(np.argsort(ranks), order)

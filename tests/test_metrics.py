@@ -1,0 +1,105 @@
+"""Tests for derived metrics (repro.core.metrics)."""
+
+import pytest
+
+from repro.core.metrics import (
+    crossover,
+    geometric_mean,
+    parallel_efficiency,
+    ratio_series,
+    scaling_exponent,
+    speedup,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(10.0, 2.5) == 4.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            speedup(1.0, 0.0)
+
+    def test_efficiency(self):
+        assert parallel_efficiency(8.0, 1.0, p=8) == 1.0
+        assert parallel_efficiency(8.0, 2.0, p=8) == 0.5
+
+    def test_efficiency_bad_p(self):
+        with pytest.raises(ConfigurationError):
+            parallel_efficiency(1.0, 1.0, p=0)
+
+
+class TestRatioSeries:
+    def test_elementwise(self):
+        assert ratio_series([4, 9], [2, 3]) == [2.0, 3.0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ratio_series([1], [1, 2])
+
+
+class TestCrossover:
+    def test_exact_point(self):
+        xs = [1, 2, 3, 4]
+        a = [10, 8, 2, 1]  # a dips below b between x=2 and x=3
+        b = [5, 5, 5, 5]
+        x = crossover(xs, a, b)
+        assert 2 < x <= 3
+
+    def test_interpolation(self):
+        xs = [0, 10]
+        a = [2, -2]
+        b = [0, 0]
+        assert crossover(xs, a, b) == pytest.approx(5.0)
+
+    def test_crossing_at_first_sample(self):
+        assert crossover([1, 2], [0, 0], [1, 1]) == 1.0
+
+    def test_never_crosses(self):
+        assert crossover([1, 2], [5, 5], [1, 1]) is None
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            crossover([1], [1, 2], [1, 2])
+
+
+class TestScalingExponent:
+    def test_linear(self):
+        xs = [1, 2, 4, 8]
+        ys = [3, 6, 12, 24]
+        assert scaling_exponent(xs, ys) == pytest.approx(1.0)
+
+    def test_perfect_strong_scaling(self):
+        ps = [1, 2, 4, 8]
+        ts = [8, 4, 2, 1]
+        assert scaling_exponent(ps, ts) == pytest.approx(-1.0)
+
+    def test_quadratic(self):
+        xs = [1, 2, 4]
+        ys = [1, 4, 16]
+        assert scaling_exponent(xs, ys) == pytest.approx(2.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ConfigurationError):
+            scaling_exponent([1], [1])
+
+    def test_equal_x_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scaling_exponent([2, 2], [1, 3])
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])

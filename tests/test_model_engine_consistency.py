@@ -1,0 +1,100 @@
+"""Cross-validation: the analytic models against the cycle engines.
+
+The analytic machine models make assumptions (stream saturation,
+ordered/random cache gaps, store buffering, dynamic-scheduling
+balance); the cycle engines implement the corresponding *mechanisms*.
+These tests check that the two levels tell the same story on the same
+workloads — not to equal numbers (the engines run tiny inputs where
+startup effects matter), but to the same orderings and rough ratios.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MTAMachine, SMPMachine
+from repro.core.mta_machine import CRAY_MTA2
+from repro.graphs.generate import random_graph
+from repro.graphs.programs import simulate_mta_cc, simulate_smp_cc
+from repro.graphs.sv_mta import sv_mta
+from repro.lists.generate import ordered_list, random_list
+from repro.lists.helman_jaja import rank_helman_jaja
+from repro.lists.mta_ranking import rank_mta
+from repro.lists.programs import simulate_mta_list_ranking, simulate_smp_list_ranking
+
+
+class TestSMPConsistency:
+    def test_ordered_random_gap_direction_agrees(self):
+        n = 6000
+        model_gap = (
+            SMPMachine(p=2).run(rank_helman_jaja(random_list(n, 1), p=2, rng=0).steps).seconds
+            / SMPMachine(p=2).run(rank_helman_jaja(ordered_list(n), p=2, rng=0).steps).seconds
+        )
+        engine_gap = (
+            simulate_smp_list_ranking(random_list(n, 1), p=2, rng=0).report.cycles
+            / simulate_smp_list_ranking(ordered_list(n), p=2, rng=0).report.cycles
+        )
+        assert model_gap > 1.1
+        assert engine_gap > 1.1
+
+    def test_cc_engine_and_model_agree_on_iteration_count(self):
+        g = random_graph(400, 1600, rng=3)
+        model_run = sv_mta(g)
+        engine_run = simulate_smp_cc(g, p=2)
+        # same algorithm structure: iterations within one of each other
+        # (engine races can change grafting winners)
+        assert abs(model_run.iterations - engine_run.iterations) <= 2
+
+
+class TestMTAConsistency:
+    def test_engine_utilization_reaches_model_saturation(self):
+        """With ample streams the model predicts u = 1; the engine should
+        get within the phase-overhead of that on a decent-sized run."""
+        n = 20_000
+        sim = simulate_mta_list_ranking(
+            random_list(n, 2), p=1, streams_per_proc=100, nodes_per_walk=10
+        )
+        model_u = MTAMachine(p=1).utilization_for(n // 10)
+        assert model_u == 1.0
+        assert sim.report.utilization > 0.9
+
+    def test_starved_machine_matches_model_scaling(self):
+        """With few streams, engine utilization tracks the model's
+        streams·lookahead/latency line within a factor of two."""
+        from repro.sim import MTAEngine, isa
+
+        for streams in (8, 16, 32):
+            eng = MTAEngine(p=1, streams_per_proc=128, mem_latency=100, lookahead=2)
+
+            def chaser():
+                for i in range(40):
+                    yield isa.compute(1)
+                    yield isa.load_dep(i)
+                    yield isa.load_dep(5000 + i)
+
+            for _ in range(streams):
+                eng.spawn(chaser())
+            measured = eng.run().utilization
+            predicted = MTAMachine(p=1).utilization_for(streams)
+            assert predicted / 2 < measured < predicted * 2, (streams, measured, predicted)
+
+    def test_order_insensitivity_at_both_levels(self):
+        n = 4000
+        m_o = MTAMachine(p=1).run(rank_mta(ordered_list(n), p=1).steps).seconds
+        m_r = MTAMachine(p=1).run(rank_mta(random_list(n, 1), p=1).steps).seconds
+        assert abs(m_o - m_r) < 0.05 * max(m_o, m_r)
+        e_o = simulate_mta_list_ranking(ordered_list(n), p=1).report.total_issued
+        e_r = simulate_mta_list_ranking(random_list(n, 1), p=1).report.total_issued
+        assert abs(e_o - e_r) < 0.1 * max(e_o, e_r)
+
+    def test_cc_engine_and_model_order_machines_identically(self):
+        """Both levels must agree that the MTA finishes CC faster (in
+        seconds at real clock rates) than the SMP."""
+        g = random_graph(600, 2400, rng=4)
+        model_mta = MTAMachine(p=4).run(sv_mta(g, p=4).steps).seconds
+        from repro.graphs.sv_smp import sv_smp
+
+        model_smp = SMPMachine(p=4).run(sv_smp(g, p=4).steps).seconds
+        assert model_mta < model_smp
+        eng_mta = simulate_mta_cc(g, p=4).report.seconds
+        eng_smp = simulate_smp_cc(g, p=4).report.seconds
+        assert eng_mta < eng_smp

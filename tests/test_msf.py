@@ -1,0 +1,158 @@
+"""Tests for the Borůvka minimum spanning forest (repro.graphs.msf)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MTAMachine, SMPMachine
+from repro.errors import SimulationError, WorkloadError
+from repro.graphs.edgelist import EdgeList
+from repro.graphs.generate import (
+    chain_graph,
+    cliques_graph,
+    forest_of_chains,
+    mesh2d,
+    random_graph,
+)
+from repro.graphs.msf import minimum_spanning_forest
+from repro.graphs.sequential_cc import cc_union_find
+
+
+def nx_msf_weight(g, w):
+    import networkx as nx
+
+    G = nx.Graph()
+    G.add_nodes_from(range(g.n))
+    for i, (a, b) in enumerate(zip(g.u.tolist(), g.v.tolist())):
+        G.add_edge(a, b, weight=float(w[i]))
+    return sum(d["weight"] for _, _, d in nx.minimum_spanning_edges(G, data=True))
+
+
+def assert_forest(g, edge_ids):
+    parent = list(range(g.n))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for e in edge_ids.tolist():
+        a, b = find(int(g.u[e])), find(int(g.v[e]))
+        assert a != b, "cycle in forest"
+        parent[a] = b
+
+
+FAMILIES = {
+    "random": random_graph(400, 1600, rng=0),
+    "mesh": mesh2d(14, 15),
+    "forest": forest_of_chains(5, 40, rng=1),
+    "cliques": cliques_graph(4, 9),
+    "chain": chain_graph(200),
+}
+
+
+class TestMSFCorrectness:
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_weight_matches_networkx(self, name):
+        g = FAMILIES[name]
+        w = np.random.default_rng(7).random(g.m) * 100
+        run = minimum_spanning_forest(g, w)
+        assert run.weight == pytest.approx(nx_msf_weight(g, w))
+
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_forest_structure(self, name):
+        g = FAMILIES[name]
+        w = np.random.default_rng(8).random(g.m)
+        run = minimum_spanning_forest(g, w)
+        ref = cc_union_find(g)
+        assert np.array_equal(run.labels, ref.labels)
+        assert run.n_edges == g.n - ref.n_components
+        assert_forest(g, run.edge_ids)
+
+    def test_uniform_weights_tie_broken_deterministically(self):
+        g = random_graph(200, 800, rng=3)
+        w = np.ones(g.m)
+        a = minimum_spanning_forest(g, w)
+        b = minimum_spanning_forest(g, w)
+        assert np.array_equal(a.edge_ids, b.edge_ids)
+        assert_forest(g, a.edge_ids)
+
+    def test_edgeless_graph(self):
+        g = EdgeList(6, np.empty(0, np.int64), np.empty(0, np.int64))
+        run = minimum_spanning_forest(g, np.empty(0))
+        assert run.n_edges == 0
+        assert run.weight == 0.0
+
+    def test_logarithmic_iterations(self):
+        g = chain_graph(1024)
+        w = np.random.default_rng(0).random(g.m)
+        run = minimum_spanning_forest(g, w)
+        assert run.iterations <= math.ceil(math.log2(1024)) + 2
+
+    def test_components_at_least_halve(self):
+        g = random_graph(512, 2048, rng=1)
+        w = np.random.default_rng(1).random(g.m)
+        run = minimum_spanning_forest(g, w)
+        comps = run.stats["components_history"]
+        # each round the number of live components drops by >= 2x until done
+        for a, b in zip(comps, comps[1:]):
+            assert b <= a
+
+
+class TestMSFInstrumentation:
+    def test_timeable_on_both_machines(self):
+        g = random_graph(1000, 5000, rng=2)
+        w = np.random.default_rng(2).random(g.m)
+        run = minimum_spanning_forest(g, p=8, weights=w)
+        t_mta = MTAMachine(p=8).run(run.steps).seconds
+        t_smp = SMPMachine(p=8).run(run.steps).seconds
+        assert 0 < t_mta < t_smp  # the usual architectural ordering
+
+    def test_three_barriers_per_round(self):
+        g = random_graph(100, 300, rng=1)
+        run = minimum_spanning_forest(g, np.random.default_rng(0).random(g.m))
+        assert run.triplet.b == 3 * run.iterations
+
+
+class TestMSFErrors:
+    def test_weight_shape_checked(self):
+        g = chain_graph(5)
+        with pytest.raises(WorkloadError):
+            minimum_spanning_forest(g, np.ones(3))
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(WorkloadError):
+            minimum_spanning_forest(
+                EdgeList(0, np.empty(0, np.int64), np.empty(0, np.int64)), np.empty(0)
+            )
+
+    def test_max_iter_guard(self):
+        # alternating light/heavy weights on a chain create local minima,
+        # so components merge pairwise and one round cannot finish
+        g = chain_graph(64)
+        w = np.tile([0.0, 1.0], g.m // 2 + 1)[: g.m]
+        with pytest.raises(SimulationError):
+            minimum_spanning_forest(g, w, max_iter=1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=60),
+    m=st.integers(min_value=0, max_value=120),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_msf_weight_optimal(n, m, seed):
+    rng = np.random.default_rng(seed)
+    g = EdgeList(
+        n, rng.integers(0, n, m).astype(np.int64), rng.integers(0, n, m).astype(np.int64)
+    ).canonical()
+    w = rng.random(g.m)
+    run = minimum_spanning_forest(g, w)
+    assert run.weight == pytest.approx(nx_msf_weight(g, w))
+    assert_forest(g, run.edge_ids)
+    ref = cc_union_find(g)
+    assert run.n_edges == g.n - ref.n_components

@@ -1,0 +1,114 @@
+"""Tests for the analytic MTA machine model (repro.core.mta_machine)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import StepCost
+from repro.core.mta_machine import CRAY_MTA2, MTAConfig, MTAMachine
+from repro.errors import ConfigurationError
+
+
+def step(p=1, **kw):
+    kw.setdefault("name", "s")
+    return StepCost(p=p, **kw)
+
+
+class TestMTAConfig:
+    def test_default_is_mta2(self):
+        assert CRAY_MTA2.clock_hz == 220e6
+        assert CRAY_MTA2.streams_per_proc == 128
+        assert CRAY_MTA2.mem_latency_cycles == 100.0
+
+    def test_saturating_streams_matches_paper_claim(self):
+        """The paper: 40–80 threads per processor hide the ~100-cycle latency."""
+        assert 40 <= CRAY_MTA2.saturating_streams <= 80
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MTAConfig(streams_per_proc=0)
+        with pytest.raises(ConfigurationError):
+            MTAConfig(mem_latency_cycles=0)
+        with pytest.raises(ConfigurationError):
+            MTAConfig(lookahead=0)
+
+
+class TestInstructionPacking:
+    def test_arithmetic_rides_free_with_memory(self):
+        m = MTAMachine(p=1)
+        # 100 memory ops can carry 200 fused arithmetic ops
+        s = step(noncontig=100.0, ops=200.0)
+        assert float(m.instructions(s).sum()) == pytest.approx(100.0)
+
+    def test_leftover_arithmetic_packs_two_per_instruction(self):
+        m = MTAMachine(p=1)
+        s = step(noncontig=100.0, ops=400.0)
+        # 200 fused + 200 leftover / 2 = 100 extra instructions
+        assert float(m.instructions(s).sum()) == pytest.approx(200.0)
+
+    def test_writes_count_as_memory_instructions(self):
+        m = MTAMachine(p=1)
+        s = step(noncontig_writes=50.0, contig_writes=50.0)
+        assert float(m.instructions(s).sum()) == pytest.approx(100.0)
+
+
+class TestUtilizationModel:
+    def test_saturated_when_parallelism_ample(self):
+        m = MTAMachine(p=1)
+        assert m.utilization_for(10_000) == 1.0
+
+    def test_single_thread_is_memory_bound(self):
+        m = MTAMachine(p=1)
+        u = m.utilization_for(1)
+        c = CRAY_MTA2
+        assert u == pytest.approx(c.lookahead / c.mem_latency_cycles)
+
+    def test_utilization_scales_with_parallelism_until_saturation(self):
+        m = MTAMachine(p=1)
+        assert m.utilization_for(10) < m.utilization_for(40) <= m.utilization_for(200)
+
+    def test_parallelism_shared_across_processors(self):
+        u1 = MTAMachine(p=1).utilization_for(40)
+        u8 = MTAMachine(p=8).utilization_for(40)
+        assert u8 < u1
+
+
+class TestMTAStepTime:
+    def test_order_insensitive(self):
+        """Contiguous and non-contiguous accesses cost the same — the
+        hashed flat memory has no locality."""
+        m = MTAMachine(p=1)
+        a = m.step_time(step(contig=1000.0, parallelism=10_000))
+        b = m.step_time(step(noncontig=1000.0, parallelism=10_000))
+        assert a.cycles == pytest.approx(b.cycles)
+
+    def test_hotspot_can_dominate(self):
+        m = MTAMachine(p=1)
+        s = m.step_time(step(noncontig=100.0, hotspot_ops=100_000, parallelism=1000))
+        assert s.cycles >= 100_000
+
+    def test_phase_overhead_charged_once_per_step(self):
+        m = MTAMachine(p=1)
+        c = m.config
+        s = m.step_time(step(noncontig=0.0, ops=0.0))
+        assert s.cycles == 0.0  # empty steps are free
+        s2 = m.step_time(step(noncontig=1.0, parallelism=1000))
+        assert s2.cycles >= c.phase_overhead_cycles + c.mem_latency_cycles
+
+    def test_barrier_cost(self):
+        m = MTAMachine(p=2)
+        a = m.step_time(step(p=2, noncontig=10.0, barriers=0, parallelism=1000))
+        b = m.step_time(step(p=2, noncontig=10.0, barriers=3, parallelism=1000))
+        assert b.cycles - a.cycles == pytest.approx(3 * m.config.barrier_cycles)
+
+    def test_p_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MTAMachine(p=2).step_time(step(p=1, ops=1.0))
+
+    def test_with_p(self):
+        m = MTAMachine(p=1).with_p(8)
+        assert m.p == 8
+
+    def test_utilization_reported_in_result(self):
+        m = MTAMachine(p=1)
+        res = m.run([step(noncontig=1e6, parallelism=1e6)])
+        assert 0.8 < res.utilization <= 1.0

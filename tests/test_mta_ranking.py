@@ -1,0 +1,117 @@
+"""Tests for the MTA walk algorithm, Alg. 1 (repro.lists.mta_ranking)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lists.generate import ordered_list, random_list, true_ranks
+from repro.lists.mta_ranking import mta_prefix, rank_mta
+from repro.lists.prefix import ADD, MAX
+from repro.lists.sequential import prefix_sequential
+
+
+class TestRankingCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 11, 99, 2048])
+    @pytest.mark.parametrize("make", [ordered_list, lambda n: random_list(n, 9)])
+    def test_ranks_match_truth(self, n, make):
+        nxt = make(n)
+        run = rank_mta(nxt, p=2)
+        assert np.array_equal(run.ranks, true_ranks(nxt))
+
+    @pytest.mark.parametrize("nwalks", [1, 2, 10, 100, 5000])
+    def test_independent_of_walk_count(self, nwalks):
+        nxt = random_list(1000, 4)
+        run = rank_mta(nxt, nwalks=nwalks)
+        assert np.array_equal(run.ranks, true_ranks(nxt))
+
+    def test_block_schedule_still_correct(self):
+        nxt = random_list(700, 2)
+        run = rank_mta(nxt, p=4, schedule="block")
+        assert np.array_equal(run.ranks, true_ranks(nxt))
+
+    def test_generic_prefix(self, rng):
+        nxt = random_list(400, rng)
+        values = rng.integers(0, 1000, 400)
+        run = mta_prefix(nxt, p=2, values=values, op=MAX)
+        assert np.array_equal(run.prefix, prefix_sequential(nxt, values, MAX))
+
+    def test_add_with_negative_values(self, rng):
+        nxt = random_list(400, rng)
+        values = rng.integers(-100, 100, 400)
+        run = mta_prefix(nxt, p=2, values=values, op=ADD)
+        assert np.array_equal(run.prefix, prefix_sequential(nxt, values, ADD))
+
+
+class TestInstrumentation:
+    def test_four_phases(self):
+        run = rank_mta(random_list(500, 1), p=2)
+        names = [s.name for s in run.steps]
+        assert names == [
+            "mta.1.mark-heads",
+            "mta.2.walk-sublists",
+            "mta.3.rank-walk-heads",
+            "mta.4.retraverse",
+        ]
+
+    def test_default_walks_follow_paper_operating_point(self):
+        # small lists: ~10 nodes per walk (the saturation floor)
+        n = 3000
+        run = rank_mta(random_list(n, 1), p=1)
+        assert abs(run.stats["nwalks"] - n / 10) <= 2
+        # large lists: the walk count is a fixed per-processor budget
+        big = rank_mta(random_list(100_000, 1), p=2)
+        assert big.stats["nwalks"] <= 2 * 400 + 2
+
+    def test_wyllie_rounds_logarithmic(self):
+        n = 20_000
+        run = rank_mta(random_list(n, 1), p=1)
+        w = run.stats["nwalks"]
+        assert run.stats["wyllie_rounds"] <= math.ceil(math.log2(w)) + 1
+
+    def test_dynamic_schedule_reports_hotspot(self):
+        run = rank_mta(random_list(1000, 1), p=1, schedule="dynamic")
+        walk_step = run.steps[1]
+        assert walk_step.hotspot_ops == run.stats["nwalks"]
+
+    def test_block_schedule_no_hotspot(self):
+        run = rank_mta(random_list(1000, 1), p=1, schedule="block")
+        assert run.steps[1].hotspot_ops == 0
+
+    def test_parallelism_equals_walks(self):
+        run = rank_mta(random_list(2000, 1), p=2, nwalks=50)
+        w = run.stats["nwalks"]
+        assert run.steps[1].parallelism == w
+        assert run.steps[3].parallelism == w
+
+    def test_total_walk_accesses_account_for_nodes(self):
+        n = 3000
+        run = rank_mta(random_list(n, 1), p=2)
+        s2 = run.steps[1]
+        reads = float(s2.contig.sum() + s2.noncontig.sum())
+        # 2 reads per node plus the per-walk record writes counted separately
+        assert reads == pytest.approx(2 * n)
+
+    def test_traces_optional(self):
+        run = rank_mta(random_list(300, 1), p=2, collect_traces=True)
+        assert run.steps[1].traces is not None
+        assert sum(len(t) for t in run.steps[1].traces) == 2 * 300
+
+
+class TestErrors:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rank_mta(np.empty(0, dtype=np.int64))
+
+    def test_bad_p_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rank_mta(ordered_list(5), p=0)
+
+    def test_bad_schedule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rank_mta(ordered_list(5), schedule="nope")
+
+    def test_values_shape_checked(self):
+        with pytest.raises(ConfigurationError):
+            mta_prefix(ordered_list(5), values=np.ones(3))

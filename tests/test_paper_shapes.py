@@ -1,0 +1,142 @@
+"""Integration tests: the paper's headline comparative shapes.
+
+These run the full pipeline (workload → instrumented algorithm →
+machine model) at reduced scale and assert the qualitative results the
+paper reports.  Bounds are deliberately loose — the claims are about
+*shape* (who wins, roughly by how much, how things scale), not exact
+constants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MTAMachine, SMPMachine, scaling_exponent, speedup
+from repro.graphs.generate import random_graph
+from repro.graphs.sequential_cc import cc_union_find
+from repro.graphs.sv_mta import sv_mta
+from repro.graphs.sv_smp import sv_smp
+from repro.lists.generate import ordered_list, random_list
+from repro.lists.helman_jaja import rank_helman_jaja
+from repro.lists.mta_ranking import rank_mta
+from repro.lists.sequential import rank_sequential
+
+# 1M nodes: large enough that every working set clearly exceeds the 4 MB
+# L2 (at 256K the sequential baseline's 4 MB working set sits exactly on
+# the cache boundary and the comparison becomes a cliff artifact)
+N_LIST = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def list_times():
+    """Simulated seconds for list ranking: machine × class × p."""
+    out = {}
+    for label, nxt in (
+        ("ordered", ordered_list(N_LIST)),
+        ("random", random_list(N_LIST, 42)),
+    ):
+        seq = SMPMachine(p=1).run(rank_sequential(nxt).steps).seconds
+        out[("seq", label)] = seq
+        for p in (1, 2, 4, 8):
+            hj = rank_helman_jaja(nxt, p=p, rng=1)
+            out[("smp", label, p)] = SMPMachine(p=p).run(hj.steps).seconds
+            mta = rank_mta(nxt, p=p)
+            out[("mta", label, p)] = MTAMachine(p=p).run(mta.steps).seconds
+    return out
+
+
+class TestFig1Shapes:
+    def test_smp_ordered_vs_random_gap_3_to_4x(self, list_times):
+        """Paper: 'a factor of 3 to 4 difference' on the SMP."""
+        for p in (1, 2, 4, 8):
+            gap = list_times[("smp", "random", p)] / list_times[("smp", "ordered", p)]
+            assert 2.0 < gap < 7.0, f"p={p}: gap {gap:.2f}"
+
+    def test_mta_insensitive_to_order(self, list_times):
+        """Paper: 'performance is nearly identical for random or ordered lists'."""
+        for p in (1, 2, 4, 8):
+            a = list_times[("mta", "ordered", p)]
+            b = list_times[("mta", "random", p)]
+            assert abs(a - b) < 0.1 * max(a, b)
+
+    def test_mta_order_of_magnitude_faster_on_ordered(self, list_times):
+        """Paper: 'on the ordered lists, the MTA is an order of magnitude faster'."""
+        ratio = list_times[("smp", "ordered", 8)] / list_times[("mta", "ordered", 8)]
+        assert 4.0 < ratio < 25.0
+
+    def test_mta_much_faster_on_random(self, list_times):
+        """Paper: 'on the random list, the MTA is approximately 35 times faster'."""
+        ratio = list_times[("smp", "random", 8)] / list_times[("mta", "random", 8)]
+        assert 15.0 < ratio < 70.0
+
+    def test_both_machines_scale_with_p(self, list_times):
+        """Paper: 'running times decreased proportionally with the number
+        of processors'."""
+        for machine in ("smp", "mta"):
+            for label in ("ordered", "random"):
+                ts = [list_times[(machine, label, p)] for p in (1, 2, 4, 8)]
+                exp = scaling_exponent([1, 2, 4, 8], ts)
+                assert exp < -0.75, f"{machine}/{label}: exponent {exp:.2f}"
+
+    def test_parallel_smp_beats_sequential_on_random(self, list_times):
+        """The paper's framing: parallel speedup over the best sequential
+        implementation (hard on SMPs, the reason list ranking was a
+        'holy grail')."""
+        s = speedup(list_times[("seq", "random")], list_times[("smp", "random", 8)])
+        assert s > 1.5
+
+
+@pytest.fixture(scope="module")
+def cc_times():
+    """Simulated seconds for connected components at n=32K, m=8n."""
+    n = 1 << 15
+    g = random_graph(n, 8 * n, rng=3)
+    out = {"uf": SMPMachine(p=1).run(cc_union_find(g).steps).seconds}
+    for p in (1, 2, 4, 8):
+        out[("smp", p)] = SMPMachine(p=p).run(sv_smp(g, p=p).steps).seconds
+        out[("mta", p)] = MTAMachine(p=p).run(sv_mta(g, p=p).steps).seconds
+    return out
+
+
+class TestFig2Shapes:
+    def test_mta_5_to_6x_faster_than_smp(self, cc_times):
+        """Paper: 'the MTA implementation is 5 to 6 times faster than the
+        SMP implementation of SV connected components'."""
+        ratio = cc_times[("smp", 8)] / cc_times[("mta", 8)]
+        assert 2.5 < ratio < 12.0
+
+    def test_both_scale_with_p(self, cc_times):
+        for machine in ("smp", "mta"):
+            ts = [cc_times[(machine, p)] for p in (1, 2, 4, 8)]
+            exp = scaling_exponent([1, 2, 4, 8], ts)
+            assert exp < -0.6, f"{machine}: exponent {exp:.2f}"
+
+    def test_parallel_speedup_over_sequential(self, cc_times):
+        """Paper: first parallel implementation with speedup on sparse
+        random graphs vs the best sequential algorithm."""
+        assert cc_times[("smp", 8)] < cc_times["uf"]
+        assert cc_times[("mta", 8)] < cc_times["uf"]
+
+
+class TestTable1Shape:
+    def test_mta_model_utilization_high_for_both_kernels(self):
+        n = 1 << 16
+        nxt = random_list(n, 0)
+        run = rank_mta(nxt, p=1)
+        util = MTAMachine(p=1).run(run.steps).utilization
+        assert util > 0.9
+
+        g = random_graph(1 << 13, 10 * (1 << 13), rng=0)
+        cc = sv_mta(g, p=1)
+        util_cc = MTAMachine(p=1).run(cc.steps).utilization
+        assert util_cc > 0.85
+
+    def test_utilization_declines_with_p_at_fixed_n(self):
+        """Table 1's trend: utilization decreases as p grows (fixed
+        problem size → less parallel slack per processor)."""
+        n = 1 << 14
+        nxt = random_list(n, 1)
+        utils = []
+        for p in (1, 4, 8):
+            run = rank_mta(nxt, p=p)
+            utils.append(MTAMachine(p=p).run(run.steps).utilization)
+        assert utils[0] >= utils[1] >= utils[2]

@@ -1,0 +1,149 @@
+"""Tests for parallel BFS and the R-MAT generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MTAMachine
+from repro.errors import WorkloadError
+from repro.graphs.edgelist import EdgeList
+from repro.graphs.generate import chain_graph, random_graph, rmat_graph, star_graph
+from repro.graphs.parallel_bfs import parallel_bfs
+
+from .conftest import nx_cc_labels
+
+
+def nx_depths(g, src):
+    import networkx as nx
+
+    G = nx.Graph()
+    G.add_nodes_from(range(g.n))
+    G.add_edges_from(zip(g.u.tolist(), g.v.tolist()))
+    d = np.full(g.n, -1, np.int64)
+    for v, dist in nx.single_source_shortest_path_length(G, src).items():
+        d[v] = dist
+    return d
+
+
+class TestRMAT:
+    def test_basic_shape(self):
+        g = rmat_graph(10, 8, rng=0)
+        assert g.n == 1024
+        assert g.m == 8 * 1024
+        assert g.canonical().m == g.m  # unique, loop-free
+
+    def test_heavy_tail(self):
+        """R-MAT's hallmark: the max degree dwarfs the mean."""
+        g = rmat_graph(12, 8, rng=1)
+        deg = g.degrees()
+        assert deg.max() > 10 * deg.mean()
+
+    def test_uniform_parameters_recover_flat_degrees(self):
+        g = rmat_graph(12, 8, a=0.25, b=0.25, c=0.25, rng=1)
+        deg = g.degrees()
+        assert deg.max() < 5 * deg.mean()
+
+    def test_deterministic(self):
+        a = rmat_graph(8, 4, rng=3)
+        b = rmat_graph(8, 4, rng=3)
+        assert np.array_equal(a.u, b.u)
+
+    def test_dense_request_clamped(self):
+        g = rmat_graph(2, 100, rng=0)  # 4 vertices can hold at most 6 edges
+        assert g.m <= 6
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            rmat_graph(0)
+        with pytest.raises(WorkloadError):
+            rmat_graph(4, a=0.9, b=0.3, c=0.3)
+
+    def test_cc_algorithms_handle_rmat(self):
+        from repro.graphs.sequential_cc import cc_union_find
+        from repro.graphs.sv_smp import sv_smp
+
+        g = rmat_graph(9, 8, rng=5)
+        assert np.array_equal(sv_smp(g).labels, cc_union_find(g).labels)
+
+
+class TestParallelBFS:
+    @pytest.mark.parametrize(
+        "g",
+        [
+            random_graph(500, 2000, rng=0),
+            chain_graph(300),
+            star_graph(100),
+            rmat_graph(9, 6, rng=1),
+        ],
+        ids=["random", "chain", "star", "rmat"],
+    )
+    def test_depths_match_networkx(self, g):
+        run = parallel_bfs(g, source=0, p=4)
+        assert np.array_equal(run.depth, nx_depths(g, 0))
+
+    def test_parent_tree_consistent(self):
+        g = random_graph(400, 1200, rng=2)
+        run = parallel_bfs(g, source=0)
+        for v in np.flatnonzero(run.parent >= 0):
+            assert run.depth[run.parent[v]] + 1 == run.depth[v]
+
+    def test_unreachable_marked(self):
+        g = EdgeList(5, np.array([0, 3]), np.array([1, 4]))
+        run = parallel_bfs(g, source=0)
+        assert run.depth[2] == -1 and run.parent[2] == -1
+        assert run.reached == 2
+
+    def test_levels_equal_eccentricity_plus_one(self):
+        run = parallel_bfs(chain_graph(64), source=0)
+        assert run.levels == 64
+
+    def test_one_step_per_level_with_barrier(self):
+        g = random_graph(200, 600, rng=1)
+        run = parallel_bfs(g, source=0)
+        assert len(run.steps) == run.levels
+        assert run.triplet.b == run.levels
+
+    def test_parallelism_tracks_frontier_edges(self):
+        g = star_graph(50)
+        run = parallel_bfs(g, source=0)
+        assert run.steps[0].parallelism == 49  # the whole star in one level
+
+    def test_source_validation(self):
+        with pytest.raises(WorkloadError):
+            parallel_bfs(chain_graph(4), source=10)
+        with pytest.raises(WorkloadError):
+            parallel_bfs(EdgeList(0, np.empty(0, np.int64), np.empty(0, np.int64)))
+
+    def test_wide_graphs_utilize_mta_better_than_chains(self):
+        """The 'performance is a function of parallelism' thesis from the
+        algorithm's side: random graphs feed the streams, chains starve
+        them."""
+        wide = parallel_bfs(random_graph(2000, 8000, rng=1), source=0, p=4)
+        deep = parallel_bfs(chain_graph(500), source=0, p=4)
+        u_wide = MTAMachine(p=4).run(wide.steps).utilization
+        u_deep = MTAMachine(p=4).run(deep.steps).utilization
+        assert u_wide > 10 * u_deep
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=80),
+    m=st.integers(min_value=0, max_value=160),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_bfs_depth_is_shortest_path(n, m, seed):
+    rng = np.random.default_rng(seed)
+    if n < 2:
+        m = 0
+    g = EdgeList(
+        n,
+        rng.integers(0, n, m).astype(np.int64),
+        rng.integers(0, n, m).astype(np.int64),
+    ).canonical()
+    src = int(rng.integers(0, n))
+    run = parallel_bfs(g, source=src)
+    assert np.array_equal(run.depth, nx_depths(g, src))
+    # reached set == component of the source
+    labels = nx_cc_labels(g)
+    assert np.array_equal(run.depth >= 0, labels == labels[src])

@@ -1,0 +1,66 @@
+"""Tests for the ASCII plotter (repro.core.plot)."""
+
+import pytest
+
+from repro.core.plot import ascii_plot
+from repro.errors import ConfigurationError
+
+
+class TestAsciiPlot:
+    def test_renders_all_series_markers(self):
+        out = ascii_plot(
+            {"a": ([1, 2, 3], [1, 2, 3]), "b": ([1, 2, 3], [3, 2, 1])},
+            width=20,
+            height=6,
+        )
+        assert "o" in out and "x" in out
+        assert "o=a" in out and "x=b" in out
+
+    def test_title_and_labels(self):
+        out = ascii_plot(
+            {"s": ([1, 2], [1, 2])}, title="Fig X", xlabel="n", ylabel="seconds"
+        )
+        assert out.startswith("Fig X")
+        assert "seconds" in out
+        assert "n:" in out
+
+    def test_log_axes(self):
+        out = ascii_plot(
+            {"s": ([1, 10, 100], [1, 10, 100])}, logx=True, logy=True
+        )
+        assert "[log-log]" in out
+        assert "100" in out
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot({"s": ([0, 1], [1, 2])}, logx=True)
+
+    def test_constant_series_ok(self):
+        out = ascii_plot({"s": ([1, 2, 3], [5, 5, 5])})
+        assert "o" in out
+
+    def test_single_point(self):
+        out = ascii_plot({"s": ([2], [3])})
+        assert "o" in out
+
+    def test_dimensions(self):
+        out = ascii_plot({"s": ([1, 2], [1, 2])}, width=30, height=10)
+        rows = [line for line in out.splitlines() if line.startswith("|")]
+        assert len(rows) == 10
+        assert all(len(r) == 31 for r in rows)
+
+    def test_errors(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot({})
+        with pytest.raises(ConfigurationError):
+            ascii_plot({"s": ([1], [1, 2])})
+        with pytest.raises(ConfigurationError):
+            ascii_plot({"s": ([], [])})
+        with pytest.raises(ConfigurationError):
+            ascii_plot({"s": ([1], [1])}, width=2)
+
+    def test_points_land_at_corners(self):
+        out = ascii_plot({"s": ([0, 10], [0, 10])}, width=10, height=5)
+        rows = [line[1:] for line in out.splitlines() if line.startswith("|")]
+        assert rows[0][-1] == "o"  # max at top-right
+        assert rows[-1][0] == "o"  # min at bottom-left

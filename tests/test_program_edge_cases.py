@@ -1,0 +1,88 @@
+"""Edge cases for the cycle-engine thread programs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graphs.edgelist import EdgeList
+from repro.graphs.programs import simulate_mta_cc, simulate_smp_cc
+from repro.graphs.sequential_cc import cc_union_find
+from repro.lists.generate import ordered_list, random_list, true_ranks
+from repro.lists.programs import simulate_mta_list_ranking, simulate_smp_list_ranking
+
+
+class TestListProgramEdges:
+    def test_single_node(self):
+        nxt = ordered_list(1)
+        sim = simulate_mta_list_ranking(nxt, p=1, streams_per_proc=4)
+        assert sim.ranks.tolist() == [0]
+
+    def test_two_nodes(self):
+        nxt = ordered_list(2)
+        sim = simulate_mta_list_ranking(nxt, p=1, streams_per_proc=4)
+        assert np.array_equal(sim.ranks, true_ranks(nxt))
+
+    def test_more_workers_than_walks(self):
+        nxt = random_list(30, 1)  # 3 walks at nodes_per_walk=10
+        sim = simulate_mta_list_ranking(nxt, p=2, streams_per_proc=100)
+        assert np.array_equal(sim.ranks, true_ranks(nxt))
+
+    def test_one_node_per_walk(self):
+        nxt = random_list(50, 2)
+        sim = simulate_mta_list_ranking(nxt, p=1, streams_per_proc=16, nodes_per_walk=1)
+        assert np.array_equal(sim.ranks, true_ranks(nxt))
+
+    def test_smp_single_processor(self):
+        nxt = random_list(200, 3)
+        sim = simulate_smp_list_ranking(nxt, p=1, rng=0)
+        assert np.array_equal(sim.ranks, true_ranks(nxt))
+
+    def test_smp_more_procs_than_sublists(self):
+        nxt = random_list(40, 4)
+        sim = simulate_smp_list_ranking(nxt, p=4, s=2, rng=0)
+        assert np.array_equal(sim.ranks, true_ranks(nxt))
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(WorkloadError):
+            simulate_mta_list_ranking(np.empty(0, dtype=np.int64))
+        with pytest.raises(WorkloadError):
+            simulate_smp_list_ranking(np.empty(0, dtype=np.int64))
+
+
+class TestCCProgramEdges:
+    def test_edgeless_graph(self):
+        g = EdgeList(5, np.empty(0, np.int64), np.empty(0, np.int64))
+        sim = simulate_mta_cc(g, p=1, streams_per_proc=4)
+        assert sim.labels.tolist() == list(range(5))
+        sim2 = simulate_smp_cc(g, p=2)
+        assert sim2.labels.tolist() == list(range(5))
+
+    def test_single_edge(self):
+        g = EdgeList(3, np.array([0]), np.array([2]))
+        sim = simulate_mta_cc(g, p=1, streams_per_proc=4)
+        assert np.array_equal(sim.labels, cc_union_find(g).labels)
+
+    def test_chunk_size_one(self):
+        from repro.graphs.generate import random_graph
+
+        g = random_graph(60, 150, rng=1)
+        sim = simulate_mta_cc(g, p=2, edges_per_chunk=1)
+        assert np.array_equal(sim.labels, cc_union_find(g).labels)
+
+    def test_empty_graph_rejected(self):
+        g = EdgeList(0, np.empty(0, np.int64), np.empty(0, np.int64))
+        with pytest.raises(WorkloadError):
+            simulate_mta_cc(g)
+        with pytest.raises(WorkloadError):
+            simulate_smp_cc(g)
+
+    def test_race_resolution_still_correct_across_engines(self):
+        """Engine-time write resolution differs from NumPy's array-order
+        resolution, but the component labeling must not."""
+        from repro.graphs.generate import random_graph
+        from repro.graphs.sv_mta import sv_mta
+
+        g = random_graph(150, 600, rng=9)
+        a = simulate_mta_cc(g, p=3).labels
+        b = sv_mta(g).labels
+        assert np.array_equal(a, b)

@@ -1,0 +1,79 @@
+"""Property-based tests: all CC algorithms agree on arbitrary graphs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.edgelist import EdgeList
+from repro.graphs.sequential_cc import cc_bfs, cc_union_find
+from repro.graphs.shiloach_vishkin import sv_pram
+from repro.graphs.spanning_forest import spanning_forest
+from repro.graphs.sv_mta import sv_mta
+from repro.graphs.sv_smp import sv_smp
+from repro.graphs.types import normalize_labels
+from repro.graphs.variants import awerbuch_shiloach, hybrid_cc, random_mating
+
+
+@st.composite
+def graphs(draw, max_n=60, max_m=120):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    if n < 2:
+        m = 0
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    u = rng.integers(0, n, m)
+    v = rng.integers(0, n, m)
+    return EdgeList(n, u.astype(np.int64), v.astype(np.int64)).canonical()
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=graphs())
+def test_all_cc_algorithms_agree(g):
+    ref = cc_union_find(g).labels
+    assert np.array_equal(cc_bfs(g).labels, ref)
+    assert np.array_equal(sv_pram(g).labels, ref)
+    assert np.array_equal(sv_mta(g, max_iter=1000).labels, ref)
+    assert np.array_equal(sv_smp(g).labels, ref)
+    assert np.array_equal(awerbuch_shiloach(g).labels, ref)
+    assert np.array_equal(random_mating(g, rng=0).labels, ref)
+    assert np.array_equal(hybrid_cc(g, rng=0).labels, ref)
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=graphs())
+def test_spanning_forest_properties(g):
+    sf = spanning_forest(g, max_iter=1000)
+    ref = cc_union_find(g).labels
+    assert np.array_equal(sf.cc.labels, ref)
+    assert sf.n_edges == g.n - len(np.unique(ref))
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=graphs())
+def test_labels_are_canonical_minimums(g):
+    """Every vertex's label is the smallest vertex id in its component."""
+    labels = sv_pram(g).labels
+    for comp in np.unique(labels):
+        members = np.flatnonzero(labels == comp)
+        assert comp == members.min()
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=graphs(), seed=st.integers(min_value=0, max_value=2**31))
+def test_labels_invariant_under_relabeling(g, seed):
+    """Relabeling vertices permutes components but not their structure."""
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(g.n).astype(np.int64)
+    h = g.relabeled(perm)
+    lg = sv_pram(g).labels
+    lh = sv_pram(h).labels
+    # two vertices share a component in g iff their images share one in h
+    assert np.array_equal(lg == lg[0], lh[perm] == lh[perm[0]])
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=graphs())
+def test_normalize_labels_idempotent(g):
+    lab = sv_pram(g).labels
+    assert np.array_equal(normalize_labels(lab), lab)

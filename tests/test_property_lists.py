@@ -1,0 +1,73 @@
+"""Property-based tests: all ranking algorithms agree on arbitrary lists."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lists.compaction import rank_by_compaction
+from repro.lists.generate import list_from_order, true_ranks
+from repro.lists.helman_jaja import helman_jaja_prefix, rank_helman_jaja
+from repro.lists.independent_set import rank_independent_set
+from repro.lists.mta_ranking import mta_prefix, rank_mta
+from repro.lists.prefix import ADD, MAX
+from repro.lists.sequential import prefix_sequential, rank_sequential
+from repro.lists.wyllie import rank_wyllie
+
+list_strategy = st.integers(min_value=1, max_value=150).flatmap(
+    lambda n: st.permutations(list(range(n)))
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(order=list_strategy, p=st.integers(min_value=1, max_value=6))
+def test_all_ranking_algorithms_agree(order, p):
+    nxt = list_from_order(np.array(order))
+    truth = true_ranks(nxt)
+    assert np.array_equal(rank_sequential(nxt).ranks, truth)
+    assert np.array_equal(rank_helman_jaja(nxt, p=p, rng=0).ranks, truth)
+    assert np.array_equal(rank_mta(nxt, p=p).ranks, truth)
+    assert np.array_equal(rank_wyllie(nxt, p=p).ranks, truth)
+    assert np.array_equal(rank_by_compaction(nxt, p=p, threshold=16).ranks, truth)
+    assert np.array_equal(rank_independent_set(nxt, p=p, rng=1, stub=4).ranks, truth)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    order=list_strategy,
+    seed=st.integers(min_value=0, max_value=2**31),
+    s=st.integers(min_value=1, max_value=40),
+)
+def test_helman_jaja_any_sublist_count(order, seed, s):
+    nxt = list_from_order(np.array(order))
+    run = rank_helman_jaja(nxt, p=2, s=s, rng=seed)
+    assert np.array_equal(run.ranks, true_ranks(nxt))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    order=list_strategy,
+    values_seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_parallel_prefix_matches_sequential_for_add_and_max(order, values_seed):
+    nxt = list_from_order(np.array(order))
+    n = len(nxt)
+    values = np.random.default_rng(values_seed).integers(-1000, 1000, n)
+    for op in (ADD, MAX):
+        ref = prefix_sequential(nxt, values, op)
+        hj = helman_jaja_prefix(nxt, p=3, values=values, op=op, rng=1)
+        mta = mta_prefix(nxt, p=3, values=values, op=op)
+        assert np.array_equal(hj.prefix, ref)
+        assert np.array_equal(mta.prefix, ref)
+
+
+@settings(max_examples=40, deadline=None)
+@given(order=list_strategy)
+def test_cost_counts_are_nonnegative_and_finite(order):
+    nxt = list_from_order(np.array(order))
+    run = rank_helman_jaja(nxt, p=2, rng=0)
+    for step in run.steps:
+        for arr in (step.contig, step.noncontig, step.ops,
+                    step.contig_writes, step.noncontig_writes):
+            assert np.isfinite(arr).all()
+            assert (arr >= 0).all()
+        assert step.barriers >= 0

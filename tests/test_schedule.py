@@ -1,0 +1,76 @@
+"""Tests for scheduling policies (repro.core.schedule)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import block_assign, dynamic_assign, per_proc_totals
+from repro.errors import ConfigurationError
+
+
+class TestDynamicAssign:
+    def test_round_robin_on_equal_weights(self):
+        assign = dynamic_assign(np.ones(8), p=4)
+        assert np.bincount(assign, minlength=4).tolist() == [2, 2, 2, 2]
+
+    def test_balances_skewed_weights(self):
+        # one huge item followed by many small ones: the huge item's
+        # processor should receive nothing else
+        weights = np.array([100.0] + [1.0] * 50)
+        assign = dynamic_assign(weights, p=2)
+        big_proc = assign[0]
+        loads = per_proc_totals(assign, weights, 2)
+        assert loads[big_proc] == pytest.approx(100.0)
+        assert loads[1 - big_proc] == pytest.approx(50.0)
+
+    def test_single_processor_gets_everything(self):
+        assign = dynamic_assign(np.arange(5), p=1)
+        assert set(assign.tolist()) == {0}
+
+    def test_empty(self):
+        assert dynamic_assign(np.empty(0), p=3).size == 0
+
+    def test_invalid_p(self):
+        with pytest.raises(ConfigurationError):
+            dynamic_assign(np.ones(3), p=0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=100), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_property_dynamic_at_most_block_imbalance(self, weights, p):
+        """Greedy self-scheduling never has a worse max load than any
+        single item plus a fair share — the classic 2-approximation."""
+        w = np.array(weights)
+        assign = dynamic_assign(w, p)
+        loads = per_proc_totals(assign, w, p)
+        bound = w.sum() / p + w.max()
+        assert loads.max() <= bound + 1e-9
+
+
+class TestBlockAssign:
+    def test_contiguous_blocks(self):
+        assign = block_assign(10, p=3)  # ceil(10/3) = 4
+        assert assign.tolist() == [0, 0, 0, 0, 1, 1, 1, 1, 2, 2]
+
+    def test_exact_division(self):
+        assert block_assign(6, p=3).tolist() == [0, 0, 1, 1, 2, 2]
+
+    def test_empty(self):
+        assert block_assign(0, p=2).size == 0
+
+    def test_invalid_p(self):
+        with pytest.raises(ConfigurationError):
+            block_assign(4, p=0)
+
+
+class TestPerProcTotals:
+    def test_sums(self):
+        totals = per_proc_totals(np.array([0, 1, 0]), np.array([1.0, 2.0, 3.0]), 2)
+        assert totals.tolist() == [4.0, 2.0]
+
+    def test_idle_processors_zero(self):
+        totals = per_proc_totals(np.array([0]), np.array([5.0]), 3)
+        assert totals.tolist() == [5.0, 0.0, 0.0]

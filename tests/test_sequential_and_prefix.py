@@ -1,0 +1,70 @@
+"""Tests for sequential ranking and prefix operators."""
+
+import numpy as np
+import pytest
+
+from repro.lists.generate import ordered_list, random_list, true_ranks
+from repro.lists.prefix import ADD, MAX, MIN, MUL
+from repro.lists.sequential import prefix_sequential, rank_sequential
+
+
+class TestSequentialRanking:
+    def test_correct_on_both_classes(self, rng):
+        for nxt in (ordered_list(500), random_list(500, rng)):
+            run = rank_sequential(nxt)
+            assert np.array_equal(run.ranks, true_ranks(nxt))
+
+    def test_single_processor_single_step(self):
+        run = rank_sequential(ordered_list(100))
+        assert len(run.steps) == 1
+        assert run.steps[0].p == 1
+        assert run.steps[0].barriers == 0
+
+    def test_ordered_measured_contiguous(self):
+        run = rank_sequential(ordered_list(1000))
+        s = run.steps[0]
+        assert float(s.contig.sum()) == pytest.approx(999.0)
+        assert float(s.noncontig.sum()) == pytest.approx(1.0)
+
+    def test_random_measured_noncontiguous(self, rng):
+        run = rank_sequential(random_list(1000, rng))
+        s = run.steps[0]
+        assert float(s.noncontig.sum()) > 950
+
+    def test_no_parallelism_offered(self):
+        run = rank_sequential(ordered_list(10))
+        assert run.steps[0].effective_parallelism == 1.0
+
+
+class TestPrefixSequential:
+    def test_add_prefix(self):
+        nxt = ordered_list(5)
+        values = np.array([1, 2, 3, 4, 5])
+        out = prefix_sequential(nxt, values, ADD)
+        assert out.tolist() == [1, 3, 6, 10, 15]
+
+    def test_follows_list_order_not_array_order(self, rng):
+        nxt = random_list(50, rng)
+        values = np.arange(50)
+        out = prefix_sequential(nxt, values, ADD)
+        ranks = true_ranks(nxt)
+        order = np.argsort(ranks)
+        assert np.array_equal(out[order], np.cumsum(values[order]))
+
+
+class TestPrefixOps:
+    def test_identities(self):
+        x = np.array([7, -3, 10])
+        assert np.array_equal(ADD(ADD.identity, x), x)
+        assert np.array_equal(MAX(MAX.identity, x), x)
+        assert np.array_equal(MIN(MIN.identity, x), x)
+        assert np.array_equal(MUL(MUL.identity, x), x)
+
+    def test_associativity_samples(self, rng):
+        a, b, c = rng.integers(-100, 100, (3, 20))
+        for op in (ADD, MAX, MIN):
+            assert np.array_equal(op(op(a, b), c), op(a, op(b, c)))
+
+    def test_callable(self):
+        assert ADD(2, 3) == 5
+        assert MAX(2, 3) == 3

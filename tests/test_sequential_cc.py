@@ -1,0 +1,74 @@
+"""Tests for sequential connected-components baselines (repro.graphs.sequential_cc)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generate import (
+    chain_graph,
+    cliques_graph,
+    forest_of_chains,
+    mesh2d,
+    random_graph,
+    star_graph,
+)
+from repro.graphs.sequential_cc import cc_bfs, cc_union_find
+
+from .conftest import nx_cc_labels
+
+FAMILIES = [
+    random_graph(300, 900, rng=0),
+    mesh2d(12, 13),
+    chain_graph(200),
+    star_graph(150),
+    cliques_graph(6, 8),
+    forest_of_chains(5, 40, rng=1),
+]
+
+
+class TestUnionFind:
+    @pytest.mark.parametrize("g", FAMILIES, ids=range(len(FAMILIES)))
+    def test_matches_networkx(self, g):
+        assert np.array_equal(cc_union_find(g).labels, nx_cc_labels(g))
+
+    def test_component_count(self):
+        g = forest_of_chains(7, 10, rng=2)
+        assert cc_union_find(g).n_components == 7
+
+    def test_chase_steps_measured(self):
+        run = cc_union_find(chain_graph(100))
+        assert run.stats["chase_steps"] >= 0
+        assert run.stats["unions"] == 99
+
+    def test_single_step_no_barriers(self):
+        run = cc_union_find(random_graph(50, 100, rng=0))
+        assert len(run.steps) == 1
+        assert run.steps[0].barriers == 0
+        assert run.steps[0].p == 1
+
+    def test_isolated_vertices(self):
+        g = random_graph(20, 0, rng=0)
+        run = cc_union_find(g)
+        assert run.n_components == 20
+
+
+class TestBFS:
+    @pytest.mark.parametrize("g", FAMILIES, ids=range(len(FAMILIES)))
+    def test_matches_networkx(self, g):
+        assert np.array_equal(cc_bfs(g).labels, nx_cc_labels(g))
+
+    def test_frontier_rounds_equal_ecc_ish(self):
+        run = cc_bfs(chain_graph(64))
+        # BFS from vertex 0 on a path: 64 frontiers
+        assert run.stats["frontier_rounds"] == 64
+
+    def test_edge_gathers_counted(self):
+        g = star_graph(10)
+        run = cc_bfs(g)
+        assert run.stats["edge_gathers"] == 2 * g.m  # each direction gathered once
+
+
+class TestBaselinesAgree:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_uf_and_bfs_identical(self, seed):
+        g = random_graph(200, 350, rng=seed)
+        assert np.array_equal(cc_union_find(g).labels, cc_bfs(g).labels)

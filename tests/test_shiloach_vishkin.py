@@ -1,0 +1,170 @@
+"""Tests for the faithful PRAM Shiloach–Vishkin algorithm (Alg. 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError, WorkloadError
+from repro.graphs.edgelist import EdgeList
+from repro.graphs.generate import (
+    chain_graph,
+    cliques_graph,
+    forest_of_chains,
+    mesh2d,
+    random_graph,
+    star_graph,
+    worst_case_labeling,
+)
+from repro.graphs.shiloach_vishkin import star_vector, sv_pram
+
+from .conftest import nx_cc_labels
+
+
+class TestStarVector:
+    def test_singletons_are_stars(self):
+        d = np.arange(5)
+        assert star_vector(d).all()
+
+    def test_flat_star_detected(self):
+        d = np.array([0, 0, 0, 0])
+        assert star_vector(d).all()
+
+    def test_depth_two_tree_is_not_a_star(self):
+        # 2 -> 1 -> 0
+        d = np.array([0, 0, 1])
+        st = star_vector(d)
+        assert not st[0] and not st[1] and not st[2]
+
+    def test_mixed_forest(self):
+        # star {0,1} and chain 4->3->2
+        d = np.array([0, 0, 2, 2, 3])
+        st = star_vector(d)
+        assert st[0] and st[1]
+        assert not st[2] and not st[3] and not st[4]
+
+    def test_deep_chain_all_non_star(self):
+        d = np.array([0, 0, 1, 2, 3, 4])
+        assert not star_vector(d).any()
+
+
+class TestSVCorrectness:
+    @pytest.mark.parametrize(
+        "g",
+        [
+            random_graph(300, 900, rng=0),
+            mesh2d(10, 11),
+            chain_graph(250),
+            star_graph(100),
+            cliques_graph(5, 7),
+            forest_of_chains(6, 30, rng=1),
+        ],
+        ids=["random", "mesh", "chain", "star", "cliques", "forest"],
+    )
+    def test_matches_networkx(self, g):
+        run = sv_pram(g)
+        assert np.array_equal(run.labels, nx_cc_labels(g))
+
+    def test_worst_case_labeling_still_correct(self):
+        g = worst_case_labeling(random_graph(150, 300, rng=2))
+        assert np.array_equal(sv_pram(g).labels, nx_cc_labels(g))
+
+    def test_isolated_vertices(self):
+        g = EdgeList(10, np.array([0]), np.array([1]))
+        run = sv_pram(g)
+        assert run.n_components == 9
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(WorkloadError):
+            sv_pram(EdgeList(0, np.array([], dtype=np.int64), np.array([], dtype=np.int64)))
+
+    def test_parents_are_rooted_stars_at_exit(self):
+        g = random_graph(200, 500, rng=3)
+        run = sv_pram(g)
+        d = run.parents
+        assert np.array_equal(d[d], d)
+
+
+class TestSVComplexity:
+    def test_iterations_logarithmic_on_chain(self):
+        n = 512
+        run = sv_pram(chain_graph(n))
+        assert run.iterations <= 2 * math.ceil(math.log2(n)) + 2
+
+    def test_star_converges_fast(self):
+        run = sv_pram(star_graph(1000))
+        assert run.iterations <= 3
+
+    def test_four_barriers_per_full_iteration(self):
+        g = chain_graph(64)
+        run = sv_pram(g)
+        assert run.triplet.b == pytest.approx(4 * run.iterations, abs=2)
+
+    def test_max_iter_guard(self):
+        with pytest.raises(SimulationError):
+            sv_pram(chain_graph(512), max_iter=1)
+
+    def test_graft_history_recorded(self):
+        run = sv_pram(random_graph(100, 200, rng=1))
+        assert len(run.stats["graft_history"]) == run.iterations
+        assert run.stats["graft_history"][-1] == 0  # final iteration grafts nothing
+
+
+class TestSVLabelingSensitivity:
+    def test_iteration_count_depends_on_labeling(self):
+        """The paper: 'SV is sensitive to the labeling of vertices.'"""
+        base = chain_graph(512)
+        worst = worst_case_labeling(base)
+        it_best = sv_pram(base).iterations
+        it_worst = sv_pram(worst).iterations
+        assert it_best != it_worst or it_worst > 1
+
+
+class TestStagnancyRegression:
+    """Regression tests for the hook-cycle bug the paper's pseudocode hides.
+
+    Without the stagnant-star condition in step 2, three stars arranged
+    in a triangle can hook each other into a pointer 3-cycle that the
+    shortcut oscillates on forever.  Property testing originally found
+    the failing instance below (seed 36); it must converge now and
+    forever."""
+
+    def test_original_counterexample_converges(self):
+        rng = np.random.default_rng(36)
+        g = EdgeList(
+            30,
+            rng.integers(0, 30, 30).astype(np.int64),
+            rng.integers(0, 30, 30).astype(np.int64),
+        ).canonical()
+        run = sv_pram(g)  # would raise SimulationError before the fix
+        from repro.graphs.sequential_cc import cc_union_find
+
+        assert np.array_equal(run.labels, cc_union_find(g).labels)
+
+    def test_handcrafted_star_triangle(self):
+        """Three 2-vertex stars whose leaves form a triangle."""
+        #  stars: (0,1), (2,3), (4,5); triangle between leaves 1, 3, 5
+        g = EdgeList(
+            6,
+            np.array([0, 2, 4, 1, 3, 5]),
+            np.array([1, 3, 5, 3, 5, 1]),
+        )
+        run = sv_pram(g)
+        assert run.n_components == 1
+
+    def test_parents_never_cycle_midway(self):
+        """After every public run, D must be a rooted forest (D[D] = D)."""
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            n = int(rng.integers(3, 60))
+            m = int(rng.integers(1, 120))
+            g = EdgeList(
+                n,
+                rng.integers(0, n, m).astype(np.int64),
+                rng.integers(0, n, m).astype(np.int64),
+            ).canonical()
+            if g.m == 0:
+                continue
+            run = sv_pram(g)
+            d = run.parents
+            assert np.array_equal(d[d], d), seed

@@ -1,0 +1,111 @@
+"""Fuzz tests: random thread programs must never wedge the engines.
+
+Hypothesis generates arbitrary well-formed op sequences (no orphan
+barriers, producers matched to consumers) and checks the engines'
+global invariants: termination, exact instruction accounting,
+utilization bounds, and conservation of fetch-add increments.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import MTAEngine, SMPEngine, isa
+
+# one op of a random straight-line program (no sync ops — those need
+# matched partners and are fuzzed separately below)
+plain_op = st.one_of(
+    st.integers(min_value=1, max_value=5).map(isa.compute),
+    st.integers(min_value=0, max_value=4000).map(isa.load),
+    st.integers(min_value=0, max_value=4000).map(isa.load_dep),
+    st.integers(min_value=0, max_value=4000).map(isa.store),
+    st.integers(min_value=0, max_value=16).map(lambda a: isa.fetch_add(a, 1)),
+)
+
+program_strategy = st.lists(plain_op, min_size=0, max_size=30)
+
+
+def make_gen(ops):
+    def gen():
+        for op in ops:
+            result = yield op
+            del result
+
+    return gen()
+
+
+@settings(max_examples=50, deadline=None)
+@given(programs=st.lists(program_strategy, min_size=1, max_size=12))
+def test_mta_engine_accounts_every_instruction(programs):
+    eng = MTAEngine(p=2, streams_per_proc=64, mem_latency=20)
+    for addr in range(17):
+        eng.set_counter(addr, 0)
+    total_ops = 0
+    for ops in programs:
+        total_ops += sum(op[1] if op[0] == "C" else 1 for op in ops)
+        eng.spawn(make_gen(ops))
+    report = eng.run(max_cycles=2_000_000)
+    assert report.total_issued == total_ops
+    assert 0.0 <= report.utilization <= 1.0
+    assert report.cycles >= -(-total_ops // 2)  # at most 2 issues per cycle (p=2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(programs=st.lists(program_strategy, min_size=1, max_size=6))
+def test_smp_engine_accounts_every_instruction(programs):
+    p = len(programs)
+    eng = SMPEngine(p=p)
+    for addr in range(17):
+        eng.set_counter(addr, 0)
+    total_ops = 0
+    for ops in programs:
+        total_ops += len(ops)
+        eng.attach(make_gen(ops))
+    report = eng.run()
+    assert report.total_issued == total_ops
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    increments=st.lists(st.integers(min_value=-5, max_value=5), min_size=1, max_size=40),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_fetch_add_conserves_sum_under_any_interleaving(increments, seed):
+    rng = np.random.default_rng(seed)
+    eng = MTAEngine(p=int(rng.integers(1, 5)), streams_per_proc=64, mem_latency=5)
+    eng.set_counter(0, 100)
+
+    def adder(inc):
+        yield isa.compute(int(rng.integers(1, 4)))
+        yield isa.fetch_add(0, inc)
+
+    for inc in increments:
+        eng.spawn(adder(inc))
+    eng.run()
+    assert eng.fa_values[0] == 100 + sum(increments)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n_pairs=st.integers(min_value=1, max_value=10), seed=st.integers(min_value=0, max_value=2**31))
+def test_full_empty_pairs_always_complete(n_pairs, seed):
+    """Matched producer/consumer sets never deadlock and every value
+    is delivered exactly once."""
+    rng = np.random.default_rng(seed)
+    eng = MTAEngine(p=int(rng.integers(1, 4)), streams_per_proc=64, mem_latency=10)
+    received = []
+
+    def producer(addr, value, delay):
+        yield isa.compute(delay)
+        yield isa.sync_store(addr, value)
+
+    def consumer(addr, delay):
+        yield isa.compute(delay)
+        v = yield isa.sync_load_consume(addr)
+        received.append(v)
+
+    for k in range(n_pairs):
+        addr = 1000 + int(rng.integers(0, 3))  # shared cells across pairs
+        eng.spawn(producer(addr, k, int(rng.integers(1, 20))))
+        eng.spawn(consumer(addr, int(rng.integers(1, 20))))
+    eng.run()
+    assert sorted(received) == list(range(n_pairs))

@@ -1,0 +1,90 @@
+"""Tests for the spanning-forest extension (repro.graphs.spanning_forest)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.edgelist import EdgeList
+from repro.graphs.generate import (
+    chain_graph,
+    cliques_graph,
+    forest_of_chains,
+    mesh2d,
+    random_graph,
+    star_graph,
+)
+from repro.graphs.spanning_forest import spanning_forest
+
+from .conftest import nx_cc_labels
+
+
+def is_acyclic_and_spanning(g: EdgeList, edge_ids: np.ndarray, labels: np.ndarray) -> bool:
+    """Union-find check: forest edges never close a cycle and connect
+    exactly the components of the input graph."""
+    parent = list(range(g.n))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for e in edge_ids.tolist():
+        a, b = find(int(g.u[e])), find(int(g.v[e]))
+        if a == b:
+            return False  # cycle
+        parent[a] = b
+    # same partition as the true components
+    roots = {}
+    for v in range(g.n):
+        roots.setdefault(find(v), set()).add(labels[v])
+    return all(len(s) == 1 for s in roots.values())
+
+
+FAMILIES = {
+    "random": random_graph(250, 800, rng=0),
+    "mesh": mesh2d(10, 10),
+    "chain": chain_graph(200),
+    "star": star_graph(150),
+    "cliques": cliques_graph(5, 8),
+    "forest": forest_of_chains(6, 25, rng=1),
+}
+
+
+class TestSpanningForest:
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_forest_size_is_n_minus_components(self, name):
+        g = FAMILIES[name]
+        sf = spanning_forest(g, max_iter=600)
+        assert sf.n_edges == g.n - sf.cc.n_components
+
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_forest_is_acyclic_and_spans(self, name):
+        g = FAMILIES[name]
+        sf = spanning_forest(g, max_iter=600)
+        labels = nx_cc_labels(g)
+        assert is_acyclic_and_spanning(g, sf.edge_ids, labels)
+
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_labels_match_networkx(self, name):
+        g = FAMILIES[name]
+        sf = spanning_forest(g, max_iter=600)
+        assert np.array_equal(sf.cc.labels, nx_cc_labels(g))
+
+    def test_edge_ids_reference_input_edges(self):
+        g = random_graph(100, 300, rng=3)
+        sf = spanning_forest(g)
+        assert sf.edge_ids.min() >= 0
+        assert sf.edge_ids.max() < g.m
+        assert len(np.unique(sf.edge_ids)) == sf.n_edges
+
+    def test_deterministic(self):
+        g = random_graph(120, 360, rng=4)
+        a = spanning_forest(g)
+        b = spanning_forest(g)
+        assert np.array_equal(a.edge_ids, b.edge_ids)
+
+    def test_edgeless_graph(self):
+        g = EdgeList(5, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        sf = spanning_forest(g)
+        assert sf.n_edges == 0
+        assert sf.cc.n_components == 5

@@ -1,0 +1,107 @@
+"""Tests for the MTA (Alg. 3) and SMP-optimized SV variants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.graphs.generate import (
+    best_case_labeling,
+    chain_graph,
+    cliques_graph,
+    forest_of_chains,
+    mesh2d,
+    random_graph,
+    star_graph,
+    worst_case_labeling,
+)
+from repro.graphs.sv_mta import sv_mta
+from repro.graphs.sv_smp import sv_smp
+
+from .conftest import nx_cc_labels
+
+FAMILIES = {
+    "random": random_graph(300, 900, rng=0),
+    "mesh": mesh2d(11, 12),
+    "chain": chain_graph(300),
+    "star": star_graph(200),
+    "cliques": cliques_graph(5, 8),
+    "forest": forest_of_chains(4, 40, rng=1),
+}
+
+
+class TestSVMTA:
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_matches_networkx(self, name):
+        g = FAMILIES[name]
+        run = sv_mta(g, max_iter=600)
+        assert np.array_equal(run.labels, nx_cc_labels(g))
+
+    def test_ends_with_rooted_stars(self):
+        run = sv_mta(random_graph(200, 600, rng=2))
+        d = run.parents
+        assert np.array_equal(d[d], d)
+
+    def test_one_barrier_per_phase(self):
+        run = sv_mta(random_graph(100, 300, rng=1))
+        # graft + shortcut steps, each one barrier
+        assert run.triplet.b == len(run.steps)
+
+    def test_shortcut_work_measured_not_bounded(self):
+        run = sv_mta(chain_graph(256))
+        # total pointer jumps recorded per iteration
+        assert all(j >= 0 for j in run.stats["jump_work"])
+        assert sum(run.stats["jump_work"]) > 0
+
+    def test_graft_history_monotone_end(self):
+        run = sv_mta(random_graph(150, 400, rng=3))
+        assert run.stats["graft_history"][-1] == 0
+
+    def test_max_iter_guard(self):
+        with pytest.raises(SimulationError):
+            sv_mta(chain_graph(300), max_iter=1)
+
+    def test_labeling_sensitivity(self):
+        """Iteration counts vary with vertex labels (paper Section 4)."""
+        base = random_graph(256, 512, rng=5)
+        runs = {
+            "best": sv_mta(best_case_labeling(base), max_iter=600).iterations,
+            "arbitrary": sv_mta(base, max_iter=600).iterations,
+            "worst": sv_mta(worst_case_labeling(base), max_iter=600).iterations,
+        }
+        assert len(set(runs.values())) > 1 or runs["arbitrary"] > 1
+
+
+class TestSVSMP:
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_matches_networkx(self, name):
+        g = FAMILIES[name]
+        run = sv_smp(g)
+        assert np.array_equal(run.labels, nx_cc_labels(g))
+
+    def test_edge_filtering_shrinks_work(self):
+        run = sv_smp(random_graph(300, 1200, rng=0))
+        hist = run.stats["m_history"]
+        assert hist[0] == 1200
+        assert hist[-1] == 0
+        assert all(a >= b for a, b in zip(hist, hist[1:]))
+
+    def test_three_barriers_per_iteration(self):
+        run = sv_smp(random_graph(100, 250, rng=1))
+        assert run.triplet.b == 3 * run.iterations
+
+    def test_min_hook_converges_on_adversarial_star(self):
+        """The priority-CRCW hook avoids the one-merge-per-round funnel."""
+        g = worst_case_labeling(star_graph(512))
+        run = sv_smp(g)
+        assert run.iterations <= 4
+
+    def test_max_iter_guard(self):
+        with pytest.raises(SimulationError):
+            sv_smp(chain_graph(300), max_iter=0)
+
+
+class TestVariantsAgree:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_both_machine_variants_agree(self, seed):
+        g = random_graph(200, 500, rng=seed)
+        assert np.array_equal(sv_mta(g).labels, sv_smp(g).labels)

@@ -1,0 +1,133 @@
+"""Tests for expression trees and parallel tree contraction (repro.trees)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MTAMachine, SMPMachine
+from repro.errors import WorkloadError
+from repro.trees import evaluate_by_contraction, random_expression_tree
+from repro.trees.expression import ADD_OP, MUL_OP, ExpressionTree
+
+MOD = 1_000_000_007
+
+
+def manual_tree():
+    """(2 + 3) * 4 — built by hand."""
+    #        0:*
+    #      1:+   2:4
+    #    3:2  4:3
+    return ExpressionTree(
+        left=np.array([1, 3, -1, -1, -1]),
+        right=np.array([2, 4, -1, -1, -1]),
+        op=np.array([MUL_OP, ADD_OP, 0, 0, 0]),
+        value=np.array([0, 0, 4, 2, 3]),
+        root=0,
+    )
+
+
+class TestExpressionTree:
+    def test_manual_evaluation(self):
+        t = manual_tree()
+        assert t.evaluate_reference() == 20.0
+        assert t.evaluate_reference(modulus=7) == 20 % 7
+
+    def test_properties(self):
+        t = manual_tree()
+        assert t.n == 5
+        assert t.n_leaves == 3
+        parent, is_left = t.parents()
+        assert parent.tolist() == [-1, 0, 0, 1, 1]
+        assert bool(is_left[1]) and not bool(is_left[2])
+
+    def test_generator_shapes(self):
+        t = random_expression_tree(100, rng=0)
+        assert t.n == 199
+        assert t.n_leaves == 100
+
+    def test_generator_deterministic(self):
+        a = random_expression_tree(20, rng=5)
+        b = random_expression_tree(20, rng=5)
+        assert np.array_equal(a.left, b.left)
+        assert np.array_equal(a.value, b.value)
+
+    def test_validation_rejects_malformed(self):
+        with pytest.raises(WorkloadError):
+            ExpressionTree(  # node 1 has only one child
+                left=np.array([1, 2, -1]),
+                right=np.array([2, -1, -1]),
+                op=np.zeros(3, dtype=np.int64),
+                value=np.zeros(3, dtype=np.int64),
+                root=0,
+            )
+        with pytest.raises(WorkloadError):
+            random_expression_tree(0)
+
+
+class TestContraction:
+    def test_manual_tree(self):
+        run = evaluate_by_contraction(manual_tree(), p=2, modulus=MOD)
+        assert run.value == 20
+
+    def test_single_leaf(self):
+        t = random_expression_tree(1, rng=0)
+        run = evaluate_by_contraction(t, modulus=MOD)
+        assert run.value == int(t.value[t.root]) % MOD
+        assert run.rounds == 0
+
+    @pytest.mark.parametrize("leaves", [2, 3, 7, 64, 257, 1000])
+    def test_matches_reference(self, leaves):
+        t = random_expression_tree(leaves, rng=leaves)
+        run = evaluate_by_contraction(t, p=4, modulus=MOD)
+        assert run.value == t.evaluate_reference(modulus=MOD)
+
+    def test_rounds_logarithmic(self):
+        t = random_expression_tree(4096, rng=1)
+        run = evaluate_by_contraction(t, p=8, modulus=MOD)
+        assert run.rounds <= 2 * math.ceil(math.log2(4096)) + 8
+
+    def test_skewed_tree(self):
+        """A fully left-skewed comb — the adversarial shape for raking."""
+        leaves = 200
+        t = random_expression_tree(leaves, rng=3, add_probability=1.0)
+        run = evaluate_by_contraction(t, p=4, modulus=MOD)
+        assert run.value == t.evaluate_reference(modulus=MOD)
+
+    def test_float_mode_additions(self):
+        t = random_expression_tree(300, rng=2, add_probability=1.0, value_range=(0, 9))
+        run = evaluate_by_contraction(t, p=4)
+        assert run.value == pytest.approx(t.evaluate_reference())
+
+    def test_costs_timed_on_both_machines(self):
+        t = random_expression_tree(2000, rng=4)
+        run = evaluate_by_contraction(t, p=8, modulus=MOD)
+        assert MTAMachine(p=8).run(run.steps).seconds > 0
+        assert SMPMachine(p=8).run(run.steps).seconds > 0
+        # leaf numbering (the list-ranking part) is included
+        assert any("leafnum" in s.name for s in run.steps)
+
+    def test_raked_counts_sum_to_leaves_minus_two(self):
+        t = random_expression_tree(500, rng=6)
+        run = evaluate_by_contraction(t, p=2, modulus=MOD)
+        assert sum(run.stats["raked"]) == 500 - 2
+
+    def test_bad_modulus(self):
+        with pytest.raises(WorkloadError):
+            evaluate_by_contraction(manual_tree(), modulus=1)
+        with pytest.raises(WorkloadError):
+            evaluate_by_contraction(manual_tree(), modulus=1 << 40)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    leaves=st.integers(min_value=1, max_value=120),
+    seed=st.integers(min_value=0, max_value=2**31),
+    p=st.integers(min_value=1, max_value=6),
+)
+def test_property_contraction_exact_mod_prime(leaves, seed, p):
+    t = random_expression_tree(leaves, rng=seed, value_range=(0, 1000))
+    run = evaluate_by_contraction(t, p=p, modulus=MOD)
+    assert run.value == t.evaluate_reference(modulus=MOD)

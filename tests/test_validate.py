@@ -1,0 +1,108 @@
+"""Tests for the public invariant checkers (repro.validate)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graphs import random_graph, spanning_forest, sv_pram
+from repro.lists import ordered_list, random_list, rank_mta, true_ranks
+from repro.validate import (
+    check_component_labels,
+    check_ranks,
+    check_rooted_forest,
+    check_spanning_forest,
+)
+
+
+class TestCheckRanks:
+    def test_accepts_truth(self):
+        nxt = random_list(200, 1)
+        check_ranks(nxt, true_ranks(nxt))
+        check_ranks(nxt, rank_mta(nxt).ranks)
+
+    def test_rejects_shuffled(self):
+        nxt = ordered_list(10)
+        with pytest.raises(WorkloadError):
+            check_ranks(nxt, np.arange(10)[::-1])
+
+    def test_rejects_non_permutation(self):
+        nxt = ordered_list(4)
+        with pytest.raises(WorkloadError):
+            check_ranks(nxt, np.zeros(4, dtype=np.int64))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(WorkloadError):
+            check_ranks(ordered_list(4), np.arange(3))
+
+    def test_rejects_swapped_pair(self):
+        nxt = ordered_list(6)
+        ranks = true_ranks(nxt)
+        ranks[2], ranks[3] = ranks[3], ranks[2]
+        with pytest.raises(WorkloadError):
+            check_ranks(nxt, ranks)
+
+
+class TestCheckRootedForest:
+    def test_accepts_stars(self):
+        check_rooted_forest(np.array([0, 0, 0, 3, 3]))
+        check_rooted_forest(sv_pram(random_graph(100, 300, rng=0)).parents)
+
+    def test_rejects_chain(self):
+        with pytest.raises(WorkloadError):
+            check_rooted_forest(np.array([0, 0, 1]))
+
+
+class TestCheckComponentLabels:
+    def test_accepts_algorithm_output(self):
+        g = random_graph(300, 900, rng=1)
+        check_component_labels(g, sv_pram(g).labels)
+
+    def test_rejects_crossing_edge(self):
+        g = random_graph(50, 120, rng=2)
+        labels = np.arange(50, dtype=np.int64)  # everyone their own class
+        with pytest.raises(WorkloadError):
+            check_component_labels(g, labels)
+
+    def test_rejects_overmerged(self):
+        g = random_graph(50, 40, rng=3)  # likely several components
+        labels = np.zeros(50, dtype=np.int64)
+        if sv_pram(g).n_components > 1:
+            with pytest.raises(WorkloadError):
+                check_component_labels(g, labels)
+
+    def test_rejects_noncanonical(self):
+        # a connected graph labeled consistently but not by its minimum
+        g = random_graph(30, 200, rng=4)
+        assert sv_pram(g).n_components == 1
+        labels = np.full(30, 5, dtype=np.int64)
+        with pytest.raises(WorkloadError):
+            check_component_labels(g, labels)
+
+
+class TestCheckSpanningForest:
+    def test_accepts_algorithm_output(self):
+        g = random_graph(200, 600, rng=5)
+        sf = spanning_forest(g)
+        check_spanning_forest(g, sf.edge_ids)
+
+    def test_rejects_cycle(self):
+        g = random_graph(20, 100, rng=6)
+        with pytest.raises(WorkloadError):
+            check_spanning_forest(g, np.arange(g.m))  # all edges: cycles
+
+    def test_rejects_duplicates(self):
+        g = random_graph(20, 50, rng=7)
+        with pytest.raises(WorkloadError):
+            check_spanning_forest(g, np.array([0, 0]))
+
+    def test_rejects_out_of_range(self):
+        g = random_graph(10, 20, rng=8)
+        with pytest.raises(WorkloadError):
+            check_spanning_forest(g, np.array([99]))
+
+    def test_rejects_incomplete(self):
+        g = random_graph(50, 200, rng=9)
+        sf = spanning_forest(g)
+        if sf.n_edges > 1:
+            with pytest.raises(WorkloadError):
+                check_spanning_forest(g, sf.edge_ids[:-1])

@@ -1,0 +1,102 @@
+"""Tests for related-work CC algorithms (repro.graphs.variants)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graphs.generate import (
+    chain_graph,
+    cliques_graph,
+    forest_of_chains,
+    mesh2d,
+    random_graph,
+    star_graph,
+)
+from repro.graphs.variants import awerbuch_shiloach, hybrid_cc, random_mating
+
+from .conftest import nx_cc_labels
+
+FAMILIES = {
+    "random": random_graph(250, 700, rng=0),
+    "mesh": mesh2d(9, 10),
+    "chain": chain_graph(200),
+    "star": star_graph(120),
+    "cliques": cliques_graph(4, 7),
+    "forest": forest_of_chains(5, 30, rng=1),
+}
+
+
+class TestAwerbuchShiloach:
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_matches_networkx(self, name):
+        g = FAMILIES[name]
+        assert np.array_equal(awerbuch_shiloach(g).labels, nx_cc_labels(g))
+
+    def test_iterations_bounded(self):
+        run = awerbuch_shiloach(chain_graph(512))
+        assert run.iterations <= 2 * 9 + 4  # ~2 log n
+
+    def test_graft_history(self):
+        run = awerbuch_shiloach(random_graph(100, 300, rng=2))
+        assert len(run.stats["graft_history"]) == run.iterations
+
+
+class TestRandomMating:
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_matches_networkx(self, name):
+        g = FAMILIES[name]
+        assert np.array_equal(random_mating(g, rng=7).labels, nx_cc_labels(g))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_correct_for_any_coin_sequence(self, seed):
+        g = random_graph(150, 400, rng=1)
+        assert np.array_equal(random_mating(g, rng=seed).labels, nx_cc_labels(g))
+
+    def test_edges_contract_monotonically(self):
+        run = random_mating(random_graph(200, 800, rng=0), rng=3)
+        hist = run.stats["m_history"]
+        assert all(a >= b for a, b in zip(hist, hist[1:]))
+        assert hist[-1] == 0
+
+    def test_rounds_are_logarithmic_in_expectation(self):
+        run = random_mating(cliques_graph(8, 16), rng=11)
+        assert run.iterations <= 40  # very generous vs E[O(log n)]
+
+
+class TestHybrid:
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_matches_networkx(self, name):
+        g = FAMILIES[name]
+        assert np.array_equal(hybrid_cc(g, rng=5).labels, nx_cc_labels(g))
+
+    def test_phases_recorded(self):
+        run = hybrid_cc(random_graph(300, 1500, rng=2), rng=4)
+        assert run.stats["mating_rounds"] >= 1
+        assert run.iterations == (
+            run.stats["mating_rounds"] + run.stats["deterministic_iterations"]
+        )
+
+    def test_switch_ratio_zero_means_pure_mating(self):
+        run = hybrid_cc(random_graph(100, 300, rng=1), rng=2, switch_ratio=0.0)
+        assert run.stats["deterministic_iterations"] == 0
+
+    def test_switch_ratio_one_means_pure_deterministic(self):
+        run = hybrid_cc(random_graph(100, 300, rng=1), rng=2, switch_ratio=1.0)
+        assert run.stats["mating_rounds"] == 0
+
+    def test_bad_switch_ratio_rejected(self):
+        with pytest.raises(WorkloadError):
+            hybrid_cc(random_graph(10, 20, rng=0), switch_ratio=1.5)
+
+
+class TestAllAlgorithmsAgree:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_cross_algorithm_agreement(self, seed):
+        g = random_graph(180, 450, rng=seed)
+        ref = nx_cc_labels(g)
+        for fn in (
+            awerbuch_shiloach,
+            lambda g: random_mating(g, rng=seed),
+            lambda g: hybrid_cc(g, rng=seed),
+        ):
+            assert np.array_equal(fn(g).labels, ref)
