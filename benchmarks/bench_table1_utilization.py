@@ -16,6 +16,12 @@ The paper's numbers (98/90/82 % random list, 97/85/80 % ordered,
 lower bound that improves monotonically with size (asserted), the
 analytic model at paper scale the saturated ceiling.
 
+Engine utilization is read off each simulation's
+:class:`repro.obs.RunSummary` (the observability report built from the
+per-phase reports) rather than recomputed ad hoc — by construction it
+matches ``sim.report.utilization`` bit for bit, which
+``test_table1_summary_matches_report`` asserts.
+
 Output: ``benchmarks/results/table1_utilization.txt``.
 """
 
@@ -55,14 +61,14 @@ def table1():
             )
             table.add(
                 kernel=f"list-{label}", p=p, source="engine", n=n,
-                utilization=sim.report.utilization,
+                utilization=sim.summary.utilization,
             )
         n_cc = spec.cc_n_per_proc * p
         g = random_graph(n_cc, spec.cc_edge_multiplier * n_cc, rng=spec.seed)
         sim = simulate_mta_cc(g, p=p, streams_per_proc=spec.streams_per_proc)
         table.add(
             kernel="cc", p=p, source="engine", n=n_cc,
-            utilization=sim.report.utilization,
+            utilization=sim.summary.utilization,
         )
 
     # -- modeled: analytic machine at paper scale -------------------------------
@@ -116,6 +122,24 @@ def test_table1_regenerate(table1, write_result, benchmark):
 
     path = write_result("table1_utilization", once(benchmark, render))
     assert path.exists()
+
+
+def test_table1_summary_matches_report(benchmark):
+    """RunSummary reproduces the engine report's utilization exactly
+    (within 1e-9) — the table's numbers are the trace's numbers."""
+
+    def deltas():
+        out = []
+        nxt = random_list(4000, 3)
+        sim = simulate_mta_list_ranking(nxt, p=2, streams_per_proc=50)
+        out.append(abs(sim.summary.utilization - sim.report.utilization))
+        g = random_graph(1500, 6000, rng=3)
+        sim = simulate_mta_cc(g, p=2, streams_per_proc=50)
+        out.append(abs(sim.summary.utilization - sim.report.utilization))
+        return out
+
+    for delta in once(benchmark, deltas):
+        assert delta <= 1e-9
 
 
 def test_table1_engine_utilization_positive_and_sane(table1, benchmark):

@@ -12,6 +12,8 @@ the study end to end:
 * :mod:`repro.sim` — cycle-level engines (streams + full/empty bits +
   ``int_fetch_add`` for the MTA; caches + bus + software barriers for
   the SMP) that execute thread programs and *measure* utilization.
+* :mod:`repro.obs` — observability: phase tracing, contention
+  profiling, Chrome-trace/JSONL export, and run summaries.
 * :mod:`repro.lists` — list workloads and ranking algorithms
   (sequential, Helman–JáJá, the MTA walk algorithm, Wyllie, recursive
   compaction).
@@ -37,7 +39,7 @@ figure/table regeneration harness.
 
 from __future__ import annotations
 
-from . import arch, core, graphs, lists, sim, trees, validate, workloads
+from . import arch, core, graphs, lists, obs, sim, trees, validate, workloads
 from .core import (
     CRAY_MTA2,
     SUN_E4500,
@@ -64,6 +66,7 @@ __all__ = [
     "core",
     "graphs",
     "lists",
+    "obs",
     "sim",
     "trees",
     "validate",

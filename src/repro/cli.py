@@ -13,6 +13,10 @@ without writing Python:
 ``fig1`` / ``fig2`` / ``table1``
     Miniature versions of the paper's evaluation artifacts (the full
     archival runs live in ``benchmarks/``).
+``trace``
+    Run a workload on a cycle engine with tracing on; writes a Chrome
+    ``trace_event`` JSON (load it at https://ui.perfetto.dev) or compact
+    JSONL, and prints the per-phase summary and contention profile.
 
 Every command accepts ``--help``.  Exit code 0 on success; workload or
 configuration errors print a message and return 2.
@@ -71,6 +75,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_t1 = sub.add_parser("table1", help="engine-measured MTA utilization")
     p_t1.add_argument("--nodes-per-proc", type=int, default=8000)
+
+    p_tr = sub.add_parser("trace", help="record a cycle-engine run as an event trace")
+    p_tr.add_argument(
+        "workload",
+        choices=("rank-mta", "rank-smp", "cc-mta", "cc-smp"),
+        help="which simulation to trace",
+    )
+    p_tr.add_argument("--n", type=int, default=2048, help="list nodes / graph vertices")
+    p_tr.add_argument("--p", type=int, default=4, help="processors")
+    p_tr.add_argument("--seed", type=int, default=0)
+    p_tr.add_argument(
+        "--streams", type=int, default=16, help="streams per processor (MTA workloads)"
+    )
+    p_tr.add_argument(
+        "--level",
+        choices=("phase", "op"),
+        default="phase",
+        help="phase spans only, or one span per machine operation",
+    )
+    p_tr.add_argument(
+        "--format",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+        dest="fmt",
+        help="chrome trace_event JSON (Perfetto-loadable) or compact JSONL",
+    )
+    p_tr.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: trace-<workload>.json / .jsonl)",
+    )
 
     return parser
 
@@ -222,6 +257,64 @@ def _cmd_table1(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from .obs import ContentionProfile, Tracer, write_chrome_trace, write_jsonl
+
+    tracer = Tracer(level=args.level)
+    if args.workload == "rank-mta":
+        from .lists import random_list, true_ranks
+        from .lists.programs import simulate_mta_list_ranking
+
+        sim = simulate_mta_list_ranking(
+            random_list(args.n, args.seed),
+            p=args.p,
+            streams_per_proc=args.streams,
+            tracer=tracer,
+        )
+        assert np.array_equal(sim.ranks, true_ranks(random_list(args.n, args.seed)))
+    elif args.workload == "rank-smp":
+        from .lists import random_list, true_ranks
+        from .lists.programs import simulate_smp_list_ranking
+
+        sim = simulate_smp_list_ranking(
+            random_list(args.n, args.seed), p=args.p, rng=args.seed, tracer=tracer
+        )
+        assert np.array_equal(sim.ranks, true_ranks(random_list(args.n, args.seed)))
+    elif args.workload == "cc-mta":
+        from .graphs import random_graph
+        from .graphs.programs import simulate_mta_cc
+
+        g = random_graph(args.n, 4 * args.n, rng=args.seed)
+        sim = simulate_mta_cc(g, p=args.p, streams_per_proc=args.streams, tracer=tracer)
+    else:  # cc-smp
+        from .graphs import random_graph
+        from .graphs.programs import simulate_smp_cc
+
+        g = random_graph(args.n, 4 * args.n, rng=args.seed)
+        sim = simulate_smp_cc(g, p=args.p, tracer=tracer)
+
+    summary = sim.summary
+    summary.validate()  # phase cycles must partition the run exactly
+
+    out = args.out
+    if out is None:
+        ext = "json" if args.fmt == "chrome" else "jsonl"
+        out = f"trace-{args.workload}.{ext}"
+    if args.fmt == "chrome":
+        write_chrome_trace(tracer.events, out, metadata={"workload": args.workload})
+    else:
+        write_jsonl(tracer.events, out)
+
+    print(summary.table())
+    print()
+    print(ContentionProfile.from_reports(sim.phase_reports).render())
+    print()
+    print(f"{len(tracer.events)} event(s) -> {out}")
+    if args.fmt == "chrome":
+        print("open in Perfetto: https://ui.perfetto.dev (Open trace file)")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -239,6 +332,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_fig2(args)
         if args.command == "table1":
             return _cmd_table1(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         parser.error(f"unknown command {args.command!r}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -86,6 +86,17 @@ class MachineResult:
                 return s
         raise KeyError(f"no step named {name!r} in result for {self.machine}")
 
+    def summary(self):
+        """This result as a :class:`repro.obs.RunSummary`.
+
+        Model steps become phases (``busy_cycles`` standing in for
+        issued instructions), so benchmarks can report model and engine
+        runs through one record type.
+        """
+        from ..obs.summary import RunSummary
+
+        return RunSummary.from_machine_result(self)
+
     def breakdown(self, top: int | None = None) -> str:
         """Per-step cost table, most expensive first.
 
@@ -132,6 +143,10 @@ class MachineModel(abc.ABC):
     #: Human-readable machine name, e.g. ``"Sun-E4500"``.
     name: str = "machine"
 
+    #: Numeric ``StepTime.detail`` keys emitted as Perfetto counter
+    #: tracks when a tracer is attached to :meth:`run`.
+    TRACE_COUNTERS: tuple = ()
+
     @property
     @abc.abstractmethod
     def clock_hz(self) -> float:
@@ -146,10 +161,35 @@ class MachineModel(abc.ABC):
     def step_time(self, step: StepCost) -> StepTime:
         """Charge one algorithm step with machine cycles."""
 
-    def run(self, steps: Iterable[StepCost]) -> MachineResult:
-        """Time a whole sequence of algorithm steps."""
+    def run(self, steps: Iterable[StepCost], tracer=None) -> MachineResult:
+        """Time a whole sequence of algorithm steps.
+
+        With a :class:`repro.obs.Tracer` attached, each step becomes a
+        span on the model's timeline and the detail keys named by
+        :attr:`TRACE_COUNTERS` become counter tracks.
+        """
         timed = [self.step_time(s) for s in steps]
-        return MachineResult(machine=self.name, p=self.p, clock_hz=self.clock_hz, steps=timed)
+        result = MachineResult(machine=self.name, p=self.p, clock_hz=self.clock_hz, steps=timed)
+        if tracer is not None:
+            self.trace_result(result, tracer)
+        return result
+
+    def trace_result(self, result: MachineResult, tracer) -> None:
+        """Record a finished model run onto ``tracer``'s timeline."""
+        tracer.name_process(0, result.machine)
+        t = 0.0
+        for s in result.steps:
+            args = {
+                k: v for k, v in s.detail.items() if isinstance(v, (int, float))
+            }
+            args["busy_cycles"] = s.busy_cycles
+            tracer.span(s.name, t, t + s.cycles, pid=0, cat="model", args=args)
+            for key in self.TRACE_COUNTERS:
+                v = s.detail.get(key)
+                if isinstance(v, (int, float)):
+                    tracer.counter(key, t, {key: float(v)}, pid=0)
+            t += s.cycles
+        tracer.advance(result.cycles)
 
     def seconds(self, steps: Iterable[StepCost]) -> float:
         """Shortcut: total simulated seconds for ``steps``."""

@@ -24,7 +24,14 @@ __all__ = [
 
 
 def speedup(baseline_seconds: float, parallel_seconds: float) -> float:
-    """Classic speedup: baseline time over parallel time."""
+    """Classic speedup: baseline time over parallel time.
+
+    Both times must be positive — a zero or negative baseline would
+    silently report a 0× or negative "speedup", which is always a
+    measurement bug upstream, so it raises instead.
+    """
+    if baseline_seconds <= 0:
+        raise ConfigurationError("baseline time must be positive")
     if parallel_seconds <= 0:
         raise ConfigurationError("parallel time must be positive")
     return baseline_seconds / parallel_seconds
@@ -41,6 +48,8 @@ def ratio_series(a: Sequence[float], b: Sequence[float]) -> list[float]:
     """Elementwise ``a/b`` — e.g. SMP time over MTA time across sizes."""
     if len(a) != len(b):
         raise ConfigurationError("series must have equal length")
+    if any(y <= 0 for y in b):
+        raise ConfigurationError("denominator series must be positive")
     return [x / y for x, y in zip(a, b)]
 
 

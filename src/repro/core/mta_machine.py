@@ -115,6 +115,8 @@ class MTAMachine(MachineModel):
         Machine description; defaults to the paper's Cray MTA-2.
     """
 
+    TRACE_COUNTERS = ("utilization", "hotspot_cycles", "barrier_cycles")
+
     def __init__(self, p: int = 1, config: MTAConfig = CRAY_MTA2) -> None:
         if not 1 <= p <= config.max_p:
             raise ConfigurationError(

@@ -129,6 +129,8 @@ class SMPMachine(MachineModel):
         classification is always used.
     """
 
+    TRACE_COUNTERS = ("bus_cycles", "memory_cycles", "barrier_cycles")
+
     def __init__(self, p: int = 1, config: SMPConfig = SUN_E4500, use_traces: bool = True) -> None:
         if not 1 <= p <= config.max_p:
             raise ConfigurationError(
@@ -170,7 +172,7 @@ class SMPMachine(MachineModel):
         l2_frac = l2_eff / working_set
         return l2_frac * c.l2_hit_cycles + (1 - l2_frac) * c.mem_cycles
 
-    def run(self, steps):
+    def run(self, steps, tracer=None):
         """Time a step sequence, carrying trace-mode cache state across steps.
 
         A run's steps execute back to back on the real machine, so the
@@ -188,9 +190,12 @@ class SMPMachine(MachineModel):
             else None
         )
         timed = [self.step_time(s, _cache_state=cache_state) for s in steps]
-        return MachineResult(
+        result = MachineResult(
             machine=self.name, p=self.p, clock_hz=self.clock_hz, steps=timed
         )
+        if tracer is not None:
+            self.trace_result(result, tracer)
+        return result
 
     def step_time(self, step: StepCost, *, _cache_state=None) -> StepTime:
         if step.p != self.p:

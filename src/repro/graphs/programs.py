@@ -65,6 +65,18 @@ class CCSim:
     report: SimReport
     phase_reports: list[SimReport] = field(default_factory=list)
 
+    @property
+    def summary(self):
+        """Observability report (:class:`repro.obs.RunSummary`) for the run.
+
+        Built from the per-phase reports with the same arithmetic as
+        :func:`~repro.sim.stats.combine_reports`, so ``summary.utilization``
+        equals ``report.utilization`` exactly.
+        """
+        from ..obs.summary import RunSummary
+
+        return RunSummary.from_reports(self.report.name, self.phase_reports)
+
 
 def simulate_mta_cc(
     g: EdgeList,
@@ -74,6 +86,7 @@ def simulate_mta_cc(
     edges_per_chunk: int = 16,
     max_iter: int = 64,
     engine_kwargs: dict | None = None,
+    tracer=None,
 ) -> CCSim:
     """Execute the paper's Alg. 3 on the MTA cycle engine.
 
@@ -92,6 +105,9 @@ def simulate_mta_cc(
         Safety bound on outer iterations.
     engine_kwargs:
         Overrides for :class:`~repro.sim.MTAEngine`.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; each graft/shortcut engine
+        phase is recorded back to back on its timeline.
     """
     n = g.n
     if n == 0:
@@ -110,6 +126,7 @@ def simulate_mta_cc(
     d = list(range(n))
     kw = dict(engine_kwargs or {})
     kw.setdefault("streams_per_proc", max(streams_per_proc, 1))
+    kw.setdefault("tracer", tracer)
     n_workers = max(1, min(p * streams_per_proc, m2))
     reports: list[SimReport] = []
     graft_flag = [False]
@@ -194,6 +211,7 @@ def simulate_smp_cc(
     *,
     max_iter: int = 64,
     config=None,
+    tracer=None,
 ) -> CCSim:
     """Execute hook-and-shortcut connected components on the SMP cycle engine.
 
@@ -236,6 +254,10 @@ def simulate_smp_cc(
                 shared["graft"] = False
                 shared["iterations"] = it
             yield isa.barrier("reset")
+            # Processor 0 alone emits phase markers — marks slice the whole
+            # machine's timeline, so a single emitter keeps them a partition.
+            if proc == 0:
+                yield isa.phase(f"graft.{it}")
             # graft my contiguous edge chunk
             for i in range(elo, ehi):
                 u = eu[i]
@@ -259,6 +281,8 @@ def simulate_smp_cc(
             yield isa.barrier("graft")
             if not shared["graft"]:
                 return
+            if proc == 0:
+                yield isa.phase(f"shortcut.{it}")
             # shortcut my contiguous vertex chunk
             for i in range(vlo, vhi):
                 di = d[i]
@@ -275,7 +299,7 @@ def simulate_smp_cc(
             yield isa.barrier("shortcut")
         raise SimulationError(f"SMP CC simulation exceeded {max_iter} iterations")
 
-    eng = SMPEngine(p=p, config=config)
+    eng = SMPEngine(p=p, config=config, tracer=tracer)
     for proc in range(p):
         eng.attach(program(proc))
     report = eng.run("smp.sv-cc")

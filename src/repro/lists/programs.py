@@ -71,6 +71,18 @@ class MTAListRankingSim:
     report: SimReport
     phase_reports: list[SimReport] = field(default_factory=list)
 
+    @property
+    def summary(self):
+        """Observability report (:class:`repro.obs.RunSummary`) for the run.
+
+        Built from the per-phase reports with the same arithmetic as
+        :func:`~repro.sim.stats.combine_reports`, so ``summary.utilization``
+        equals ``report.utilization`` exactly.
+        """
+        from ..obs.summary import RunSummary
+
+        return RunSummary.from_reports(self.report.name, self.phase_reports)
+
 
 def simulate_mta_list_ranking(
     nxt: np.ndarray,
@@ -80,6 +92,7 @@ def simulate_mta_list_ranking(
     nodes_per_walk: int = 10,
     dynamic: bool = True,
     engine_kwargs: dict | None = None,
+    tracer=None,
 ) -> MTAListRankingSim:
     """Execute Alg. 1 on the MTA cycle engine and measure utilization.
 
@@ -100,6 +113,9 @@ def simulate_mta_list_ranking(
         measures.
     engine_kwargs:
         Overrides for :class:`~repro.sim.MTAEngine` (latency, lookahead…).
+    tracer:
+        Optional :class:`repro.obs.Tracer`; the four engine phases are
+        recorded back to back on its timeline.
     """
     n = len(nxt)
     if n == 0:
@@ -132,6 +148,7 @@ def simulate_mta_list_ranking(
     reports: list[SimReport] = []
     kw = dict(engine_kwargs or {})
     kw.setdefault("streams_per_proc", max(streams_per_proc, 1))
+    kw.setdefault("tracer", tracer)
 
     # -- phase 1: initialize + mark ------------------------------------------------
     def setup_worker(ctx_counter: int, chunk: int):
@@ -284,6 +301,7 @@ def simulate_smp_list_ranking(
     s: int | None = None,
     rng: np.random.Generator | int | None = None,
     config=None,
+    tracer=None,
 ) -> MTAListRankingSim:
     """Execute the Helman–JáJá algorithm on the SMP cycle engine.
 
@@ -291,6 +309,8 @@ def simulate_smp_list_ranking(
     the five steps; sublists dispatched through a fetch-add work queue
     (the dynamic schedule).  Cache behaviour comes from the engine's
     per-processor hierarchies fed by the algorithm's real addresses.
+    Processor 0 emits ``PHASE`` markers so the run decomposes into the
+    algorithm's five steps (``s1.sweep`` … ``s5.combine``).
     """
     from ..core.smp_machine import SUN_E4500
 
@@ -330,6 +350,11 @@ def simulate_smp_list_ranking(
 
     def program(proc: int):
         lo, hi = int(bounds[proc]), int(bounds[proc + 1])
+        # Phase markers come from processor 0 only: marks are engine-global
+        # (they slice the whole machine's timeline), so one designated
+        # emitter keeps the slices a clean partition.
+        if proc == 0:
+            yield isa.phase("s1.sweep")
         # -- step 1: contiguous head-sum sweep --------------------------------
         for j in range(lo, hi):
             yield isa.load(a_nxt.addr(j))
@@ -337,11 +362,14 @@ def simulate_smp_list_ranking(
         yield isa.barrier("s1")
         # -- step 2: processor 0 marks the sublist heads ------------------------
         if proc == 0:
+            yield isa.phase("s2.mark")
             for i, h in enumerate(subheads):
                 yield isa.store(a_marked.addr(int(h)))
                 yield isa.store(a_sub.addr(i))
                 yield isa.compute(1)
         yield isa.barrier("s2")
+        if proc == 0:
+            yield isa.phase("s3.walk")
         # -- step 3: walk sublists off the shared work queue ---------------------
         while True:
             wi = yield isa.fetch_add(a_ctr.base + 0, 1)
@@ -371,6 +399,7 @@ def simulate_smp_list_ranking(
         yield isa.barrier("s3")
         # -- step 4: serial prefix over sublist records on processor 0 -----------
         if proc == 0:
+            yield isa.phase("s4.prefix")
             order = []
             pointed = set(int(x) for x in nextw if x >= 0)
             cur = next(i for i in range(s_eff) if i not in pointed)
@@ -387,6 +416,8 @@ def simulate_smp_list_ranking(
                 if cur < 0:
                     break
         yield isa.barrier("s4")
+        if proc == 0:
+            yield isa.phase("s5.combine")
         # -- step 5: contiguous combine sweep --------------------------------------
         for j in range(lo, hi):
             yield isa.load(a_local.addr(j))
@@ -396,7 +427,7 @@ def simulate_smp_list_ranking(
             yield isa.store(a_out.addr(j))
         yield isa.barrier("s5")
 
-    eng = SMPEngine(p=p, config=config)
+    eng = SMPEngine(p=p, config=config, tracer=tracer)
     eng.set_counter(a_ctr.base + 0, 0)
     for proc in range(p):
         eng.attach(program(proc))

@@ -1,0 +1,105 @@
+"""Trace event records for the observability subsystem.
+
+One :class:`TraceEvent` is one timestamped occurrence on a simulated
+machine: a phase span, a single memory operation, a barrier wait, or a
+counter sample.  Events are deliberately close to the Chrome
+``trace_event`` format (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+so export is a direct mapping and traces open in ``chrome://tracing``
+and Perfetto unmodified:
+
+``ph``
+    Event type — ``"X"`` complete span, ``"i"`` instant, ``"C"``
+    counter sample, ``"M"`` metadata (process/thread naming).
+``ts`` / ``dur``
+    Timestamps in *simulated machine cycles* (exported as the trace
+    format's microsecond field; one cycle displays as 1 µs).
+``pid`` / ``tid``
+    Simulated processor and stream/thread ids.  Engine-global tracks
+    (phase spans) use a dedicated pid one past the last processor.
+
+Timestamps are floats because the event-driven SMP engine keeps
+processor-local time in fractional cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SPAN",
+    "INSTANT",
+    "COUNTER",
+    "METADATA",
+    "TraceEvent",
+]
+
+SPAN = "X"
+INSTANT = "i"
+COUNTER = "C"
+METADATA = "M"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace event, already on the run-global cycle timeline."""
+
+    name: str
+    ph: str
+    ts: float
+    dur: float = 0.0
+    pid: int = 0
+    tid: int = 0
+    cat: str = ""
+    args: dict = field(default_factory=dict)
+
+    def to_chrome(self) -> dict:
+        """The event as a Chrome ``trace_event`` dict."""
+        d: dict = {
+            "name": self.name,
+            "ph": self.ph,
+            "ts": self.ts,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.cat:
+            d["cat"] = self.cat
+        if self.ph == SPAN:
+            d["dur"] = self.dur
+        if self.ph == INSTANT:
+            d["s"] = "t"  # thread-scoped instant
+        if self.args:
+            d["args"] = self.args
+        return d
+
+    def to_compact(self) -> dict:
+        """The event as a minimal dict for the JSONL format.
+
+        Defaults (zero duration, pid/tid 0, empty cat/args) are omitted
+        so one event is one short line.
+        """
+        d: dict = {"n": self.name, "ph": self.ph, "ts": self.ts}
+        if self.dur:
+            d["d"] = self.dur
+        if self.pid:
+            d["p"] = self.pid
+        if self.tid:
+            d["t"] = self.tid
+        if self.cat:
+            d["c"] = self.cat
+        if self.args:
+            d["a"] = self.args
+        return d
+
+    @classmethod
+    def from_compact(cls, d: dict) -> "TraceEvent":
+        """Inverse of :meth:`to_compact`."""
+        return cls(
+            name=d["n"],
+            ph=d["ph"],
+            ts=d["ts"],
+            dur=d.get("d", 0.0),
+            pid=d.get("p", 0),
+            tid=d.get("t", 0),
+            cat=d.get("c", ""),
+            args=d.get("a", {}),
+        )

@@ -1,0 +1,101 @@
+"""Trace serialization: Chrome ``trace_event`` JSON and compact JSONL.
+
+Two interchangeable on-disk formats for one event list:
+
+* **Chrome trace** — a single JSON object ``{"traceEvents": [...]}``
+  that loads directly in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``.  Timestamps are simulated cycles displayed as
+  microseconds.
+* **JSONL** — one compact JSON object per line (schema in
+  :meth:`~repro.obs.events.TraceEvent.to_compact`), suitable for
+  golden-trace snapshots, diffing, and streaming through line tools.
+
+Both serializers are deterministic (sorted keys, fixed separators) so
+byte-identical traces certify bit-identical simulations.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from .events import TraceEvent
+
+__all__ = [
+    "chrome_trace_dict",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "jsonl_dumps",
+    "write_jsonl",
+    "read_jsonl",
+]
+
+
+def _num(x: float):
+    """Render integral floats as ints for compact, stable output."""
+    if isinstance(x, float) and x.is_integer():
+        return int(x)
+    return x
+
+
+def _normalize(obj):
+    if isinstance(obj, dict):
+        return {str(k): _normalize(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_normalize(v) for v in obj]
+    if isinstance(obj, bool):
+        return obj
+    if isinstance(obj, (int, float)):
+        return _num(float(obj)) if isinstance(obj, float) else int(obj)
+    return obj
+
+
+def chrome_trace_dict(events: list[TraceEvent], metadata: dict | None = None) -> dict:
+    """The full Chrome-trace document as a plain dict."""
+    doc = {
+        "traceEvents": [_normalize(e.to_chrome()) for e in events],
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        doc["otherData"] = _normalize(metadata)
+    return doc
+
+
+def chrome_trace_json(events: list[TraceEvent], metadata: dict | None = None) -> str:
+    """Deterministic Chrome-trace JSON text."""
+    return json.dumps(chrome_trace_dict(events, metadata), sort_keys=True, separators=(",", ":"))
+
+
+def write_chrome_trace(
+    events: list[TraceEvent], path: str | pathlib.Path, metadata: dict | None = None
+) -> pathlib.Path:
+    """Write a Chrome-trace JSON file; returns the path."""
+    path = pathlib.Path(path)
+    path.write_text(chrome_trace_json(events, metadata) + "\n")
+    return path
+
+
+def jsonl_dumps(events: list[TraceEvent]) -> str:
+    """Deterministic JSONL text, one compact event per line."""
+    lines = [
+        json.dumps(_normalize(e.to_compact()), sort_keys=True, separators=(",", ":"))
+        for e in events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(events: list[TraceEvent], path: str | pathlib.Path) -> pathlib.Path:
+    """Write the compact JSONL file; returns the path."""
+    path = pathlib.Path(path)
+    path.write_text(jsonl_dumps(events))
+    return path
+
+
+def read_jsonl(path: str | pathlib.Path) -> list[TraceEvent]:
+    """Load events back from a JSONL file."""
+    out = []
+    for line in pathlib.Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            out.append(TraceEvent.from_compact(json.loads(line)))
+    return out

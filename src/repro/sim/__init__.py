@@ -3,7 +3,15 @@
 from . import isa
 from .mta_engine import MTAEngine
 from .smp_engine import SMPEngine
-from .stats import SimReport, combine_reports
+from .stats import PhaseSlice, SimReport, combine_reports
 from .thread import SimThread
 
-__all__ = ["isa", "MTAEngine", "SMPEngine", "SimReport", "combine_reports", "SimThread"]
+__all__ = [
+    "isa",
+    "MTAEngine",
+    "SMPEngine",
+    "PhaseSlice",
+    "SimReport",
+    "combine_reports",
+    "SimThread",
+]

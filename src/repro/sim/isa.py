@@ -41,6 +41,14 @@ tag string.  Tags:
 ``("B", barrier_id)``
     Barrier: block until every registered participant arrives.
 
+``("P", name)``
+    Phase marker (pseudo-op): costs zero cycles and no issue slot; the
+    engine closes the current phase slice and opens ``name`` at the
+    current cycle, so runs decompose into named phases for the
+    observability subsystem (:mod:`repro.obs`).  Markers are
+    engine-global — any thread may emit one, and it applies to the
+    whole machine.
+
 Addresses are word addresses in a shared
 :class:`repro.arch.memory.AddressSpace`; the engines only use them for
 banking/hash/cache decisions — actual data lives in the program's own
@@ -60,6 +68,7 @@ __all__ = [
     "SYNC_LOAD_FULL",
     "SYNC_STORE_FULL",
     "BARRIER",
+    "PHASE",
     "compute",
     "load",
     "load_dep",
@@ -69,6 +78,7 @@ __all__ = [
     "sync_load_peek",
     "sync_store",
     "barrier",
+    "phase",
 ]
 
 COMPUTE = "C"
@@ -80,6 +90,7 @@ SYNC_LOAD_EMPTY = "SLE"
 SYNC_LOAD_FULL = "SLF"
 SYNC_STORE_FULL = "SSF"
 BARRIER = "B"
+PHASE = "P"
 
 
 def compute(k: int = 1) -> tuple:
@@ -125,3 +136,8 @@ def sync_store(addr: int, value) -> tuple:
 def barrier(barrier_id: str = "default") -> tuple:
     """Block until all registered participants of ``barrier_id`` arrive."""
     return (BARRIER, barrier_id)
+
+
+def phase(name: str) -> tuple:
+    """Zero-cost phase marker: start the named phase at the current cycle."""
+    return (PHASE, name)

@@ -24,6 +24,17 @@ still matter — FA serialization and full/empty state are per-address.)
 
 The engine advances cycle by cycle but fast-forwards over globally idle
 spans, so phase drains don't cost wall-clock time to simulate.
+
+Observability (see :mod:`repro.obs` and ``docs/OBSERVABILITY.md``):
+
+* ``PHASE`` pseudo-ops decompose a run into named
+  :class:`~repro.sim.stats.PhaseSlice` records (zero cost, always on);
+* contention is profiled at its source — per-cell ``int_fetch_add``
+  serialization, full/empty wait histograms, per-barrier wait totals —
+  and reported through ``SimReport.detail``;
+* an optional :class:`~repro.obs.Tracer` receives phase spans (and at
+  ``op`` level one span per memory operation / wait episode).  With no
+  tracer attached the only added work is one attribute test per issue.
 """
 
 from __future__ import annotations
@@ -42,12 +53,13 @@ from .isa import (
     FETCH_ADD,
     LOAD,
     LOAD_DEP,
+    PHASE,
     STORE,
     SYNC_LOAD_EMPTY,
     SYNC_LOAD_FULL,
     SYNC_STORE_FULL,
 )
-from .stats import SimReport
+from .stats import PhaseSlice, SimReport
 from .thread import (
     BLOCKED,
     DONE,
@@ -104,6 +116,11 @@ class MTAEngine:
         each bank services one request per cycle, addresses map to
         banks through :func:`repro.arch.memory.bank_of` (the same
         multiplicative hash the machine model describes).
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  ``None`` (default)
+        disables event recording entirely; contention *counters* are
+        always collected (they are a handful of dict updates on the
+        already-rare contended paths).
     """
 
     def __init__(
@@ -117,6 +134,7 @@ class MTAEngine:
         barrier_latency: int = 20,
         clock_hz: float = 220e6,
         n_banks: int = 0,
+        tracer=None,
     ) -> None:
         if p < 1:
             raise ConfigurationError("p must be >= 1")
@@ -152,6 +170,18 @@ class MTAEngine:
         self._op_counts: dict[str, int] = {}
         self._live = 0
         self._last_issue = -1
+        # observability: tracer hookup and contention profilers
+        self._tracer = tracer
+        self._trace_ops = tracer is not None and tracer.op_level
+        #: addr -> [ops, serialization stall cycles] per fetch-add cell.
+        self._fa_sites: dict[int, list] = {}
+        #: log2 bucket -> full/empty wait episodes; plus total wait cycles.
+        self._fe_wait_hist: dict[int, int] = {}
+        self.fe_wait_cycles = 0
+        #: barrier id -> [arrivals, wait cycles, max wait].
+        self._barrier_stats: dict[str, list] = {}
+        # phase snapshots: (cycle, name, issued so far, op_counts so far)
+        self._phase_snaps: list = []
 
     # -- setup -----------------------------------------------------------------
 
@@ -193,6 +223,10 @@ class MTAEngine:
     def run(self, name: str = "phase", max_cycles: int = 200_000_000) -> SimReport:
         """Execute until every spawned thread finishes; return measurements."""
         cycle = 0
+        self._phase_snaps = [(0, name, self._issued_total(), dict(self._op_counts))]
+        if self._tracer is not None:
+            for i in range(self.p):
+                self._tracer.name_process(i, f"proc{i}")
         while self._live > 0:
             if cycle > max_cycles:
                 raise SimulationError(f"exceeded max_cycles={max_cycles}")
@@ -220,15 +254,31 @@ class MTAEngine:
                 cycle = max(cycle + 1, nxt)
 
         issued = np.array([proc.issued for proc in self._procs], dtype=np.int64)
+        total_cycles = self._last_issue + 1  # span up to the final real issue
+        detail = {
+            "fa_serialization_stalls": self.fa_serialization_stalls,
+            "fa_sites": {a: tuple(v) for a, v in self._fa_sites.items()},
+            "fe_wait_hist": dict(self._fe_wait_hist),
+            "fe_wait_cycles": self.fe_wait_cycles,
+            "barrier_waits": {
+                bid: {"episodes": v[0], "wait_cycles": v[1], "max_wait": v[2]}
+                for bid, v in self._barrier_stats.items()
+            },
+        }
+        if self.n_banks:
+            detail["bank_contention_stalls"] = self.bank_contention_stalls
         report = SimReport(
             name=name,
             p=self.p,
-            cycles=self._last_issue + 1,  # span up to the final real issue
+            cycles=total_cycles,
             issued=issued,
             clock_hz=self.clock_hz,
             op_counts=dict(self._op_counts),
-            detail={"fa_serialization_stalls": self.fa_serialization_stalls},
+            detail=detail,
+            phases=self._close_slices(total_cycles),
         )
+        if self._tracer is not None:
+            self._tracer.record_run(report)
         return report
 
     # -- internals ----------------------------------------------------------------
@@ -242,6 +292,37 @@ class MTAEngine:
 
     def _count(self, tag: str) -> None:
         self._op_counts[tag] = self._op_counts.get(tag, 0) + 1
+
+    def _issued_total(self) -> int:
+        return sum(proc.issued for proc in self._procs)
+
+    def _phase_mark(self, label: str, cycle: int) -> None:
+        """Close the current phase slice and open ``label`` at ``cycle``."""
+        self._phase_snaps.append(
+            (cycle, label, self._issued_total(), dict(self._op_counts))
+        )
+
+    def _close_slices(self, total_cycles: int) -> list:
+        """Turn the phase snapshots into a partition of ``[0, total_cycles)``."""
+        snaps = self._phase_snaps + [
+            (total_cycles, None, self._issued_total(), dict(self._op_counts))
+        ]
+        slices = []
+        for (c0, label, i0, oc0), (c1, _, i1, oc1) in zip(snaps, snaps[1:]):
+            if c1 == c0 and i1 == i0 and len(snaps) > 2:
+                continue  # zero-width slice from a marker at a boundary
+            counts = {k: v - oc0.get(k, 0) for k, v in oc1.items() if v != oc0.get(k, 0)}
+            slices.append(
+                PhaseSlice(name=label, start=c0, end=c1, issued=i1 - i0, op_counts=counts)
+            )
+        return slices
+
+    def _fe_wait(self, since: int, now: int) -> None:
+        """Record one full/empty wait episode ending now."""
+        wait = now - since
+        bucket = 0 if wait <= 0 else int(wait).bit_length()
+        self._fe_wait_hist[bucket] = self._fe_wait_hist.get(bucket, 0) + 1
+        self.fe_wait_cycles += max(0, wait)
 
     def _finish(self, t: SimThread) -> None:
         t.state = DONE
@@ -294,6 +375,13 @@ class MTAEngine:
             self._finish(t)
             return
         t.pending_value = None
+        while op[0] == PHASE:  # zero-cost marker: no slot, no cycle
+            self._phase_mark(op[1], cycle)
+            try:
+                op = t.gen.send(None)
+            except StopIteration:
+                self._finish(t)
+                return
         tag = op[0]
         t.issued += 1
         proc.issued += 1
@@ -305,9 +393,15 @@ class MTAEngine:
             if k < 1:
                 raise SimulationError(f"compute burst must be >= 1, got {k}")
             t.compute_remaining = k - 1
+            if self._trace_ops:
+                self._tracer.span("C", cycle, cycle + k, pid=t.proc, tid=t.tid)
             self._requeue(t)
         elif tag in (LOAD, STORE):
             done_at = self._mem_done(op[1], cycle)
+            if self._trace_ops:
+                self._tracer.span(
+                    tag, cycle, done_at, pid=t.proc, tid=t.tid, args={"addr": op[1]}
+                )
             t.outstanding.append(done_at)
             if len(t.outstanding) > self.max_outstanding:
                 self._block_until(t, t.outstanding.popleft())
@@ -317,7 +411,12 @@ class MTAEngine:
             else:
                 self._block_until(t, t.outstanding[0])
         elif tag == LOAD_DEP:
-            self._block_until(t, self._mem_done(op[1], cycle))
+            done_at = self._mem_done(op[1], cycle)
+            if self._trace_ops:
+                self._tracer.span(
+                    tag, cycle, done_at, pid=t.proc, tid=t.tid, args={"addr": op[1]}
+                )
+            self._block_until(t, done_at)
         elif tag == FETCH_ADD:
             addr, inc = op[1], op[2] if len(op) > 2 else 1
             old = self.fa_values.get(addr, 0)
@@ -325,9 +424,24 @@ class MTAEngine:
             earliest = cycle + self.mem_latency
             queued = self._fa_next_free.get(addr, 0) + 1
             done_at = max(earliest, queued)
-            self.fa_serialization_stalls += done_at - earliest
+            stall = done_at - earliest
+            self.fa_serialization_stalls += stall
+            site = self._fa_sites.get(addr)
+            if site is None:
+                site = self._fa_sites[addr] = [0, 0]
+            site[0] += 1
+            site[1] += stall
             self._fa_next_free[addr] = done_at
             t.pending_value = old
+            if self._trace_ops:
+                self._tracer.span(
+                    "FA",
+                    cycle,
+                    done_at,
+                    pid=t.proc,
+                    tid=t.tid,
+                    args={"addr": addr, "stall": stall},
+                )
             self._block_until(t, done_at)
         elif tag in (SYNC_LOAD_EMPTY, SYNC_LOAD_FULL):
             addr = op[1]
@@ -337,18 +451,38 @@ class MTAEngine:
                     del self._full[addr]
                     self._drain_empty_waiters(addr, cycle)
                 t.pending_value = value
+                if self._trace_ops:
+                    self._tracer.span(
+                        tag,
+                        cycle,
+                        cycle + self.mem_latency,
+                        pid=t.proc,
+                        tid=t.tid,
+                        args={"addr": addr},
+                    )
                 self._block_until(t, cycle + self.mem_latency)
             else:
                 t.state = WAIT_FULL
+                t.wait_since = cycle
                 t.pending_value = tag  # remember consume-vs-peek
                 self._wait_full.setdefault(addr, deque()).append(t)
         elif tag == SYNC_STORE_FULL:
             addr, value = op[1], op[2]
             if addr not in self._full:
+                if self._trace_ops:
+                    self._tracer.span(
+                        tag,
+                        cycle,
+                        cycle + self.mem_latency,
+                        pid=t.proc,
+                        tid=t.tid,
+                        args={"addr": addr},
+                    )
                 self._fill(addr, value, cycle)
                 self._block_until(t, cycle + self.mem_latency)
             else:
                 t.state = WAIT_EMPTY
+                t.wait_since = cycle
                 t.pending_value = value  # the value awaiting an Empty slot
                 self._wait_empty.setdefault(addr, deque()).append(t)
         elif tag == BARRIER:
@@ -357,10 +491,22 @@ class MTAEngine:
                 raise SimulationError(f"barrier {bid!r} was never registered")
             b = self._barriers[bid]
             t.state = WAIT_BARRIER
+            t.wait_since = cycle
             b.waiting.append(t)
             if len(b.waiting) == b.need:
                 release = cycle + self.barrier_latency
+                stats = self._barrier_stats.get(bid)
+                if stats is None:
+                    stats = self._barrier_stats[bid] = [0, 0, 0]
                 for w in b.waiting:
+                    wait = release - w.wait_since
+                    stats[0] += 1
+                    stats[1] += wait
+                    stats[2] = max(stats[2], wait)
+                    if self._trace_ops:
+                        self._tracer.span(
+                            f"B:{bid}", w.wait_since, release, pid=w.proc, tid=w.tid
+                        )
                     self._block_until(w, release)
                 b.waiting = []
         else:
@@ -374,6 +520,16 @@ class MTAEngine:
             w = waiters.popleft()
             mode = w.pending_value
             w.pending_value = self._full[addr]
+            self._fe_wait(w.wait_since, cycle)
+            if self._trace_ops:
+                self._tracer.span(
+                    f"{mode}:wait",
+                    w.wait_since,
+                    cycle + self.mem_latency,
+                    pid=w.proc,
+                    tid=w.tid,
+                    args={"addr": addr},
+                )
             self._block_until(w, cycle + self.mem_latency)
             if mode == SYNC_LOAD_EMPTY:
                 del self._full[addr]
@@ -386,5 +542,15 @@ class MTAEngine:
             w = waiters.popleft()
             value = w.pending_value
             w.pending_value = None
+            self._fe_wait(w.wait_since, cycle)
+            if self._trace_ops:
+                self._tracer.span(
+                    "SSF:wait",
+                    w.wait_since,
+                    cycle + self.mem_latency,
+                    pid=w.proc,
+                    tid=w.tid,
+                    args={"addr": addr},
+                )
             self._block_until(w, cycle + self.mem_latency)
             self._fill(addr, value, cycle)

@@ -21,6 +21,17 @@ software barriers:
 The engine is event-driven — processors advance independently in local
 time, globally ordered through the bus and barriers — so there is no
 per-cycle loop and large programs simulate quickly.
+
+Observability (see :mod:`repro.obs` and ``docs/OBSERVABILITY.md``):
+
+* ``PHASE`` pseudo-ops decompose a run into named
+  :class:`~repro.sim.stats.PhaseSlice` records (zero cost, always on);
+* contention is profiled per processor — barrier-wait cycles, L1/L2
+  hit/miss counts, per-cell fetch-add serialization — and reported
+  through ``SimReport.detail``;
+* an optional :class:`~repro.obs.Tracer` receives phase spans (and at
+  ``op`` level one span per operation).  With no tracer attached the
+  only added work is one boolean test per operation.
 """
 
 from __future__ import annotations
@@ -40,9 +51,10 @@ from .isa import (
     FETCH_ADD,
     LOAD,
     LOAD_DEP,
+    PHASE,
     STORE,
 )
-from .stats import SimReport
+from .stats import PhaseSlice, SimReport
 
 __all__ = ["SMPEngine"]
 
@@ -67,9 +79,12 @@ class SMPEngine:
         Processor count (== number of programs to attach).
     config:
         Machine description; defaults to the paper's Sun E4500.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; ``None`` disables event
+        recording (contention counters are always collected).
     """
 
-    def __init__(self, p: int = 1, config: SMPConfig = SUN_E4500) -> None:
+    def __init__(self, p: int = 1, config: SMPConfig = SUN_E4500, tracer=None) -> None:
         if not 1 <= p <= config.max_p:
             raise ConfigurationError(f"p={p} outside [1, {config.max_p}]")
         self.p = p
@@ -81,6 +96,16 @@ class SMPEngine:
         self._fa_next_free: dict[int, float] = {}
         self._op_counts: dict[str, int] = {}
         self._line_transfer = config.l2.line_words / config.bus_words_per_cycle
+        # observability: tracer hookup and contention profilers
+        self._tracer = tracer
+        self._trace_ops = tracer is not None and tracer.op_level
+        #: addr -> [ops, serialization stall cycles] per fetch-add cell.
+        self._fa_sites: dict[int, list] = {}
+        #: per-processor cycles spent waiting at (and executing) barriers.
+        self._barrier_wait = [0.0] * p
+        self._barrier_episodes = 0
+        # phase snapshots: (time, name, issued so far, op_counts so far)
+        self._phase_snaps: list = []
 
     def attach(self, gen: Generator) -> int:
         """Attach the program for the next processor; returns its index."""
@@ -106,6 +131,11 @@ class SMPEngine:
         heapq.heapify(heap)
         waiting: dict[str, list[int]] = {}
         ops_done = 0
+        self._phase_snaps = [(0.0, name, 0, dict(self._op_counts))]
+        last_mark = 0.0
+        if self._tracer is not None:
+            for i in range(self.p):
+                self._tracer.name_process(i, f"proc{i}")
 
         while heap:
             time, idx = heapq.heappop(heap)
@@ -120,6 +150,18 @@ class SMPEngine:
                 continue
             ps.pending_value = None
             tag = op[0]
+            if tag == PHASE:  # zero-cost marker: no slot, no time
+                last_mark = max(last_mark, time)
+                self._phase_snaps.append(
+                    (
+                        last_mark,
+                        op[1],
+                        sum(q.issued for q in self._procs),
+                        dict(self._op_counts),
+                    )
+                )
+                heapq.heappush(heap, (time, idx))
+                continue
             ps.issued += 1
             self._op_counts[tag] = self._op_counts.get(tag, 0) + 1
 
@@ -138,6 +180,11 @@ class SMPEngine:
                 start = max(time, self._fa_next_free.get(addr, 0.0))
                 done = start + self.config.l2_hit_cycles  # atomic at the coherence point
                 self._fa_next_free[addr] = done
+                site = self._fa_sites.get(addr)
+                if site is None:
+                    site = self._fa_sites[addr] = [0, 0.0]
+                site[0] += 1
+                site[1] += start - time
                 ps.time = done
             elif tag == BARRIER:
                 bid = op[1]
@@ -148,7 +195,12 @@ class SMPEngine:
                 if len(group) == self.p:
                     release = max(self._procs[i].time for i in group)
                     release += self.config.barrier_cycles(self.p)
+                    self._barrier_episodes += 1
                     for i in group:
+                        arrival = self._procs[i].time
+                        self._barrier_wait[i] += release - arrival
+                        if self._trace_ops:
+                            self._tracer.span(f"B:{bid}", arrival, release, pid=i)
                         self._procs[i].time = release
                         self._procs[i].at_barrier = None
                         heapq.heappush(heap, (release, i))
@@ -156,6 +208,9 @@ class SMPEngine:
                 continue  # pushed (or parked) above
             else:
                 raise SimulationError(f"unknown opcode {tag!r} on SMP processor {idx}")
+            if self._trace_ops:
+                args = {"addr": op[1]} if tag != COMPUTE else {}
+                self._tracer.span(tag, time, ps.time, pid=idx, args=args)
             heapq.heappush(heap, (ps.time, idx))
 
         parked = [i for i, ps in enumerate(self._procs) if ps.at_barrier is not None]
@@ -165,22 +220,58 @@ class SMPEngine:
             )
 
         cycles = max((ps.time for ps in self._procs), default=0.0)
+        total_cycles = int(round(cycles))
         issued = np.array([ps.issued for ps in self._procs], dtype=np.int64)
         l1 = [ps.hier.l1_stats for ps in self._procs]
         l2 = [ps.hier.l2_stats for ps in self._procs]
-        return SimReport(
+        report = SimReport(
             name=name,
             p=self.p,
-            cycles=int(round(cycles)),
+            cycles=total_cycles,
             issued=issued,
             clock_hz=self.config.clock_hz,
             op_counts=dict(self._op_counts),
             detail={
                 "l1_hit_rate": [s.hit_rate for s in l1],
                 "l2_hit_rate": [s.hit_rate for s in l2],
+                "l1_misses": [s.misses for s in l1],
+                "l2_misses": [s.misses for s in l2],
                 "bus_busy_cycles": self._bus_busy_cycles,
+                "barrier_wait_cycles": list(self._barrier_wait),
+                "barrier_episodes": self._barrier_episodes,
+                "fa_sites": {a: (v[0], v[1]) for a, v in self._fa_sites.items()},
             },
+            phases=self._close_slices(total_cycles),
         )
+        if self._tracer is not None:
+            self._tracer.record_run(report)
+        return report
+
+    def _close_slices(self, total_cycles: int) -> list:
+        """Turn the phase snapshots into a partition of ``[0, total_cycles)``.
+
+        Boundaries are clamped into ``[0, total_cycles]`` (marks carry
+        fractional processor-local times; the report's total is rounded)
+        so slice widths telescope to the reported total exactly.
+        """
+        final = (
+            float(total_cycles),
+            None,
+            sum(q.issued for q in self._procs),
+            dict(self._op_counts),
+        )
+        snaps = self._phase_snaps + [final]
+        slices = []
+        for (t0, label, i0, oc0), (t1, _, i1, oc1) in zip(snaps, snaps[1:]):
+            t0 = min(max(t0, 0.0), float(total_cycles))
+            t1 = min(max(t1, 0.0), float(total_cycles))
+            if t1 == t0 and i1 == i0 and len(snaps) > 2:
+                continue  # zero-width slice from a marker at a boundary
+            counts = {k: v - oc0.get(k, 0) for k, v in oc1.items() if v != oc0.get(k, 0)}
+            slices.append(
+                PhaseSlice(name=label, start=t0, end=t1, issued=i1 - i0, op_counts=counts)
+            )
+        return slices
 
     # -- cost helpers ------------------------------------------------------------
 

@@ -6,7 +6,50 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["SimReport", "combine_reports"]
+__all__ = ["PhaseSlice", "SimReport", "combine_reports"]
+
+
+@dataclass(frozen=True)
+class PhaseSlice:
+    """One named phase of an engine run on the run's cycle timeline.
+
+    Slices partition ``[0, cycles)``: the run's first slice starts at 0,
+    each ``PHASE`` marker closes the current slice and opens the next,
+    and the final slice ends at the run's total cycles — so per-phase
+    cycles always sum to the run total exactly.
+
+    Attributes
+    ----------
+    name:
+        Phase label (the run name until the first ``PHASE`` marker).
+    start / end:
+        Slice boundaries in cycles (floats on the event-driven SMP
+        engine, whole numbers on the MTA engine).
+    issued:
+        Instructions issued machine-wide during the slice.
+    op_counts:
+        Instructions by opcode tag within the slice.
+    """
+
+    name: str
+    start: float
+    end: float
+    issued: int
+    op_counts: dict = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> float:
+        return self.end - self.start
+
+    def shifted(self, offset: float) -> "PhaseSlice":
+        """The same slice moved ``offset`` cycles later (for combining runs)."""
+        return PhaseSlice(
+            name=self.name,
+            start=self.start + offset,
+            end=self.end + offset,
+            issued=self.issued,
+            op_counts=dict(self.op_counts),
+        )
 
 
 @dataclass
@@ -30,6 +73,11 @@ class SimReport:
     detail:
         Engine-specific extras (fetch-add serialization stalls, cache
         hit rates, barrier waits, …).
+    phases:
+        :class:`PhaseSlice` decomposition of the run (empty when the
+        program emitted no ``PHASE`` markers and the report was not
+        combined from multiple runs — the whole run is then one
+        implicit phase).
     """
 
     name: str
@@ -39,6 +87,7 @@ class SimReport:
     clock_hz: float
     op_counts: dict = field(default_factory=dict)
     detail: dict = field(default_factory=dict)
+    phases: list = field(default_factory=list)
 
     @property
     def total_issued(self) -> int:
@@ -75,9 +124,24 @@ def combine_reports(name: str, reports: list[SimReport]) -> SimReport:
     if any(r.p != p or r.clock_hz != clock for r in reports):
         raise ValueError("cannot combine reports from different machines")
     op_counts: dict = {}
+    phases: list[PhaseSlice] = []
+    offset = 0.0
     for r in reports:
         for k, v in r.op_counts.items():
             op_counts[k] = op_counts.get(k, 0) + v
+        if r.phases:
+            phases.extend(s.shifted(offset) for s in r.phases)
+        else:
+            phases.append(
+                PhaseSlice(
+                    name=r.name,
+                    start=offset,
+                    end=offset + r.cycles,
+                    issued=r.total_issued,
+                    op_counts=dict(r.op_counts),
+                )
+            )
+        offset += r.cycles
     return SimReport(
         name=name,
         p=p,
@@ -86,4 +150,5 @@ def combine_reports(name: str, reports: list[SimReport]) -> SimReport:
         clock_hz=clock,
         op_counts=op_counts,
         detail={"phases": [r.name for r in reports]},
+        phases=phases,
     )

@@ -44,6 +44,9 @@ class SimThread:
     lookahead_credit: int = 0
     #: Total instructions issued on behalf of this thread.
     issued: int = 0
+    #: Cycle at which the thread started waiting (full/empty word or
+    #: barrier) — consumed by the contention profiler when it wakes.
+    wait_since: int = 0
 
     def drain_completed(self, now: int) -> None:
         """Drop outstanding memory ops that have completed by cycle ``now``."""

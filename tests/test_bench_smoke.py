@@ -1,0 +1,62 @@
+"""Smoke tests for the benchmark harness.
+
+The benchmarks under ``benchmarks/`` are heavyweight (they regenerate
+the paper's figures and tables) and run on demand, not in tier 1 — but
+an import error or a renamed library symbol inside one of them should
+fail fast here, not at the next archival run.  Each module is imported
+fresh, and the pytest collector is exercised over the whole directory.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+BENCH_MODULES = sorted(p.stem for p in BENCH_DIR.glob("bench_*.py"))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _repo_root_on_path():
+    """Make the ``benchmarks`` package importable (it lives at the repo
+    root, outside ``src/``)."""
+    sys.path.insert(0, str(REPO_ROOT))
+    try:
+        yield
+    finally:
+        sys.path.remove(str(REPO_ROOT))
+
+
+def test_benchmark_modules_discovered():
+    # guards against the glob silently matching nothing
+    assert len(BENCH_MODULES) >= 15
+    assert "bench_table1_utilization" in BENCH_MODULES
+
+
+@pytest.mark.parametrize("name", BENCH_MODULES)
+def test_benchmark_module_imports(name):
+    mod = importlib.import_module(f"benchmarks.{name}")
+    # every benchmark module must define at least one test for the harness
+    assert any(attr.startswith("test_") for attr in dir(mod)), name
+
+
+def test_benchmark_suite_collects():
+    """``pytest --collect-only benchmarks`` succeeds end to end — the
+    canary for conftest/fixture wiring problems."""
+    env = {"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"}
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "--collect-only", "-q", "benchmarks"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "error" not in proc.stdout.lower()

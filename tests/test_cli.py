@@ -78,3 +78,73 @@ class TestCommands:
         # p = 0 is a configuration error surfaced as exit code 2
         assert main(["rank", "--n", "16", "--p", "0"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_trace_parses(self):
+        args = build_parser().parse_args(
+            ["trace", "rank-mta", "--n", "256", "--p", "2", "--level", "op"]
+        )
+        assert args.command == "trace" and args.workload == "rank-mta"
+
+    def test_trace_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "sort"])
+
+    @pytest.mark.parametrize("workload", ["rank-mta", "rank-smp", "cc-mta", "cc-smp"])
+    def test_trace_chrome_output(self, workload, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        assert (
+            main(
+                [
+                    "trace", workload,
+                    "--n", "256", "--p", "2",
+                    "--streams", "8",
+                    "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "utilization" in text and "Perfetto" in text
+
+        import json
+
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        assert events, "trace must not be empty"
+        # Perfetto-loadable: every event carries the required keys
+        for e in events:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(e)
+            if e["ph"] == "X":
+                assert "dur" in e
+        # per-phase cycle totals sum to the engine's total cycles
+        spans = [e for e in events if e.get("cat") == "phase"]
+        total_dur = sum(e["dur"] for e in spans)
+        end = max(e["ts"] + e["dur"] for e in spans)
+        assert total_dur == pytest.approx(end)
+
+    def test_trace_jsonl_output(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        assert (
+            main(
+                [
+                    "trace", "rank-smp",
+                    "--n", "256", "--p", "2",
+                    "--format", "jsonl", "--level", "op",
+                    "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        from repro.obs import read_jsonl
+
+        events = read_jsonl(out)
+        assert any(e.ph == "X" for e in events)
+
+    def test_trace_default_output_name(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "rank-smp", "--n", "128", "--p", "2"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "trace-rank-smp.json").exists()

@@ -1,0 +1,143 @@
+"""Differential sweep: every variant vs the sequential oracle on
+adversarial inputs.
+
+List ranking: every parallel variant (and both cycle-engine
+simulations) must produce exactly :func:`repro.lists.true_ranks` on the
+degenerate lists that stress boundary handling — a singleton, a
+two-element chain, an already-ordered list, and small random lists.
+
+Connected components: every variant (and both cycle-engine
+simulations) must match :func:`repro.graphs.cc_union_find` on graphs
+that stress the grafting/termination logic — a star (maximum-degree
+hub), a disconnected graph with isolated vertices, an edgeless graph,
+and multi-component random graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    EdgeList,
+    awerbuch_shiloach,
+    cc_bfs,
+    cc_union_find,
+    hybrid_cc,
+    normalize_labels,
+    random_graph,
+    random_mating,
+    star_graph,
+    sv_mta,
+    sv_pram,
+    sv_smp,
+)
+from repro.graphs.programs import simulate_mta_cc, simulate_smp_cc
+from repro.lists import (
+    ordered_list,
+    random_list,
+    rank_by_compaction,
+    rank_helman_jaja,
+    rank_independent_set,
+    rank_mta,
+    rank_sequential,
+    rank_wyllie,
+    true_ranks,
+)
+from repro.lists.programs import simulate_mta_list_ranking, simulate_smp_list_ranking
+
+# -- adversarial inputs -------------------------------------------------------------
+
+LISTS = {
+    "singleton": lambda: ordered_list(1),
+    "two-chain": lambda: ordered_list(2),
+    "ordered": lambda: ordered_list(33),
+    "random-small": lambda: random_list(37, 5),
+    "random-odd": lambda: random_list(101, 9),
+}
+
+
+def _isolated_graph() -> EdgeList:
+    # two components among vertices {0..3}; vertices 4..7 isolated
+    u = np.array([0, 2], dtype=np.int64)
+    v = np.array([1, 3], dtype=np.int64)
+    return EdgeList(8, u, v)
+
+
+def _edgeless_graph() -> EdgeList:
+    empty = np.array([], dtype=np.int64)
+    return EdgeList(5, empty, empty)
+
+
+GRAPHS = {
+    "star": lambda: star_graph(17),
+    "isolated": _isolated_graph,
+    "edgeless": _edgeless_graph,
+    "two-stars": lambda: EdgeList(
+        10,
+        np.array([0, 0, 0, 0, 5, 5, 5, 5], dtype=np.int64),
+        np.array([1, 2, 3, 4, 6, 7, 8, 9], dtype=np.int64),
+    ),
+    "random-sparse": lambda: random_graph(60, 40, rng=2),
+}
+
+LIST_VARIANTS = {
+    "wyllie": lambda nxt: rank_wyllie(nxt, p=2).ranks,
+    "helman-jaja": lambda nxt: rank_helman_jaja(nxt, p=2, rng=0).ranks,
+    "mta-walks": lambda nxt: rank_mta(nxt, p=2).ranks,
+    "compaction": lambda nxt: rank_by_compaction(nxt, p=2, threshold=8).ranks,
+    "independent-set": lambda nxt: rank_independent_set(nxt, p=2, rng=0, stub=4).ranks,
+    "helman-jaja-block": lambda nxt: rank_helman_jaja(
+        nxt, p=2, rng=0, schedule="block"
+    ).ranks,
+    "engine-mta": lambda nxt: simulate_mta_list_ranking(
+        nxt, p=2, streams_per_proc=8, nodes_per_walk=4
+    ).ranks,
+    "engine-smp": lambda nxt: simulate_smp_list_ranking(nxt, p=2, rng=0).ranks,
+}
+
+CC_VARIANTS = {
+    "bfs": lambda g: cc_bfs(g).labels,
+    "sv-pram": lambda g: sv_pram(g, p=2).labels,
+    "sv-mta": lambda g: sv_mta(g, p=2).labels,
+    "sv-smp": lambda g: sv_smp(g, p=2).labels,
+    "awerbuch-shiloach": lambda g: awerbuch_shiloach(g, p=2).labels,
+    "random-mating": lambda g: random_mating(g, p=2, rng=0).labels,
+    "hybrid": lambda g: hybrid_cc(g, p=2, rng=0).labels,
+    "engine-mta": lambda g: simulate_mta_cc(g, p=2, streams_per_proc=8).labels,
+    "engine-smp": lambda g: simulate_smp_cc(g, p=2).labels,
+}
+
+
+@pytest.mark.parametrize("variant", sorted(LIST_VARIANTS))
+@pytest.mark.parametrize("case", sorted(LISTS))
+def test_list_ranking_matches_oracle(case, variant):
+    nxt = LISTS[case]()
+    oracle = true_ranks(nxt)
+    got = LIST_VARIANTS[variant](nxt)
+    assert np.array_equal(got, oracle), f"{variant} wrong on {case}"
+
+
+@pytest.mark.parametrize("case", sorted(LISTS))
+def test_sequential_matches_oracle(case):
+    nxt = LISTS[case]()
+    assert np.array_equal(rank_sequential(nxt).ranks, true_ranks(nxt))
+
+
+@pytest.mark.parametrize("variant", sorted(CC_VARIANTS))
+@pytest.mark.parametrize("case", sorted(GRAPHS))
+def test_cc_matches_union_find(case, variant):
+    g = GRAPHS[case]()
+    oracle = cc_union_find(g).labels
+    got = normalize_labels(np.asarray(CC_VARIANTS[variant](g)))
+    assert np.array_equal(got, oracle), f"{variant} wrong on {case}"
+
+
+def test_isolated_vertices_stay_singletons():
+    labels = cc_union_find(_isolated_graph()).labels
+    assert len(set(labels[4:].tolist())) == 4  # each isolated vertex its own component
+
+
+def test_edgeless_graph_has_n_components():
+    labels = cc_union_find(_edgeless_graph()).labels
+    assert len(set(labels.tolist())) == 5

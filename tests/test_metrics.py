@@ -21,6 +21,18 @@ class TestSpeedup:
         with pytest.raises(ConfigurationError):
             speedup(1.0, 0.0)
 
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(ConfigurationError):
+            speedup(0.0, 1.0)
+
+    def test_rejects_negative_baseline(self):
+        with pytest.raises(ConfigurationError):
+            speedup(-3.0, 1.0)
+
+    def test_rejects_negative_parallel(self):
+        with pytest.raises(ConfigurationError):
+            speedup(1.0, -2.0)
+
     def test_efficiency(self):
         assert parallel_efficiency(8.0, 1.0, p=8) == 1.0
         assert parallel_efficiency(8.0, 2.0, p=8) == 0.5
@@ -37,6 +49,14 @@ class TestRatioSeries:
     def test_length_mismatch(self):
         with pytest.raises(ConfigurationError):
             ratio_series([1], [1, 2])
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ConfigurationError):
+            ratio_series([1, 2], [1, 0])
+
+    def test_rejects_negative_denominator(self):
+        with pytest.raises(ConfigurationError):
+            ratio_series([1, 2], [1, -3])
 
 
 class TestCrossover:
