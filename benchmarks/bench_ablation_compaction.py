@@ -6,12 +6,14 @@ compaction and expansion steps are parallel, O(n), and require little
 synchronization; thus, they increase parallelism while decreasing
 overhead.  We are investigating whether [this] is a general technique."
 
-This ablation compares three ways to rank the same list on the MTA
-model:
+This ablation compares four ways to rank the same list on the MTA
+model — all as ``rank`` workloads on ``mta-model``, differing only in
+the ``algorithm`` option:
 
 * plain Wyllie pointer jumping — O(n log n) work, maximal parallelism;
 * Alg. 1 — one level of compaction + Wyllie on the walk records;
-* recursive compaction — compact until the residue is tiny.
+* recursive compaction — compact until the residue is tiny;
+* independent-set removal — the randomized alternative.
 
 The paper's argument is quantified by total work (the ⟨T_M⟩ term) and
 simulated time; barrier counts show the synchronization trade.
@@ -23,35 +25,39 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import MTAMachine, ResultTable
-from repro.lists.compaction import rank_by_compaction
-from repro.lists.independent_set import rank_independent_set
-from repro.lists.generate import random_list
-from repro.lists.mta_ranking import rank_mta
-from repro.lists.wyllie import rank_wyllie
+from repro.core import Job, ResultTable
+from repro.backends import Workload
 
 from .conftest import once
 
 N = 1 << 17
+SEED = 21
+
+ALGORITHMS = {
+    "wyllie": {"algorithm": "wyllie"},
+    "alg1-one-level": {"algorithm": "mta-walks"},
+    "recursive-compaction": {"algorithm": "compaction", "fanout": 10, "threshold": 256},
+    "independent-set": {"algorithm": "independent-set"},
+}
 
 
 @pytest.fixture(scope="module")
-def compaction_table():
-    nxt = random_list(N, 21)
+def compaction_table(run_sweep):
+    jobs = [
+        Job(
+            Workload("rank", 8, SEED, {"n": N, "list": "random"}, options),
+            "mta-model",
+            tags={"algorithm": name},
+        )
+        for name, options in ALGORITHMS.items()
+    ]
     table = ResultTable("ablation_compaction")
-    runs = {
-        "wyllie": rank_wyllie(nxt, p=8),
-        "alg1-one-level": rank_mta(nxt, p=8),
-        "recursive-compaction": rank_by_compaction(nxt, p=8, fanout=10, threshold=256),
-        "independent-set": rank_independent_set(nxt, p=8, rng=0),
-    }
-    for name, run in runs.items():
-        res = MTAMachine(p=8).run(run.steps)
+    for r in run_sweep(jobs):
         table.add(
-            algorithm=name,
-            t_m=run.triplet.t_m,
-            barriers=run.triplet.b,
-            seconds=res.seconds,
+            algorithm=r.job.tags["algorithm"],
+            t_m=r.detail["t_m"],
+            barriers=r.detail["barriers"],
+            seconds=r.seconds,
         )
     return table
 

@@ -7,7 +7,10 @@ with the target architecture in consideration."
 
 This ablation runs the full 2×2 matrix for both kernels: each
 machine's *native* algorithm and the other machine's algorithm, timed
-on both machine models.
+on both machine models.  Each (kernel, algorithm) workload is submitted
+to both ``smp-model`` and ``mta-model`` through the runner; the backend
+layer's run memo instruments the kernel once and times the same step
+costs on both machines, exactly as the hand-rolled version did.
 
 Expected shape:
 
@@ -27,15 +30,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import MTAMachine, ResultTable, SMPMachine
-from repro.graphs.generate import random_graph
-from repro.graphs.sv_mta import sv_mta
-from repro.graphs.sv_smp import sv_smp
-from repro.lists.generate import random_list
-from repro.lists.helman_jaja import rank_helman_jaja
-from repro.lists.mta_ranking import rank_mta
+from repro.core import Job, ResultTable
+from repro.backends import Workload
 
-from .conftest import once
+from .conftest import once, by_tags
 
 # out-of-cache sizes: below ~1M elements the two ranking algorithms'
 # working sets (4 arrays vs 2) straddle the L2 boundary and the
@@ -43,33 +41,38 @@ from .conftest import once
 N_LIST = 1 << 20
 N_GRAPH = 1 << 18
 P = 8
+SEED = 5
+
+CASES = [
+    ("rank", {"n": N_LIST, "list": "random"}, ("helman-jaja", "mta-walks")),
+    ("cc", {"graph": "random", "n": N_GRAPH, "m": 8 * N_GRAPH}, ("sv-smp", "sv-mta")),
+]
 
 
 @pytest.fixture(scope="module")
-def cross_table():
+def cross_table(run_sweep):
+    jobs = [
+        Job(
+            Workload(kind, P, SEED, params, {"algorithm": alg}),
+            backend,
+            tags={"kernel": kind, "algorithm": alg,
+                  "machine": backend.split("-")[0]},
+        )
+        for kind, params, algs in CASES
+        for alg in algs
+        for backend in ("smp-model", "mta-model")
+    ]
+    results = run_sweep(jobs)
     table = ResultTable("ablation_cross_machine")
-    nxt = random_list(N_LIST, 5)
-    runs = {
-        "helman-jaja": rank_helman_jaja(nxt, p=P, rng=0),
-        "mta-walks": rank_mta(nxt, p=P),
-    }
-    for alg, run in runs.items():
-        table.add(
-            kernel="rank", algorithm=alg,
-            smp_seconds=SMPMachine(p=P).run(run.steps).seconds,
-            mta_seconds=MTAMachine(p=P).run(run.steps).seconds,
-        )
-    g = random_graph(N_GRAPH, 8 * N_GRAPH, rng=5)
-    cruns = {
-        "sv-smp": sv_smp(g, p=P),
-        "sv-mta": sv_mta(g, p=P),
-    }
-    for alg, run in cruns.items():
-        table.add(
-            kernel="cc", algorithm=alg,
-            smp_seconds=SMPMachine(p=P).run(run.steps).seconds,
-            mta_seconds=MTAMachine(p=P).run(run.steps).seconds,
-        )
+    for kind, _, algs in CASES:
+        for alg in algs:
+            table.add(
+                kernel=kind, algorithm=alg,
+                smp_seconds=by_tags(results, kernel=kind, algorithm=alg,
+                                    machine="smp").seconds,
+                mta_seconds=by_tags(results, kernel=kind, algorithm=alg,
+                                    machine="mta").seconds,
+            )
     return table
 
 

@@ -7,66 +7,57 @@ sufficient, whereas for an arbitrary labeling … from one to log n."
 
 Measured here by running the SV family on the *same* graph under
 best-case (BFS), arbitrary (random), and worst-case (reverse-BFS)
-labelings and recording iterations and simulated time on both machines.
+labelings — the ``labeling`` workload parameter, applied by the shared
+input layer — and recording iterations and simulated time on both
+machine-model backends.
 
 Output: ``benchmarks/results/ablation_labeling.txt``.
 """
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.core import MTAMachine, ResultTable, SMPMachine
-from repro.graphs.generate import (
-    best_case_labeling,
-    chain_graph,
-    random_graph,
-    worst_case_labeling,
-)
-from repro.graphs.shiloach_vishkin import sv_pram
-from repro.graphs.sv_mta import sv_mta
+from repro.core import Job, ResultTable
+from repro.backends import Workload
 
 from .conftest import once
 
 N = 1 << 13
+SEED = 4
 
-
-def _labelings(g):
-    rng = np.random.default_rng(99)
-    arbitrary = g.relabeled(rng.permutation(g.n).astype(np.int64))
-    return {
-        "best": best_case_labeling(g),
-        "arbitrary": arbitrary,
-        "worst": worst_case_labeling(g),
-    }
+GRAPHS = {
+    "random(8n)": {"graph": "random", "n": N, "m": 8 * N},
+    "chain": {"graph": "chain", "n": N},
+}
+ALGORITHMS = {
+    "sv-pram": ("smp-model", {}),
+    "sv-mta": ("mta-model", {"max_iter": 600}),
+}
 
 
 @pytest.fixture(scope="module")
-def labeling_table():
+def labeling_table(run_sweep):
+    jobs = []
+    for wname, base in GRAPHS.items():
+        for lname in ("best", "arbitrary", "worst"):
+            params = dict(base, labeling=lname)
+            for alg, (backend, extra) in ALGORITHMS.items():
+                options = dict(extra, algorithm=alg, instrument_p=1)
+                jobs.append(
+                    Job(
+                        Workload("cc", 8, SEED, params, options),
+                        backend,
+                        tags={"graph": wname, "labeling": lname, "algorithm": alg},
+                    )
+                )
     table = ResultTable("ablation_labeling")
-    workloads = {
-        "random(8n)": random_graph(N, 8 * N, rng=4),
-        "chain": chain_graph(N),
-    }
-    for wname, g in workloads.items():
-        for lname, gl in _labelings(g).items():
-            sv = sv_pram(gl)
-            mta_run = sv_mta(gl, max_iter=600)
-            table.add(
-                graph=wname, labeling=lname, algorithm="sv-pram",
-                iterations=sv.iterations,
-                seconds=SMPMachine(p=8).run(
-                    [s.redistributed(8) for s in sv.steps]
-                ).seconds,
-            )
-            table.add(
-                graph=wname, labeling=lname, algorithm="sv-mta",
-                iterations=mta_run.iterations,
-                seconds=MTAMachine(p=8).run(
-                    [s.redistributed(8) for s in mta_run.steps]
-                ).seconds,
-            )
+    for r in run_sweep(jobs):
+        t = r.job.tags
+        table.add(
+            graph=t["graph"], labeling=t["labeling"], algorithm=t["algorithm"],
+            iterations=r.detail["iterations"], seconds=r.seconds,
+        )
     return table
 
 

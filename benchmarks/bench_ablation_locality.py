@@ -5,13 +5,13 @@ spatial locality is everything, and "prefetching … shows limited or no
 improvement for irregular codes".  Two sweeps quantify that on the SMP
 model (the MTA model is run alongside as the flat-memory control):
 
-* **list layout** — :func:`repro.lists.generate.clustered_list`
-  interpolates between Ordered (block = 1) and Random (block = n):
-  SMP ranking time should rise monotonically with the block size while
-  MTA time stays flat;
-* **cache geometry** — the same Random workload on SMP variants with
-  scaled L2 capacity shows the working-set cliff that produces the
-  paper's size-dependent effects.
+* **list layout** — the ``clustered`` list class interpolates between
+  Ordered (block = 1) and Random (block = n): SMP ranking time should
+  rise monotonically with the block size while MTA time stays flat;
+* **cache geometry** — the same Random workload on ``smp-model``
+  variants whose ``config`` backend option rescales the L2 (a nested
+  :class:`~repro.arch.cache.CacheConfig` override) shows the
+  working-set cliff that produces the paper's size-dependent effects.
 
 Output: ``benchmarks/results/ablation_locality.txt``.
 """
@@ -20,42 +20,64 @@ from __future__ import annotations
 
 import pytest
 
-from repro.arch.cache import CacheConfig
-from repro.core import MTAMachine, ResultTable, SMPMachine
-from repro.core.smp_machine import SMPConfig
-from repro.lists.generate import clustered_list
-from repro.lists.helman_jaja import rank_helman_jaja
-from repro.lists.mta_ranking import rank_mta
+from repro.core import Job, ResultTable
+from repro.backends import Workload
 
-from .conftest import once
+from .conftest import once, by_tags
 
 N = 1 << 18
 BLOCKS = (1, 64, 1 << 12, 1 << 15, N)
+L2_SIZES = (1 << 16, 1 << 18, 1 << 20, 1 << 22)
+SEED = 5
+
+
+def _jobs():
+    jobs = []
+    for block in BLOCKS:
+        params = {"n": N, "list": "clustered", "block": block}
+        # pin the Helman-Jaja sublist-head draw across blocks so the
+        # layout sweep varies only the input's clustering
+        jobs.append(
+            Job(Workload("rank", 8, SEED, params, {"rng": 0}), "smp-model",
+                tags={"sweep": "layout", "block": block, "machine": "smp"})
+        )
+        jobs.append(
+            Job(Workload("rank", 8, SEED, params), "mta-model",
+                tags={"sweep": "layout", "block": block, "machine": "mta"})
+        )
+    random_params = {"n": N, "list": "clustered", "block": N}
+    for l2_elems in L2_SIZES:
+        jobs.append(
+            Job(
+                Workload("rank", 8, SEED, random_params, {"rng": 0}),
+                "smp-model",
+                backend_options={
+                    "config": {
+                        "name": f"E4500-l2-{l2_elems}",
+                        "l2": {"size_words": l2_elems, "line_words": 16},
+                    }
+                },
+                tags={"sweep": "l2", "l2_elems": l2_elems},
+            )
+        )
+    return jobs
 
 
 @pytest.fixture(scope="module")
-def locality_table():
+def locality_table(run_sweep):
+    results = run_sweep(_jobs())
     table = ResultTable("ablation_locality")
     for block in BLOCKS:
-        nxt = clustered_list(N, block=block, rng=5)
-        hj = rank_helman_jaja(nxt, p=8, rng=0)
-        smp = SMPMachine(p=8).run(hj.steps)
-        mta = MTAMachine(p=8).run(rank_mta(nxt, p=8).steps)
+        smp = by_tags(results, sweep="layout", block=block, machine="smp")
+        mta = by_tags(results, sweep="layout", block=block, machine="mta")
         table.add(
             sweep="layout", block=block,
             smp_seconds=smp.seconds, mta_seconds=mta.seconds,
-            contig_fraction=hj.stats["contig_fraction"],
+            contig_fraction=smp.stats["contig_fraction"],
         )
-    # cache-capacity sweep on the fully random layout
-    nxt = clustered_list(N, block=N, rng=5)
-    hj = rank_helman_jaja(nxt, p=8, rng=0)
-    for l2_elems in (1 << 16, 1 << 18, 1 << 20, 1 << 22):
-        cfg = SMPConfig(
-            name=f"E4500-l2-{l2_elems}",
-            l2=CacheConfig(size_words=l2_elems, line_words=16),
-        )
-        smp = SMPMachine(p=8, config=cfg).run(hj.steps)
-        table.add(sweep="l2", l2_elems=l2_elems, smp_seconds=smp.seconds)
+    for l2_elems in L2_SIZES:
+        r = by_tags(results, sweep="l2", l2_elems=l2_elems)
+        table.add(sweep="l2", l2_elems=l2_elems, smp_seconds=r.seconds)
     return table
 
 

@@ -5,12 +5,14 @@ stream will not be balanced… To avoid load imbalances, we instruct the
 compiler via a pragma to dynamically schedule the iterations of the
 outer loop," paying one `int_fetch_add`` (one cycle) per walk.
 
-Measured here both ways:
+Measured here both ways, as one job list through the runner:
 
-* on the cycle engine — executing the walk phase with FA
-  self-scheduling vs pre-assigned walk blocks;
-* on the analytic model — the per-processor load imbalance the
-  instrumented algorithm records under each policy.
+* on the cycle engine (``mta-engine``, ``dynamic`` workload option) —
+  executing the walk phase with FA self-scheduling vs pre-assigned walk
+  blocks;
+* on the analytic model (``mta-model``, ``schedule`` workload option) —
+  the per-processor load imbalance the instrumented algorithm records
+  under each policy.
 
 Random lists make walk lengths highly variable (geometric-ish), so the
 effect is large; Ordered lists have uniform walks, so the policies tie
@@ -23,42 +25,56 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import MTAMachine, ResultTable
-from repro.lists.generate import ordered_list, random_list
-from repro.lists.mta_ranking import rank_mta
-from repro.lists.programs import simulate_mta_list_ranking
+from repro.core import Job, ResultTable
+from repro.backends import Workload
 
 from .conftest import once
 
 N_ENGINE = 12_000
 N_MODEL = 1 << 18
+SEED = 11
+
+
+def _jobs():
+    jobs = []
+    for label in ("random", "ordered"):
+        for policy, dynamic in (("dynamic", True), ("block", False)):
+            jobs.append(
+                Job(
+                    Workload("rank", 4, SEED, {"n": N_ENGINE, "list": label},
+                             {"streams_per_proc": 64, "nodes_per_walk": 10,
+                              "dynamic": dynamic}),
+                    "mta-engine",
+                    tags={"source": "engine", "list": label, "policy": policy},
+                )
+            )
+    for label in ("random", "ordered"):
+        for policy in ("dynamic", "block"):
+            jobs.append(
+                Job(
+                    Workload("rank", 8, SEED, {"n": N_MODEL, "list": label},
+                             {"schedule": policy}),
+                    "mta-model",
+                    tags={"source": "model", "list": label, "policy": policy},
+                )
+            )
+    return jobs
 
 
 @pytest.fixture(scope="module")
-def sched_table():
+def sched_table(run_sweep):
     table = ResultTable("ablation_scheduling")
-    for label, nxt in (
-        ("random", random_list(N_ENGINE, 11)),
-        ("ordered", ordered_list(N_ENGINE)),
-    ):
-        for policy, dynamic in (("dynamic", True), ("block", False)):
-            sim = simulate_mta_list_ranking(
-                nxt, p=4, streams_per_proc=64, nodes_per_walk=10, dynamic=dynamic
-            )
+    for r in run_sweep(_jobs()):
+        t = r.job.tags
+        if t["source"] == "engine":
             table.add(
-                source="engine", list=label, policy=policy,
-                cycles=sim.report.cycles, utilization=sim.report.utilization,
+                source="engine", list=t["list"], policy=t["policy"],
+                cycles=r.cycles, utilization=r.utilization,
             )
-    for label, nxt in (
-        ("random", random_list(N_MODEL, 11)),
-        ("ordered", ordered_list(N_MODEL)),
-    ):
-        for policy in ("dynamic", "block"):
-            run = rank_mta(nxt, p=8, schedule=policy)
-            res = MTAMachine(p=8).run(run.steps)
+        else:
             table.add(
-                source="model", list=label, policy=policy,
-                seconds=res.seconds, imbalance=run.stats["load_imbalance"],
+                source="model", list=t["list"], policy=t["policy"],
+                seconds=r.seconds, imbalance=r.stats["load_imbalance"],
             )
     return table
 

@@ -3,7 +3,8 @@
 The paper claims ~40–80 threads per processor suffice to hide the
 ~100-cycle memory latency, and that ~100 streams with ~10 nodes per
 walk reach near-100 % utilization.  This ablation measures both on the
-cycle engine:
+cycle engine, via the ``mta-engine`` backend's ``chase`` workload (raw
+chaser streams) and its list-ranking program:
 
 * utilization vs number of chaser streams — the saturation curve whose
   knee should sit near ``latency / (instructions issuable per memory
@@ -19,49 +20,51 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import ResultTable
-from repro.lists.generate import random_list
-from repro.lists.programs import simulate_mta_list_ranking
-from repro.sim import MTAEngine, isa
+from repro.core import Job, ResultTable
+from repro.backends import Workload
 
 from .conftest import once
 
 LATENCY = 100
 STREAM_COUNTS = (4, 8, 16, 32, 48, 64, 96, 128)
-
-
-def _chaser(steps: int):
-    """A stream that alternates one compute with two dependent loads —
-    the access pattern of a list walk."""
-    for i in range(steps):
-        yield isa.compute(1)
-        yield isa.load_dep(i)
-        yield isa.load_dep(100_000 + i)
-
-
-def _saturation_curve():
-    curve = []
-    for k in STREAM_COUNTS:
-        eng = MTAEngine(p=1, streams_per_proc=128, mem_latency=LATENCY, lookahead=2)
-        for _ in range(k):
-            eng.spawn(_chaser(40))
-        curve.append((k, eng.run().utilization))
-    return curve
+CHASE_OPTS = {
+    "steps": 40,
+    "streams_per_proc": 128,
+    "mem_latency": LATENCY,
+    "lookahead": 2,
+}
 
 
 @pytest.fixture(scope="module")
-def curves():
+def curves(run_sweep):
+    jobs = [
+        Job(
+            Workload("chase", 1, 0, {"chasers": k}, CHASE_OPTS),
+            "mta-engine",
+            tags={"sweep": "streams", "streams": k},
+        )
+        for k in STREAM_COUNTS
+    ]
+    jobs += [
+        Job(
+            Workload("rank", 1, 3, {"n": 20_000, "list": "random"},
+                     {"streams_per_proc": 100, "nodes_per_walk": npw}),
+            "mta-engine",
+            tags={"sweep": "nodes-per-walk", "nodes_per_walk": npw},
+        )
+        for npw in (2, 5, 10, 20, 50)
+    ]
     table = ResultTable("ablation_streams")
-    for k, u in _saturation_curve():
-        table.add(sweep="streams", streams=k, utilization=u)
-    for npw in (2, 5, 10, 20, 50):
-        sim = simulate_mta_list_ranking(
-            random_list(20_000, 3), p=1, streams_per_proc=100, nodes_per_walk=npw
-        )
-        table.add(
-            sweep="nodes-per-walk", nodes_per_walk=npw,
-            utilization=sim.report.utilization, cycles=sim.report.cycles,
-        )
+    for r in run_sweep(jobs):
+        t = r.job.tags
+        if t["sweep"] == "streams":
+            table.add(sweep="streams", streams=t["streams"],
+                      utilization=r.utilization)
+        else:
+            table.add(
+                sweep="nodes-per-walk", nodes_per_walk=t["nodes_per_walk"],
+                utilization=r.utilization, cycles=r.cycles,
+            )
     return table
 
 

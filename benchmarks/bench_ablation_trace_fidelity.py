@@ -8,6 +8,11 @@ the counts-mode heuristics were wrong, the two would diverge — this
 ablation measures the disagreement on the Fig. 1 workloads, which is
 the reproduction's internal error bar.
 
+Each workload carries ``collect_traces=True`` and is submitted to two
+``smp-model`` variants differing only in the ``use_traces`` backend
+option; the run memo instruments the kernel once and both variants time
+the same steps.
+
 Checked: the two modes agree on the ordered/random *ordering* at every
 size, and on magnitude within a factor of two through the cache
 transition region (exact hit rates differ most where the working set
@@ -20,28 +25,46 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import ResultTable, SMPMachine
-from repro.lists.generate import ordered_list, random_list
-from repro.lists.helman_jaja import rank_helman_jaja
+from repro.core import Job, ResultTable
+from repro.backends import Workload
 
-from .conftest import once
+from .conftest import once, by_tags
 
 SIZES = (1 << 14, 1 << 16, 1 << 18)
 P = 4
+SEED = 3
+
+
+def _jobs():
+    jobs = []
+    for n in SIZES:
+        for label in ("ordered", "random"):
+            workload = Workload(
+                "rank", P, SEED, {"n": n, "list": label},
+                {"collect_traces": True},
+            )
+            for mode, use_traces in (("trace", True), ("counts", False)):
+                jobs.append(
+                    Job(
+                        workload,
+                        "smp-model",
+                        backend_options={"use_traces": use_traces},
+                        tags={"list": label, "n": n, "mode": mode},
+                    )
+                )
+    return jobs
 
 
 @pytest.fixture(scope="module")
-def fidelity_table():
+def fidelity_table(run_sweep):
+    results = run_sweep(_jobs())
     table = ResultTable("ablation_trace_fidelity")
-    trace_machine = SMPMachine(p=P, use_traces=True)
-    counts_machine = SMPMachine(p=P, use_traces=False)
     for n in SIZES:
-        for label, nxt in (("ordered", ordered_list(n)), ("random", random_list(n, 3))):
-            run = rank_helman_jaja(nxt, p=P, rng=0, collect_traces=True)
+        for label in ("ordered", "random"):
             table.add(
                 list=label, n=n,
-                trace_seconds=trace_machine.run(run.steps).seconds,
-                counts_seconds=counts_machine.run(run.steps).seconds,
+                trace_seconds=by_tags(results, list=label, n=n, mode="trace").seconds,
+                counts_seconds=by_tags(results, list=label, n=n, mode="counts").seconds,
             )
     return table
 

@@ -4,9 +4,10 @@ The paper surveys prior parallel CC implementations (Greiner's NESL
 algorithms including random-mating and a hybrid, Awerbuch–Shiloach,
 Shiloach–Vishkin itself) and notes that none beat the best sequential
 code on sparse random graphs.  This benchmark stages that comparison on
-the simulated machines: every algorithm in :mod:`repro.graphs` runs on
-the same sparse random graph and is timed on both machine models, with
-the sequential union-find as the yardstick.
+the simulated machines: every CC algorithm in the kernel registry runs
+on the same sparse random graph (one ``cc`` workload per algorithm, the
+run memo sharing the instrumented execution) and is timed on both
+machine-model backends, with the sequential union-find as the yardstick.
 
 Shape checks: the SV machine variants are the fastest parallel codes on
 their target machines (the paper's reason for choosing SV), and the
@@ -21,15 +22,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import MTAMachine, ResultTable, SMPMachine
-from repro.graphs.generate import random_graph
-from repro.graphs.sequential_cc import cc_bfs, cc_union_find
-from repro.graphs.shiloach_vishkin import sv_pram
-from repro.graphs.sv_mta import sv_mta
-from repro.graphs.sv_smp import sv_smp
-from repro.graphs.variants import awerbuch_shiloach, hybrid_cc, random_mating
+from repro.core import Job, ResultTable
+from repro.backends import Workload
 
-from .conftest import once
+from .conftest import once, by_tags
 
 # The paper's scale: with fewer than ~1M vertices the parent array is
 # L2-resident and sequential union-find wins outright — exactly the
@@ -37,37 +33,54 @@ from .conftest import once
 # comparison is only meaningful out of cache.
 N = 1 << 20
 M_EDGES = 8 * N
+SEED = 2
 
+#: table label -> (kernel-registry algorithm, extra workload options)
 ALGORITHMS = {
-    "uf-sequential": cc_union_find,
-    "bfs-sequential": cc_bfs,
-    "sv-pram": sv_pram,
-    "sv-mta": sv_mta,
-    "sv-smp": sv_smp,
-    "awerbuch-shiloach": awerbuch_shiloach,
-    "random-mating": lambda g: random_mating(g, rng=7),
-    "hybrid": lambda g: hybrid_cc(g, rng=7),
+    "uf-sequential": ("union-find", {}),
+    "bfs-sequential": ("bfs-sequential", {}),
+    "sv-pram": ("sv-pram", {}),
+    "sv-mta": ("sv-mta", {}),
+    "sv-smp": ("sv-smp", {}),
+    "awerbuch-shiloach": ("awerbuch-shiloach", {}),
+    "random-mating": ("random-mating", {"rng": 7}),
+    "hybrid": ("hybrid", {"rng": 7}),
 }
 
 
+def _jobs():
+    params = {"graph": "random", "n": N, "m": M_EDGES}
+    jobs = []
+    for name, (alg, extra) in ALGORITHMS.items():
+        sequential = name.endswith("sequential")
+        p = 1 if sequential else 8
+        options = dict(extra, algorithm=alg)
+        if not sequential:
+            # a sequential-style run redistributed: execute once at p=1
+            options["instrument_p"] = 1
+        for backend, machine in (("smp-model", "smp"), ("mta-model", "mta")):
+            jobs.append(
+                Job(
+                    Workload("cc", p, SEED, params, options),
+                    backend,
+                    tags={"algorithm": name, "machine": machine},
+                )
+            )
+    return jobs
+
+
 @pytest.fixture(scope="module")
-def baseline_table():
-    g = random_graph(N, M_EDGES, rng=2)
+def baseline_table(run_sweep):
+    results = run_sweep(_jobs())
     table = ResultTable("baselines_cc")
-    for name, fn in ALGORITHMS.items():
-        run = fn(g)
-        if name.endswith("sequential"):
-            # a sequential algorithm gains nothing from more processors
-            smp = SMPMachine(p=1).run(run.steps)
-            mta = MTAMachine(p=1).run(run.steps)
-        else:
-            smp = SMPMachine(p=8).run([s.redistributed(8) for s in run.steps])
-            mta = MTAMachine(p=8).run([s.redistributed(8) for s in run.steps])
+    for name in ALGORITHMS:
+        smp = by_tags(results, algorithm=name, machine="smp")
+        mta = by_tags(results, algorithm=name, machine="mta")
         table.add(
             algorithm=name,
-            iterations=run.iterations,
-            t_m=run.triplet.t_m,
-            barriers=run.triplet.b,
+            iterations=smp.detail["iterations"],
+            t_m=smp.detail["t_m"],
+            barriers=smp.detail["barriers"],
             smp_seconds=smp.seconds,
             mta_seconds=mta.seconds,
         )

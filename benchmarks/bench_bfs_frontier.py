@@ -13,7 +13,8 @@ property of the *input graph*:
   predicts.
 
 The SMP, in contrast, cares about the *total* traffic, not its shape —
-its BFS time per edge is nearly workload-independent.
+its BFS time per edge is nearly workload-independent.  Each graph is
+one ``bfs`` workload submitted to both machine-model backends.
 
 Output: ``benchmarks/results/bfs_frontier.txt``.
 """
@@ -22,35 +23,43 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import MTAMachine, ResultTable, SMPMachine
-from repro.graphs.generate import chain_graph, mesh2d, random_graph, rmat_graph
-from repro.graphs.parallel_bfs import parallel_bfs
+from repro.core import Job, ResultTable
+from repro.backends import Workload
 
-from .conftest import once
+from .conftest import once, by_tags
+
+SEED = 3
 
 WORKLOADS = {
-    "random": lambda: random_graph(1 << 15, 8 << 15, rng=3),
-    "rmat": lambda: rmat_graph(15, 8, rng=3),
-    "mesh": lambda: mesh2d(181, 181),  # ~32K vertices
-    "chain": lambda: chain_graph(1 << 12),
+    "random": {"graph": "random", "n": 1 << 15, "m": 8 << 15},
+    "rmat": {"graph": "rmat", "scale": 15, "edge_factor": 8},
+    "mesh": {"graph": "mesh", "rows": 181, "cols": 181},  # ~32K vertices
+    "chain": {"graph": "chain", "n": 1 << 12},
 }
 
 
 @pytest.fixture(scope="module")
-def bfs_table():
+def bfs_table(run_sweep):
+    jobs = [
+        Job(
+            Workload("bfs", 8, SEED, params, {"source": 0}),
+            backend,
+            tags={"graph": name, "machine": machine},
+        )
+        for name, params in WORKLOADS.items()
+        for backend, machine in (("mta-model", "mta"), ("smp-model", "smp"))
+    ]
+    results = run_sweep(jobs)
     table = ResultTable("bfs_frontier")
-    for name, make in WORKLOADS.items():
-        g = make()
-        run = parallel_bfs(g, source=0, p=8)
-        mta = MTAMachine(p=8).run(run.steps)
-        smp = SMPMachine(p=8).run(run.steps)
-        widths = run.stats["frontier_widths"]
+    for name in WORKLOADS:
+        mta = by_tags(results, graph=name, machine="mta")
+        smp = by_tags(results, graph=name, machine="smp")
         table.add(
             graph=name,
-            n=g.n,
-            m=g.m,
-            levels=run.levels,
-            max_frontier=max(widths),
+            n=mta.detail["n"],
+            m=mta.detail["m"],
+            levels=mta.detail["levels"],
+            max_frontier=max(mta.stats["frontier_widths"]),
             mta_seconds=mta.seconds,
             smp_seconds=smp.seconds,
             mta_utilization=mta.utilization,

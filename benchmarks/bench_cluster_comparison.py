@@ -10,6 +10,11 @@ best case (bulk-synchronous request aggregation à la Krishnamurthy et
 al., whose CC code the paper's survey notes got "virtually no speedup
 on sparse random graphs").
 
+The same workload (same seed, same instrumented kernel — the run memo
+in the backend layer executes it once) is timed on ``cluster-model``
+(naive and with a ``batching=256`` config override), ``smp-model``, and
+``mta-model``, all through the unified runner.
+
 Output: ``benchmarks/results/cluster_comparison.txt``.
 """
 
@@ -17,59 +22,55 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import (
-    ClusterConfig,
-    ClusterMachine,
-    MTAMachine,
-    ResultTable,
-    SMPMachine,
-)
-from repro.graphs.generate import random_graph
-from repro.graphs.sequential_cc import cc_union_find
-from repro.graphs.sv_smp import sv_smp
-from repro.graphs.sv_mta import sv_mta
-from repro.lists.generate import random_list
-from repro.lists.helman_jaja import rank_helman_jaja
-from repro.lists.mta_ranking import rank_mta
-from repro.lists.sequential import rank_sequential
+from repro.core import Job, ResultTable
+from repro.backends import Workload
 
 from .conftest import once
 
 N_LIST = 1 << 20
 N_GRAPH = 1 << 18
 P = 8
-BATCHED = ClusterConfig(name="Beowulf-batched", batching=256)
+SEED = 6
+BATCHED = {"config": {"name": "Beowulf-batched", "batching": 256}}
+
+
+def _jobs():
+    rank = {"n": N_LIST, "list": "random"}
+    cc = {"graph": "random", "n": N_GRAPH, "m": 8 * N_GRAPH}
+    jobs = []
+
+    def add(kind, machine, backend, *, p=P, options=None, backend_options=None):
+        params = rank if kind == "rank" else cc
+        jobs.append(
+            Job(
+                Workload(kind, p, SEED, params, options or {}),
+                backend,
+                backend_options=backend_options or {},
+                tags={"kernel": kind, "machine": machine},
+            )
+        )
+
+    for kind, seq_alg, par_alg in (
+        ("rank", "sequential", "helman-jaja"),
+        ("cc", "union-find", "sv-smp"),
+    ):
+        add(kind, "sequential-1cpu", "smp-model", p=1,
+            options={"algorithm": seq_alg})
+        add(kind, "cluster-naive", "cluster-model",
+            options={"algorithm": par_alg})
+        add(kind, "cluster-batched", "cluster-model",
+            options={"algorithm": par_alg}, backend_options=BATCHED)
+        add(kind, "smp", "smp-model", options={"algorithm": par_alg})
+        add(kind, "mta", "mta-model")
+    return jobs
 
 
 @pytest.fixture(scope="module")
-def cluster_table():
+def cluster_table(run_sweep):
     table = ResultTable("cluster_comparison")
-
-    nxt = random_list(N_LIST, 6)
-    seq = SMPMachine(p=1).run(rank_sequential(nxt).steps).seconds
-    table.add(kernel="rank", machine="sequential-1cpu", seconds=seq)
-    hj = rank_helman_jaja(nxt, p=P, rng=0)
-    table.add(kernel="rank", machine="cluster-naive",
-              seconds=ClusterMachine(p=P).run(hj.steps).seconds)
-    table.add(kernel="rank", machine="cluster-batched",
-              seconds=ClusterMachine(p=P, config=BATCHED).run(hj.steps).seconds)
-    table.add(kernel="rank", machine="smp",
-              seconds=SMPMachine(p=P).run(hj.steps).seconds)
-    table.add(kernel="rank", machine="mta",
-              seconds=MTAMachine(p=P).run(rank_mta(nxt, p=P).steps).seconds)
-
-    g = random_graph(N_GRAPH, 8 * N_GRAPH, rng=6)
-    uf = SMPMachine(p=1).run(cc_union_find(g).steps).seconds
-    table.add(kernel="cc", machine="sequential-1cpu", seconds=uf)
-    smp_run = sv_smp(g, p=P)
-    table.add(kernel="cc", machine="cluster-naive",
-              seconds=ClusterMachine(p=P).run(smp_run.steps).seconds)
-    table.add(kernel="cc", machine="cluster-batched",
-              seconds=ClusterMachine(p=P, config=BATCHED).run(smp_run.steps).seconds)
-    table.add(kernel="cc", machine="smp",
-              seconds=SMPMachine(p=P).run(smp_run.steps).seconds)
-    table.add(kernel="cc", machine="mta",
-              seconds=MTAMachine(p=P).run(sv_mta(g, p=P).steps).seconds)
+    for r in run_sweep(_jobs()):
+        t = r.job.tags
+        table.add(kernel=t["kernel"], machine=t["machine"], seconds=r.seconds)
     return table
 
 

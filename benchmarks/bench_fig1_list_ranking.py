@@ -11,38 +11,33 @@ on the SMP model.  Shape checks assert the paper's headlines:
   roughly 35× on Random;
 * both machines scale nearly linearly in p.
 
-Output table: ``benchmarks/results/fig1_list_ranking.txt``.
+The whole grid is declared by :func:`repro.workloads.fig1_jobs` and
+executed through the backend registry (``mta-model`` / ``smp-model``)
+by the unified runner.  Output table:
+``benchmarks/results/fig1_list_ranking.txt``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core import MTAMachine, ResultTable, SMPMachine, scaling_exponent
-from repro.lists.helman_jaja import rank_helman_jaja
-from repro.lists.mta_ranking import rank_mta
+from repro.core import Job, ResultTable, run_jobs, scaling_exponent
+from repro.backends import Workload
+from repro.workloads import FIG1_SPEC, fig1_jobs
 
 from .conftest import once
 
 
 @pytest.fixture(scope="module")
-def fig1_table(fig1_lists):
-    spec, lists = fig1_lists
+def fig1_table(run_sweep):
+    spec = FIG1_SPEC
     table = ResultTable("fig1")
-    for (label, n), nxt in lists.items():
-        for p in spec.procs:
-            hj = rank_helman_jaja(nxt, p=p, rng=spec.seed)
-            smp = SMPMachine(p=p).run(hj.steps)
-            table.add(
-                machine="smp", list=label, n=n, p=p,
-                seconds=smp.seconds, utilization=smp.utilization,
-            )
-            mta_run = rank_mta(nxt, p=p)
-            mta = MTAMachine(p=p).run(mta_run.steps)
-            table.add(
-                machine="mta", list=label, n=n, p=p,
-                seconds=mta.seconds, utilization=mta.utilization,
-            )
+    for r in run_sweep(fig1_jobs(spec)):
+        t = r.job.tags
+        table.add(
+            machine=t["machine"], list=t["list"], n=t["n"], p=t["p"],
+            seconds=r.seconds, utilization=r.utilization,
+        )
     return spec, table
 
 
@@ -135,13 +130,16 @@ def test_fig1_scaling_in_p(fig1_table, benchmark):
         assert exp < -0.7, f"{key}: p-scaling exponent {exp:.2f}"
 
 
-def test_fig1_benchmark_pipeline(benchmark, fig1_lists):
+def test_fig1_benchmark_pipeline(benchmark):
     """Host-side cost of one full Fig. 1 grid point (instrument + model)."""
-    spec, lists = fig1_lists
-    nxt = lists[("random", min(spec.sizes))]
+    spec = FIG1_SPEC
+    job = Job(
+        Workload("rank", p=8, seed=spec.seed,
+                 params={"n": min(spec.sizes), "list": "random"}),
+        "mta-model",
+    )
 
     def point():
-        run = rank_mta(nxt, p=8)
-        return MTAMachine(p=8).run(run.steps).seconds
+        return run_jobs([job], cache=False)[0].seconds
 
     assert once(benchmark, point) > 0

@@ -10,42 +10,36 @@ optimized variant on the SMP model.  Shape checks:
 * both parallel codes beat the sequential union-find baseline (the
   paper's "truly remarkable result" for sparse random graphs).
 
-Output table: ``benchmarks/results/fig2_connected_components.txt``.
+The grid is declared by :func:`repro.workloads.fig2_jobs`: each
+algorithm runs once per edge count (``instrument_p=1``) and its scalar
+step costs are redistributed across p by the backend, avoiding 4×
+recomputation exactly as the hand-rolled sweep used to.  Output table:
+``benchmarks/results/fig2_connected_components.txt``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core import MTAMachine, ResultTable, SMPMachine, scaling_exponent
-from repro.graphs.sequential_cc import cc_union_find
-from repro.graphs.sv_mta import sv_mta
-from repro.graphs.sv_smp import sv_smp
+from repro.core import Job, ResultTable, run_jobs, scaling_exponent
+from repro.backends import Workload
+from repro.workloads import FIG2_SPEC, fig2_jobs
 
 from .conftest import once
 
 
 @pytest.fixture(scope="module")
-def fig2_table(fig2_graphs):
-    spec, graphs = fig2_graphs
+def fig2_table(run_sweep):
+    spec = FIG2_SPEC
     table = ResultTable("fig2")
-    for m, g in graphs.items():
-        seq = SMPMachine(p=1).run(cc_union_find(g).steps)
-        table.add(machine="seq", m=m, p=1, seconds=seq.seconds)
-        # run each algorithm once; its step costs are scalar totals, so
-        # re-distribution across p is exact and avoids 4x recomputation
-        smp_run = sv_smp(g, p=1)
-        mta_run = sv_mta(g, p=1)
-        for p in spec.procs:
-            smp = SMPMachine(p=p).run([s.redistributed(p) for s in smp_run.steps])
+    for r in run_sweep(fig2_jobs(spec)):
+        t = r.job.tags
+        if t["machine"] == "seq":
+            table.add(machine="seq", m=t["m"], p=1, seconds=r.seconds)
+        else:
             table.add(
-                machine="smp", m=m, p=p,
-                seconds=smp.seconds, iterations=smp_run.iterations,
-            )
-            mta = MTAMachine(p=p).run([s.redistributed(p) for s in mta_run.steps])
-            table.add(
-                machine="mta", m=m, p=p,
-                seconds=mta.seconds, iterations=mta_run.iterations,
+                machine=t["machine"], m=t["m"], p=t["p"],
+                seconds=r.seconds, iterations=r.detail["iterations"],
             )
     return spec, table
 
@@ -143,13 +137,16 @@ def test_fig2_parallel_beats_sequential(fig2_table, benchmark):
         assert s_mta > 5.0, f"m={m}: MTA speedup {s_mta:.2f}"
 
 
-def test_fig2_benchmark_pipeline(benchmark, fig2_graphs):
+def test_fig2_benchmark_pipeline(benchmark):
     """Host-side cost of one Fig. 2 grid point."""
-    spec, graphs = fig2_graphs
-    g = graphs[min(spec.edge_counts)]
+    spec = FIG2_SPEC
+    job = Job(
+        Workload("cc", p=8, seed=spec.seed,
+                 params={"n": spec.n, "m": min(spec.edge_counts)}),
+        "mta-model",
+    )
 
     def point():
-        run = sv_mta(g, p=8)
-        return MTAMachine(p=8).run(run.steps).seconds
+        return run_jobs([job], cache=False)[0].seconds
 
     assert once(benchmark, point) > 0

@@ -1,54 +1,65 @@
 """Extension bench — Borůvka minimum spanning forest.
 
 The paper's intro lists MSF among the problems its kernels unlock
-(refs [5], [29]); this bench runs the :mod:`repro.graphs.msf` Borůvka
-on the Fig. 2-style random graphs and checks the architectural story
-carries over: the per-round structure is a Shiloach–Vishkin-like
-edge sweep plus scattered gathers, so the MTA wins by a similar factor
-as it does on plain connectivity, while the component count collapses
-geometrically (the O(log n) rounds).
+(refs [5], [29]); this bench runs the ``msf`` workload kind (Borůvka
+with seed-derived random weights) on the Fig. 2-style random graphs and
+checks the architectural story carries over: the per-round structure is
+a Shiloach–Vishkin-like edge sweep plus scattered gathers, so the MTA
+wins by a similar factor as it does on plain connectivity, while the
+component count collapses geometrically (the O(log n) rounds).
 
 Output: ``benchmarks/results/msf.txt``.
 """
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.core import MTAMachine, ResultTable, SMPMachine
-from repro.graphs.generate import random_graph
-from repro.graphs.msf import minimum_spanning_forest
-from repro.graphs.sv_smp import sv_smp
+from repro.core import Job, ResultTable
+from repro.backends import Workload
 
-from .conftest import once
+from .conftest import once, by_tags
 
 N = 1 << 17
 FACTORS = (4, 8, 16)
+SEED = 9
+
+
+def _jobs():
+    jobs = []
+    for k in FACTORS:
+        params = {"graph": "random", "n": N, "m": k * N}
+        msf = Workload("msf", 8, SEED, params, {"instrument_p": 1})
+        for backend, machine in (("mta-model", "mta"), ("smp-model", "smp")):
+            jobs.append(
+                Job(msf, backend, tags={"kernel": "msf", "k": k, "machine": machine})
+            )
+        jobs.append(
+            Job(
+                Workload("cc", 8, SEED, params,
+                         {"algorithm": "sv-smp", "instrument_p": 1}),
+                "smp-model",
+                tags={"kernel": "cc", "k": k, "machine": "smp"},
+            )
+        )
+    return jobs
 
 
 @pytest.fixture(scope="module")
-def msf_table():
+def msf_table(run_sweep):
+    results = run_sweep(_jobs())
     table = ResultTable("msf")
-    rng = np.random.default_rng(9)
     for k in FACTORS:
-        g = random_graph(N, k * N, rng=rng)
-        w = rng.random(g.m)
-        run = minimum_spanning_forest(g, w, p=1)
-        cc = sv_smp(g, p=1)
+        mta = by_tags(results, kernel="msf", k=k, machine="mta")
+        smp = by_tags(results, kernel="msf", k=k, machine="smp")
+        cc = by_tags(results, kernel="cc", k=k)
         table.add(
             m=k * N,
-            iterations=run.iterations,
-            forest_edges=run.n_edges,
-            mta_seconds=MTAMachine(p=8).run(
-                [s.redistributed(8) for s in run.steps]
-            ).seconds,
-            smp_seconds=SMPMachine(p=8).run(
-                [s.redistributed(8) for s in run.steps]
-            ).seconds,
-            cc_smp_seconds=SMPMachine(p=8).run(
-                [s.redistributed(8) for s in cc.steps]
-            ).seconds,
+            iterations=mta.detail["iterations"],
+            forest_edges=mta.detail["n_edges"],
+            mta_seconds=mta.seconds,
+            smp_seconds=smp.seconds,
+            cc_smp_seconds=cc.seconds,
         )
     return table
 

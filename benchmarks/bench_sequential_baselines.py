@@ -4,7 +4,8 @@ The paper frames every parallel result against "the best sequential
 implementation": the pointer-chasing list ranking and union-find
 connected components.  This benchmark records their simulated times
 across problem sizes (the denominators used by the Fig. 1 / Fig. 2
-speedup checks) and asserts their own expected behaviours:
+speedup checks) as p=1 workloads on ``smp-model``, and asserts their
+own expected behaviours:
 
 * sequential ranking on a Random list degrades sharply once the list
   outgrows L2, while the Ordered list stays near streaming speed —
@@ -19,40 +20,51 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import ResultTable, SMPMachine, scaling_exponent
-from repro.graphs.generate import random_graph
-from repro.graphs.sequential_cc import cc_union_find
-from repro.lists.generate import ordered_list, random_list
-from repro.lists.sequential import rank_sequential
+from repro.core import Job, ResultTable, scaling_exponent
+from repro.backends import Workload
 
 from .conftest import once
 
 LIST_SIZES = (1 << 14, 1 << 17, 1 << 20)
 GRAPH_SIZES = ((1 << 14, 1 << 17), (1 << 15, 1 << 18), (1 << 16, 1 << 19))
+SEED = 3
+
+
+def _jobs():
+    jobs = [
+        Job(
+            Workload("rank", 1, SEED, {"n": n, "list": label},
+                     {"algorithm": "sequential"}),
+            "smp-model",
+            tags={"kernel": "rank", "list": label, "n": n},
+        )
+        for n in LIST_SIZES
+        for label in ("ordered", "random")
+    ]
+    jobs += [
+        Job(
+            Workload("cc", 1, SEED, {"graph": "random", "n": n, "m": m},
+                     {"algorithm": "union-find"}),
+            "smp-model",
+            tags={"kernel": "cc", "n": n, "m": m},
+        )
+        for n, m in GRAPH_SIZES
+    ]
+    return jobs
 
 
 @pytest.fixture(scope="module")
-def seq_table():
+def seq_table(run_sweep):
     table = ResultTable("sequential_baselines")
-    machine = SMPMachine(p=1)
-    for n in LIST_SIZES:
-        for label, nxt in (
-            ("ordered", ordered_list(n)),
-            ("random", random_list(n, 3)),
-        ):
-            run = rank_sequential(nxt)
+    for r in run_sweep(_jobs()):
+        t = r.job.tags
+        if t["kernel"] == "rank":
+            table.add(kernel="rank", list=t["list"], n=t["n"], seconds=r.seconds)
+        else:
             table.add(
-                kernel="rank", list=label, n=n,
-                seconds=machine.run(run.steps).seconds,
+                kernel="cc", n=t["n"], m=t["m"], seconds=r.seconds,
+                chases_per_edge=r.stats["chase_steps"] / t["m"],
             )
-    for n, m in GRAPH_SIZES:
-        g = random_graph(n, m, rng=3)
-        run = cc_union_find(g)
-        table.add(
-            kernel="cc", n=n, m=m,
-            seconds=machine.run(run.steps).seconds,
-            chases_per_edge=run.stats["chase_steps"] / m,
-        )
     return table
 
 

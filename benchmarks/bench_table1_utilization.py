@@ -16,11 +16,12 @@ The paper's numbers (98/90/82 % random list, 97/85/80 % ordered,
 lower bound that improves monotonically with size (asserted), the
 analytic model at paper scale the saturated ceiling.
 
-Engine utilization is read off each simulation's
-:class:`repro.obs.RunSummary` (the observability report built from the
-per-phase reports) rather than recomputed ad hoc — by construction it
-matches ``sim.report.utilization`` bit for bit, which
-``test_table1_summary_matches_report`` asserts.
+Both halves are one job list (:func:`repro.workloads.table1_jobs`)
+executed through the backend registry — ``mta-engine`` for the measured
+rows, ``mta-model`` for the analytic ones — so the table's utilization
+numbers are the runner's :class:`repro.obs.RunSummary` numbers.
+``test_table1_summary_matches_report`` separately asserts the summary
+reproduces the engine report's utilization bit for bit.
 
 Output: ``benchmarks/results/table1_utilization.txt``.
 """
@@ -29,69 +30,26 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import MTAMachine, ResultTable
+from repro.core import Job, ResultTable, run_jobs
+from repro.backends import Workload
 from repro.graphs.generate import random_graph
 from repro.graphs.programs import simulate_mta_cc
-from repro.graphs.sv_mta import sv_mta
-from repro.lists.generate import ordered_list, random_list
-from repro.lists.mta_ranking import rank_mta
+from repro.lists.generate import random_list
 from repro.lists.programs import simulate_mta_list_ranking
-from repro.workloads import TABLE1_SPEC, paper_scale_fig1
+from repro.workloads import TABLE1_SPEC, table1_jobs
 
 from .conftest import once
 
 
 @pytest.fixture(scope="module")
-def table1():
+def table1(run_sweep):
     spec = TABLE1_SPEC
     table = ResultTable("table1")
-
-    # -- measured: cycle engine at reduced scale ------------------------------
-    for p in spec.procs:
-        n = spec.nodes_per_proc * p
-        for label, nxt in (
-            ("random", random_list(n, spec.seed)),
-            ("ordered", ordered_list(n)),
-        ):
-            sim = simulate_mta_list_ranking(
-                nxt,
-                p=p,
-                streams_per_proc=spec.streams_per_proc,
-                nodes_per_walk=spec.nodes_per_walk,
-            )
-            table.add(
-                kernel=f"list-{label}", p=p, source="engine", n=n,
-                utilization=sim.summary.utilization,
-            )
-        n_cc = spec.cc_n_per_proc * p
-        g = random_graph(n_cc, spec.cc_edge_multiplier * n_cc, rng=spec.seed)
-        sim = simulate_mta_cc(g, p=p, streams_per_proc=spec.streams_per_proc)
+    for r in run_sweep(table1_jobs(spec)):
+        t = r.job.tags
         table.add(
-            kernel="cc", p=p, source="engine", n=n_cc,
-            utilization=sim.summary.utilization,
-        )
-
-    # -- modeled: analytic machine at paper scale -------------------------------
-    big_n = max(paper_scale_fig1().sizes)  # 20M nodes
-    for label, nxt in (
-        ("random", random_list(big_n, spec.seed)),
-        ("ordered", ordered_list(big_n)),
-    ):
-        run = rank_mta(nxt, p=1)
-        for p in spec.procs:
-            res = MTAMachine(p=p).run([s.redistributed(p) for s in run.steps])
-            table.add(
-                kernel=f"list-{label}", p=p, source="model", n=big_n,
-                utilization=res.utilization,
-            )
-    n_big = 1 << 20
-    g = random_graph(n_big, 20 * n_big, rng=spec.seed)
-    run = sv_mta(g, p=1)
-    for p in spec.procs:
-        res = MTAMachine(p=p).run([s.redistributed(p) for s in run.steps])
-        table.add(
-            kernel="cc", p=p, source="model", n=n_big,
-            utilization=res.utilization,
+            kernel=t["kernel"], p=t["p"], source=t["source"], n=t["n"],
+            utilization=r.utilization,
         )
     return spec, table
 
@@ -175,13 +133,15 @@ def test_table1_engine_utilization_grows_with_scale(benchmark):
     numbers as the per-processor list grows (the drain tail amortizes)."""
 
     def measure():
-        utils = []
-        for n in (2000, 10000, 40000):
-            sim = simulate_mta_list_ranking(
-                random_list(n, 7), p=1, streams_per_proc=100, nodes_per_walk=10
+        jobs = [
+            Job(
+                Workload("rank", 1, 7, {"n": n, "list": "random"},
+                         {"streams_per_proc": 100, "nodes_per_walk": 10}),
+                "mta-engine",
             )
-            utils.append(sim.report.utilization)
-        return utils
+            for n in (2000, 10000, 40000)
+        ]
+        return [r.utilization for r in run_jobs(jobs, cache=False)]
 
     utils = once(benchmark, measure)
     assert utils[0] < utils[-1]

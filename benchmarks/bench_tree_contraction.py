@@ -2,13 +2,15 @@
 
 The paper's intro cites "tree contraction and expression evaluation"
 (its ref. [3]) among the algorithms list ranking unlocks; this bench
-closes that loop with the :mod:`repro.trees` implementation, whose
-leaf numbering runs on the package's Euler-tour/list-ranking machinery.
+closes that loop with the ``tree`` workload kind, whose leaf numbering
+runs on the package's Euler-tour/list-ranking machinery.
 
-Measured: simulated time on both machines across tree sizes and
-shapes, the logarithmic round count, and the serial-vs-parallel work
-comparison (contraction does O(n) total work in O(log n) rounds — each
-round rakes a constant fraction of the remaining leaves).
+Measured: simulated time on both machine-model backends across tree
+sizes and shapes, the logarithmic round count, and the serial-vs-
+parallel work comparison (contraction does O(n) total work in O(log n)
+rounds — each round rakes a constant fraction of the remaining leaves).
+The evaluated value travels in the run record, so the reference-answer
+check works on cached results too.
 
 Output: ``benchmarks/results/tree_contraction.txt``.
 """
@@ -19,32 +21,60 @@ import math
 
 import pytest
 
-from repro.core import MTAMachine, ResultTable, SMPMachine
-from repro.trees import evaluate_by_contraction, random_expression_tree
+from repro.core import Job, ResultTable
+from repro.backends import Workload
+from repro.trees import random_expression_tree
 
-from .conftest import once
+from .conftest import once, by_tags
 
 MOD = 1_000_000_007
 SIZES = (1 << 10, 1 << 13, 1 << 16)
 
 
+def _jobs():
+    return [
+        Job(
+            Workload("tree", 8, leaves, {"leaves": leaves}, {"modulus": MOD}),
+            backend,
+            tags={"leaves": leaves, "machine": machine},
+        )
+        for leaves in SIZES
+        for backend, machine in (("mta-model", "mta"), ("smp-model", "smp"))
+    ]
+
+
 @pytest.fixture(scope="module")
-def contraction_table():
+def contraction_table(run_sweep):
+    results = run_sweep(_jobs())
     table = ResultTable("tree_contraction")
     for leaves in SIZES:
-        t = random_expression_tree(leaves, rng=leaves)
-        run = evaluate_by_contraction(t, p=8, modulus=MOD)
-        assert run.value == t.evaluate_reference(modulus=MOD)
-        mta = MTAMachine(p=8).run(run.steps)
-        smp = SMPMachine(p=8).run(run.steps)
+        mta = by_tags(results, leaves=leaves, machine="mta")
+        smp = by_tags(results, leaves=leaves, machine="smp")
         table.add(
             leaves=leaves,
-            rounds=run.rounds,
-            t_m=run.triplet.t_m,
+            rounds=mta.detail["rounds"],
+            t_m=mta.detail["t_m"],
+            value=mta.detail["value"],
             mta_seconds=mta.seconds,
             smp_seconds=smp.seconds,
         )
     return table
+
+
+def test_contraction_matches_reference(contraction_table, benchmark):
+    """The contracted value equals direct recursive evaluation — the
+    workload seed regenerates the identical tree."""
+
+    def check():
+        out = []
+        for r in contraction_table.rows:
+            leaves = r.get("leaves")
+            t = random_expression_tree(leaves, rng=leaves)
+            out.append((r.get("value"), t.evaluate_reference(modulus=MOD)))
+        return out
+
+    for got, want in once(benchmark, check):
+        assert got == want
 
 
 def test_contraction_regenerate(contraction_table, write_result, benchmark):

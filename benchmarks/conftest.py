@@ -1,25 +1,29 @@
 """Shared infrastructure for the figure/table regeneration benchmarks.
 
 Each benchmark module reproduces one evaluation artifact of the paper:
-it sweeps the workload grid, times the kernels on the simulated
-machines, writes a paper-shaped text table under
-``benchmarks/results/``, asserts the headline comparative shapes, and
-feeds a representative pipeline run to ``pytest-benchmark`` so the
-harness also tracks the reproduction's own (host) performance.
+it declares the workload grid as :class:`repro.core.Job` lists, runs
+them through the unified backend registry via :func:`repro.core.run_jobs`
+(one code path for every machine model and cycle engine), writes a
+paper-shaped text table under ``benchmarks/results/``, asserts the
+headline comparative shapes, and feeds a representative pipeline run to
+``pytest-benchmark`` so the harness also tracks the reproduction's own
+(host) performance.
 
 Run everything with::
 
     pytest benchmarks/ --benchmark-only
 
 and read the regenerated tables in ``benchmarks/results/*.txt`` (they
-are also summarized in EXPERIMENTS.md).
+are also summarized in EXPERIMENTS.md).  Job results are cached under
+``benchmarks/results/.cache`` keyed on (workload, backend, code
+version), so re-running the suite after an unrelated edit is cheap;
+delete the directory to force a cold sweep.
 """
 
 from __future__ import annotations
 
 import pathlib
 
-import numpy as np
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -34,6 +38,18 @@ def once(benchmark, fn):
     seconds inside the results tables, not the host wall time).
     """
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def by_tags(results, **tags):
+    """The single job result whose tags match ``tags`` exactly."""
+    hits = [
+        r
+        for r in results
+        if all(r.job.tags.get(k) == v for k, v in tags.items())
+    ]
+    if len(hits) != 1:
+        raise KeyError(f"{len(hits)} results match tags {tags!r} (want exactly 1)")
+    return hits[0]
 
 
 @pytest.fixture(scope="session")
@@ -55,25 +71,18 @@ def write_result(results_dir):
 
 
 @pytest.fixture(scope="session")
-def fig1_lists():
-    """The Fig. 1 workloads, built once per session."""
-    from repro.lists.generate import ordered_list, random_list
-    from repro.workloads import FIG1_SPEC
+def run_sweep(results_dir):
+    """Execute a job list through the unified runner with an on-disk cache.
 
-    spec = FIG1_SPEC
-    lists = {}
-    for n in spec.sizes:
-        lists[("ordered", n)] = ordered_list(n)
-        lists[("random", n)] = random_list(n, rng=spec.seed)
-    return spec, lists
+    Every benchmark fixture funnels through this one entry point — no
+    bench module constructs a machine model or cycle engine directly.
+    Results come back in job order as :class:`repro.core.JobResult`.
+    """
+    from repro.core import SweepCache, run_jobs
 
+    cache = SweepCache(results_dir / ".cache")
 
-@pytest.fixture(scope="session")
-def fig2_graphs():
-    """The Fig. 2 workloads, built once per session."""
-    from repro.graphs.generate import random_graph
-    from repro.workloads import FIG2_SPEC
+    def _run(jobs, *, workers=None):
+        return run_jobs(jobs, workers=workers, cache=cache)
 
-    spec = FIG2_SPEC
-    graphs = {m: random_graph(spec.n, m, rng=spec.seed) for m in spec.edge_counts}
-    return spec, graphs
+    return _run

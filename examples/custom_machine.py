@@ -6,17 +6,20 @@ multithreaded machine built from commodity parts: "In particular, the
 memory system will not be as flat as in the MTA-2.  We will reconduct
 our studies on this architecture as soon as it is available."
 
-The machine models are plain dataclasses, so that study is a parameter
-sweep: this example builds hypothetical machines —
+This example *registers that hypothetical machine as a backend*: one
+``register()`` call puts ``mta-next`` alongside the five built-ins, so
+the same declarative workloads, the sweep runner, and ``repro run
+--backend mta-next`` all reach it with no further wiring.  The study
+itself is then a parameter sweep over backend options —
 
-* MTA-2 variants with *higher memory latency* (a less-flat commodity
-  memory system) and with *fewer hardware streams*;
-* an SMP with a huge L3-class cache;
+* ``mta-next`` variants with *higher memory latency* (a less-flat
+  commodity memory system) and with *fewer hardware streams*;
+* the stock ``smp-model`` with an L3-class cache, resized through a
+  nested config override;
 
-— and re-runs list ranking and connected components on each, showing
-which architectural parameter the irregular kernels actually care
-about (answer: on a latency-tolerant machine, almost none of them, as
-long as streams × lookahead keeps pace with the latency).
+— showing which architectural parameter the irregular kernels actually
+care about (answer: on a latency-tolerant machine, almost none of
+them, as long as streams × lookahead keeps pace with the latency).
 
 Run:  python examples/custom_machine.py
 """
@@ -25,25 +28,66 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.arch.cache import CacheConfig
-from repro.core import CRAY_MTA2, MTAMachine, SMPMachine, SUN_E4500
-from repro.graphs import random_graph, sv_mta
-from repro.lists import random_list, rank_mta
+from repro.backends import Workload, register
+from repro.backends.analytic import AnalyticBackend
+from repro.core import CRAY_MTA2, Job, run_jobs
 
 N = 1 << 18
 P = 8
+SEED = 0
+
+
+def make_mta_next(*, config=None, config_name=None):
+    """Factory for the hypothetical third-generation machine.
+
+    Starts from the MTA-2 and lets every job override the parameters
+    the commodity redesign would change (latency, stream budget).
+    """
+    from repro.core import MTAMachine
+
+    return AnalyticBackend(
+        "mta-next",
+        "Hypothetical commodity-parts Cray (MTA-2 derivative)",
+        MTAMachine,
+        {"rank": "mta-walks", "cc": "sv-mta"},
+        CRAY_MTA2,
+        config_overrides=config,
+        config_name=config_name,
+    )
+
+
+# One call makes the machine a first-class citizen: `repro backends`
+# lists it, `repro run --backend mta-next` reaches it, and the sweep
+# runner caches its results like any built-in.  replace=True keeps the
+# example re-runnable inside one process.
+register(
+    "mta-next",
+    make_mta_next,
+    level="model",
+    kinds=("rank", "cc", "bfs", "msf", "tree"),
+    description="Hypothetical commodity-parts Cray (MTA-2 derivative)",
+    replace=True,
+)
 
 
 def mta_latency_sweep() -> None:
     print("== Hypothetical MTAs: memory latency sweep (list ranking, p=8) ==")
     print(f"{'latency':>8} {'needed streams':>15} {'time':>10} {'util':>7}")
-    nxt = random_list(N, 3)
-    run = rank_mta(nxt, p=P)
-    for latency in (100, 200, 400, 800):
-        cfg = replace(CRAY_MTA2, name=f"MTA-lat{latency}", mem_latency_cycles=float(latency))
-        res = MTAMachine(p=P, config=cfg).run(run.steps)
+    latencies = (100, 200, 400, 800)
+    jobs = [
+        Job(
+            Workload("rank", P, SEED, {"n": N, "list": "random"}),
+            "mta-next",
+            backend_options={
+                "config": {"name": f"MTA-lat{lat}", "mem_latency_cycles": float(lat)}
+            },
+        )
+        for lat in latencies
+    ]
+    for lat, res in zip(latencies, run_jobs(jobs, cache=False)):
+        cfg = replace(CRAY_MTA2, mem_latency_cycles=float(lat))
         print(
-            f"{latency:>8} {cfg.saturating_streams:>15.0f}"
+            f"{lat:>8} {cfg.saturating_streams:>15.0f}"
             f" {res.seconds * 1e3:>8.2f}ms {res.utilization:>6.1%}"
         )
     print("-> with 128 streams and lookahead 2, latencies beyond ~256 cycles"
@@ -53,11 +97,18 @@ def mta_latency_sweep() -> None:
 def mta_streams_sweep() -> None:
     print("== Hypothetical MTAs: hardware-stream budget (CC, p=8) ==")
     print(f"{'streams':>8} {'time':>10} {'util':>7}")
-    g = random_graph(1 << 16, 8 << 16, rng=2)
-    run = sv_mta(g, p=P)
-    for streams in (8, 16, 32, 64, 128):
-        cfg = replace(CRAY_MTA2, name=f"MTA-s{streams}", streams_per_proc=streams)
-        res = MTAMachine(p=P, config=cfg).run(run.steps)
+    stream_counts = (8, 16, 32, 64, 128)
+    jobs = [
+        Job(
+            Workload("cc", P, 2, {"graph": "random", "n": 1 << 16, "m": 8 << 16}),
+            "mta-next",
+            backend_options={
+                "config": {"name": f"MTA-s{streams}", "streams_per_proc": streams}
+            },
+        )
+        for streams in stream_counts
+    ]
+    for streams, res in zip(stream_counts, run_jobs(jobs, cache=False)):
         print(f"{streams:>8} {res.seconds * 1e3:>8.2f}ms {res.utilization:>6.1%}")
     print("-> performance is 'a function of parallelism' only while the"
           " hardware can hold enough of it\n")
@@ -65,17 +116,21 @@ def mta_streams_sweep() -> None:
 
 def smp_big_cache() -> None:
     print("== Hypothetical SMP: an L3-class 64 MB cache (random-list ranking) ==")
-    from repro.lists import rank_helman_jaja
-
-    nxt = random_list(1 << 20, 5)
-    run = rank_helman_jaja(nxt, p=P, rng=0)
-    for mb in (4, 16, 64):
-        cfg = replace(
-            SUN_E4500,
-            name=f"E4500-{mb}MB",
-            l2=CacheConfig(size_words=(mb << 20) // 4, line_words=16),
+    sizes_mb = (4, 16, 64)
+    jobs = [
+        Job(
+            Workload("rank", P, 5, {"n": 1 << 20, "list": "random"}, {"rng": 0}),
+            "smp-model",  # the stock backend takes the same nested overrides
+            backend_options={
+                "config": {
+                    "name": f"E4500-{mb}MB",
+                    "l2": {"size_words": (mb << 20) // 4, "line_words": 16},
+                }
+            },
         )
-        res = SMPMachine(p=P, config=cfg).run(run.steps)
+        for mb in sizes_mb
+    ]
+    for mb, res in zip(sizes_mb, run_jobs(jobs, cache=False)):
         print(f"  L2 = {mb:>3} MB: {res.seconds * 1e3:>8.2f} ms")
     print("-> a cache big enough to swallow the working set rescues the SMP —"
           " the paper's point that its performance is a locality property,\n"

@@ -1,0 +1,178 @@
+"""The Backend protocol: one interface over every execution stack.
+
+The repository times the paper's kernels five different ways — three
+analytic machine models (SMP, MTA, cluster) and two cycle-level engines
+(SMP, MTA).  Historically each CLI command and benchmark wired the
+machine or engine it wanted by hand; a :class:`Backend` hides that
+plumbing behind two calls:
+
+``prepare(workload) -> RunHandle``
+    Generate (or fetch from the memo) the workload's input — a
+    successor list, a graph, an expression tree — and bundle it with
+    the workload description.
+
+``execute(handle) -> RunSummary``
+    Run the kernel on this backend's execution stack and report the
+    result as a :class:`repro.obs.RunSummary`, the one record type
+    every stack already produces.  Kernel-specific measurements
+    (iterations, cost triplet, algorithm stats) land in
+    ``summary.detail``.
+
+A :class:`Workload` is declarative and JSON-serializable, so the sweep
+runner (:mod:`repro.core.runner`) can hash it for the on-disk result
+cache and ship it to worker processes.  Concrete backends live in
+:mod:`repro.backends.analytic` and :mod:`repro.backends.engine`; the
+name-based registry is :mod:`repro.backends.registry`.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..errors import ConfigurationError
+
+__all__ = ["Workload", "RunHandle", "Backend", "canonical_json"]
+
+
+def _jsonable(value):
+    """Coerce numpy scalars / tuples to plain JSON types, recursively."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if not isinstance(value, (str, bytes)):
+        if hasattr(value, "tolist"):  # numpy arrays and scalars
+            return _jsonable(value.tolist())
+        if hasattr(value, "item"):
+            try:
+                return value.item()
+            except (AttributeError, ValueError):
+                pass
+    return value
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON for hashing: sorted keys, no whitespace."""
+    return json.dumps(_jsonable(obj), sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One declarative unit of work: a kernel on an input at a scale.
+
+    Attributes
+    ----------
+    kind:
+        Kernel family: ``"rank"`` (list ranking), ``"cc"`` (connected
+        components), ``"bfs"``, ``"msf"``, ``"tree"`` (expression
+        evaluation by contraction), or ``"chase"`` (the latency-hiding
+        microbenchmark).
+    p:
+        Simulated processor count.
+    seed:
+        Seed for input generation and any randomized kernel choices.
+        The sweep runner derives this deterministically from the spec
+        seed and the grid point, so results never depend on worker
+        count or completion order.
+    params:
+        Input description, e.g. ``{"n": 65536, "list": "random"}`` or
+        ``{"graph": "random", "n": 4096, "m": 32768}``.
+    options:
+        Kernel/backend knobs, e.g. ``{"algorithm": "helman-jaja"}``,
+        ``{"streams_per_proc": 64, "dynamic": False}``.  Everything
+        here must be JSON-serializable.
+    """
+
+    kind: str
+    p: int = 1
+    seed: int = 0
+    params: Mapping[str, Any] = field(default_factory=dict)
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def canonical(self) -> dict:
+        """JSON-ready dict, the hashing and pickling form."""
+        return {
+            "kind": self.kind,
+            "p": int(self.p),
+            "seed": int(self.seed),
+            "params": _jsonable(dict(self.params)),
+            "options": _jsonable(dict(self.options)),
+        }
+
+    def digest(self) -> str:
+        """Content hash of this workload description."""
+        return hashlib.sha256(canonical_json(self.canonical()).encode()).hexdigest()
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "Workload":
+        return cls(
+            kind=d["kind"],
+            p=int(d.get("p", 1)),
+            seed=int(d.get("seed", 0)),
+            params=dict(d.get("params", {})),
+            options=dict(d.get("options", {})),
+        )
+
+    def option(self, key: str, default=None):
+        return self.options.get(key, default)
+
+
+@dataclass
+class RunHandle:
+    """A prepared run: the workload plus its generated input.
+
+    ``data`` holds whatever the backend's kernels consume (a successor
+    array, an :class:`~repro.graphs.edgelist.EdgeList`, a ``(graph,
+    weights)`` pair, an expression tree); ``meta`` carries input
+    statistics worth reporting (n, m, …).
+    """
+
+    workload: Workload
+    data: Any = None
+    meta: dict = field(default_factory=dict)
+
+
+class Backend(abc.ABC):
+    """One execution stack, able to run declarative workloads.
+
+    Subclasses set :attr:`name`, :attr:`level`, and :attr:`kinds`, and
+    implement :meth:`execute`.  :meth:`prepare` has a default that
+    routes through :mod:`repro.backends.inputs`.
+    """
+
+    #: Registry name, e.g. ``"smp-model"``.
+    name: str = "backend"
+    #: ``"model"`` (analytic) or ``"engine"`` (cycle-level).
+    level: str = "model"
+    #: Workload kinds this backend can execute.
+    kinds: tuple = ()
+    #: One-line human description for ``repro backends``.
+    description: str = ""
+
+    def supports(self, workload: Workload) -> bool:
+        """Whether this backend can execute ``workload``."""
+        return workload.kind in self.kinds
+
+    def prepare(self, workload: Workload) -> RunHandle:
+        """Generate (or recall) the workload's input."""
+        from .inputs import input_for
+
+        if not self.supports(workload):
+            raise ConfigurationError(
+                f"backend {self.name!r} does not support workload kind"
+                f" {workload.kind!r} (supported: {', '.join(self.kinds)})"
+            )
+        data, meta = input_for(workload)
+        return RunHandle(workload=workload, data=data, meta=meta)
+
+    @abc.abstractmethod
+    def execute(self, handle: RunHandle):
+        """Run the prepared workload; returns a :class:`repro.obs.RunSummary`."""
+
+    def run(self, workload: Workload):
+        """``execute(prepare(workload))`` — the one-call convenience."""
+        return self.execute(self.prepare(workload))

@@ -1,0 +1,174 @@
+"""Cycle-level engine backends: simulated SMP and MTA programs.
+
+These wrap the instruction-level programs of
+:mod:`repro.lists.programs` and :mod:`repro.graphs.programs` (plus the
+raw stream-chaser microbenchmark for the MTA) behind the same
+:class:`~repro.backends.base.Backend` interface the analytic models
+use.  Engines execute real per-thread instruction streams, so only the
+kinds with written programs are supported — ``rank`` and ``cc`` on
+both engines, ``chase`` on the MTA.
+
+Workload options consumed here (all optional):
+
+``streams_per_proc``, ``nodes_per_walk``, ``dynamic``,
+``edges_per_chunk``
+    MTA program knobs (paper defaults: 100 streams, ~10 nodes/walk,
+    dynamic self-scheduling).
+``engine_kwargs``
+    Dict of :class:`~repro.sim.MTAEngine` construction overrides
+    (``mem_latency``, ``lookahead``, ``max_outstanding``, …).
+``s``
+    SMP Helman–JáJá sublist-count override.
+``steps``, ``mem_latency``, ``lookahead``
+    ``chase`` workload: instructions per chaser and engine latency
+    parameters for the saturation curve.
+
+Backend options: ``config`` — dict of :class:`~repro.core.smp_machine.SMPConfig`
+field overrides for the SMP engine; ``collect_phases`` is implicit
+(programs emit PHASE markers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ConfigurationError
+from .base import Backend, RunHandle
+
+__all__ = ["SMPEngineBackend", "MTAEngineBackend", "make_smp_engine", "make_mta_engine"]
+
+
+class SMPEngineBackend(Backend):
+    """Cycle-accurate SMP simulation (caches, bus, software barriers)."""
+
+    name = "smp-engine"
+    level = "engine"
+    kinds = ("rank", "cc")
+    description = "Cycle-level SMP engine (simulated caches + bus)"
+
+    def __init__(self, *, config=None):
+        from ..core.smp_machine import SUN_E4500
+
+        cfg = SUN_E4500
+        if config:
+            try:
+                cfg = dataclasses.replace(cfg, **config)
+            except TypeError as exc:
+                raise ConfigurationError(f"bad SMP engine config: {exc}") from None
+        self.config = cfg
+
+    def execute(self, handle: RunHandle):
+        workload = handle.workload
+        opt = workload.options
+        if workload.kind == "rank":
+            from ..lists.programs import simulate_smp_list_ranking
+
+            kw = {}
+            if opt.get("s") is not None:
+                kw["s"] = int(opt["s"])
+            sim = simulate_smp_list_ranking(
+                handle.data, p=workload.p, rng=workload.seed,
+                config=self.config, **kw,
+            )
+        else:
+            from ..graphs.programs import simulate_smp_cc
+
+            sim = simulate_smp_cc(
+                handle.data, p=workload.p,
+                max_iter=int(opt.get("max_iter", 64)),
+                config=self.config,
+            )
+        summary = sim.summary
+        summary.detail.update(handle.meta)
+        summary.detail["backend"] = self.name
+        if hasattr(sim, "iterations"):
+            summary.detail["iterations"] = int(sim.iterations)
+        return summary
+
+
+class MTAEngineBackend(Backend):
+    """Cycle-accurate MTA simulation (stream interleaving, full/empty bits)."""
+
+    name = "mta-engine"
+    level = "engine"
+    kinds = ("rank", "cc", "chase")
+    description = "Cycle-level MTA engine (multithreaded streams)"
+
+    def __init__(self):
+        pass
+
+    def execute(self, handle: RunHandle):
+        workload = handle.workload
+        opt = workload.options
+        if workload.kind == "chase":
+            return self._execute_chase(handle)
+        engine_kwargs = dict(opt.get("engine_kwargs") or {})
+        if workload.kind == "rank":
+            from ..lists.programs import simulate_mta_list_ranking
+
+            sim = simulate_mta_list_ranking(
+                handle.data,
+                p=workload.p,
+                streams_per_proc=int(opt.get("streams_per_proc", 100)),
+                nodes_per_walk=int(opt.get("nodes_per_walk", 10)),
+                dynamic=bool(opt.get("dynamic", True)),
+                engine_kwargs=engine_kwargs,
+            )
+        else:
+            from ..graphs.programs import simulate_mta_cc
+
+            sim = simulate_mta_cc(
+                handle.data,
+                p=workload.p,
+                streams_per_proc=int(opt.get("streams_per_proc", 100)),
+                edges_per_chunk=int(opt.get("edges_per_chunk", 16)),
+                max_iter=int(opt.get("max_iter", 64)),
+                engine_kwargs=engine_kwargs,
+            )
+        summary = sim.summary
+        summary.detail.update(handle.meta)
+        summary.detail["backend"] = self.name
+        if hasattr(sim, "iterations"):
+            summary.detail["iterations"] = int(sim.iterations)
+        return summary
+
+    def _execute_chase(self, handle: RunHandle):
+        """The latency-hiding saturation microbenchmark: ``chasers``
+        streams each alternating one compute with two dependent loads —
+        the access pattern of a list walk."""
+        from ..obs.summary import RunSummary
+        from ..sim import MTAEngine, isa
+
+        workload = handle.workload
+        opt = workload.options
+        chasers = int(handle.meta.get("chasers", 1))
+        steps = int(opt.get("steps", 40))
+
+        def _chaser():
+            for i in range(steps):
+                yield isa.compute(1)
+                yield isa.load_dep(i)
+                yield isa.load_dep(100_000 + i)
+
+        eng = MTAEngine(
+            p=workload.p,
+            streams_per_proc=int(opt.get("streams_per_proc", 128)),
+            mem_latency=int(opt.get("mem_latency", 100)),
+            lookahead=int(opt.get("lookahead", 2)),
+        )
+        for _ in range(chasers):
+            eng.spawn(_chaser())
+        report = eng.run(name="chase")
+        summary = RunSummary.from_report(report, machine="mta-engine")
+        summary.name = "chase"
+        summary.detail.update(handle.meta)
+        summary.detail["backend"] = self.name
+        return summary
+
+
+def make_smp_engine(*, config=None):
+    return SMPEngineBackend(config=config)
+
+
+def make_mta_engine():
+    return MTAEngineBackend()

@@ -17,6 +17,18 @@ without writing Python:
     Run a workload on a cycle engine with tracing on; writes a Chrome
     ``trace_event`` JSON (load it at https://ui.perfetto.dev) or compact
     JSONL, and prints the per-phase summary and contention profile.
+``backends``
+    List the registered execution backends (three analytic machine
+    models, two cycle-level engines, plus anything user-registered).
+``run``
+    Run one declarative workload on one backend through the sweep
+    runner: ``repro run --workload rank --backend smp-model --n 65536
+    --p 8``.
+``sweep``
+    Execute a named figure/table sweep across every grid point, with a
+    process pool (``--workers N``) and the on-disk result cache; cache
+    statistics go to stderr so stdout stays byte-identical between cold
+    and warm runs.
 
 Every command accepts ``--help``.  Exit code 0 on success; workload or
 configuration errors print a message and return 2.
@@ -107,7 +119,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="output path (default: trace-<workload>.json / .jsonl)",
     )
 
+    p_be = sub.add_parser("backends", help="list registered execution backends")
+    p_be.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p_run = sub.add_parser(
+        "run", help="run one workload on one backend via the sweep runner"
+    )
+    p_run.add_argument(
+        "--workload",
+        required=True,
+        help="workload kind (rank, cc, bfs, msf, tree, chase)",
+    )
+    p_run.add_argument("--backend", required=True, help="backend name (see `repro backends`)")
+    p_run.add_argument("--n", type=int, default=None, help="problem size")
+    p_run.add_argument("--p", type=int, default=8, help="processors")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="K=V",
+        help="extra input parameter (repeatable), e.g. --param list=ordered",
+    )
+    p_run.add_argument(
+        "--opt",
+        action="append",
+        default=[],
+        metavar="K=V",
+        help="kernel/backend option (repeatable), e.g. --opt algorithm=wyllie",
+    )
+    p_run.add_argument("--json", action="store_true", help="print the full record as JSON")
+    _add_cache_args(p_run)
+
+    p_sw = sub.add_parser("sweep", help="run a named figure/table sweep")
+    p_sw.add_argument(
+        "--spec",
+        required=True,
+        help="sweep name: fig1, fig2, table1, or their -tiny variants",
+    )
+    p_sw.add_argument(
+        "--workers", type=int, default=1, help="process-pool size (1 = serial)"
+    )
+    p_sw.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="PATH",
+        help="also write one RunSummary record per job as JSON Lines ('-' = stdout)",
+    )
+    _add_cache_args(p_sw)
+
     return parser
+
+
+def _add_cache_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
 
 
 def _cmd_info() -> int:
@@ -315,6 +385,115 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _parse_kv(pairs: list[str], what: str) -> dict:
+    """``k=v`` strings → a dict with ints/floats/bools coerced."""
+    from .errors import ConfigurationError
+
+    out = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ConfigurationError(f"bad {what} {pair!r} (expected K=V)")
+        value: object = raw
+        lowered = raw.lower()
+        if lowered in ("true", "false"):
+            value = lowered == "true"
+        else:
+            for cast in (int, float):
+                try:
+                    value = cast(raw)
+                    break
+                except ValueError:
+                    continue
+        out[key] = value
+    return out
+
+
+def _make_cache(args):
+    from .core.cache import SweepCache
+
+    if args.no_cache:
+        return False
+    return SweepCache(args.cache_dir) if args.cache_dir else SweepCache()
+
+
+def _cmd_backends(args) -> int:
+    from .backends import describe
+
+    rows = describe()
+    if args.json:
+        import json
+
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    width = max(len(r["name"]) for r in rows)
+    kw = max(len(",".join(r["kinds"])) for r in rows)
+    for r in rows:
+        kinds = ",".join(r["kinds"])
+        print(f"{r['name']:<{width}}  {r['level']:<6}  {kinds:<{kw}}  {r['description']}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .backends import Workload
+    from .core.runner import Job, run_jobs
+
+    params = _parse_kv(args.param, "--param")
+    if args.n is not None:
+        key = "leaves" if args.workload == "tree" else "n"
+        params.setdefault(key, args.n)
+    options = _parse_kv(args.opt, "--opt")
+    workload = Workload(args.workload, args.p, args.seed, params, options)
+    job = Job(workload, args.backend)
+    [result] = run_jobs([job], workers=1, cache=_make_cache(args))
+    if args.json:
+        print(result.jsonl(), end="")
+        return 0
+    s = result.summary
+    tag = "cached" if result.cached else "fresh"
+    print(f"{args.workload} on {args.backend} ({tag})")
+    print(f"  p={workload.p}  seed={workload.seed}  params={dict(workload.params)}")
+    print(
+        f"  cycles {s['cycles']:.0f}  seconds {result.seconds:.6e}"
+        f"  utilization {s['utilization']:.1%}"
+    )
+    detail = {k: v for k, v in result.detail.items() if k != "stats"}
+    if detail:
+        print(f"  {detail}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .core.runner import run_jobs, write_jsonl
+    from .workloads import jobs_for
+
+    jobs = jobs_for(args.spec)
+    cache = _make_cache(args)
+    results = run_jobs(jobs, workers=args.workers, cache=cache)
+
+    columns: list[str] = []
+    for job in jobs:
+        for key in job.tags:
+            if key not in columns:
+                columns.append(key)
+    header = "  ".join(f"{c:>10}" for c in columns)
+    print(f"sweep {args.spec}: {len(results)} job(s)")
+    print(f"{header}  {'seconds':>14}  {'utilization':>11}")
+    for r in results:
+        cells = "  ".join(f"{str(r.job.tags.get(c, '-')):>10}" for c in columns)
+        print(f"{cells}  {r.seconds:>14.6e}  {r.utilization:>11.4f}")
+
+    if args.jsonl is not None:
+        if args.jsonl == "-":
+            sys.stdout.write(write_jsonl(results))
+        else:
+            with open(args.jsonl, "w", encoding="utf-8") as f:
+                write_jsonl(results, f)
+    if cache is not False and cache is not None:
+        print(cache.stats_line(), file=sys.stderr)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -334,6 +513,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_table1(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "backends":
+            return _cmd_backends(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         parser.error(f"unknown command {args.command!r}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -1,5 +1,6 @@
 """Core of the reproduction: cost model, machine models, experiment harness."""
 
+from .cache import SweepCache, code_version
 from .cluster_machine import BEOWULF_2005, ClusterConfig, ClusterMachine
 from .cost import CostTriplet, StepCost, merge_steps, summarize
 from .experiment import ResultTable, Row
@@ -13,7 +14,8 @@ from .metrics import (
     speedup,
 )
 from .mta_machine import CRAY_MTA2, MTAConfig, MTAMachine
-from .plot import ascii_plot
+from .plot import ascii_plot, save_figure
+from .runner import Job, JobResult, derive_seed, run_jobs, write_jsonl
 from .schedule import block_assign, dynamic_assign, per_proc_totals
 from .smp_machine import SUN_E4500, SMPConfig, SMPMachine
 
@@ -46,4 +48,12 @@ __all__ = [
     "scaling_exponent",
     "geometric_mean",
     "ascii_plot",
+    "save_figure",
+    "Job",
+    "JobResult",
+    "derive_seed",
+    "run_jobs",
+    "write_jsonl",
+    "SweepCache",
+    "code_version",
 ]

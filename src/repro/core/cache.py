@@ -1,0 +1,134 @@
+"""Content-addressed on-disk cache for sweep results.
+
+A finished job — (workload, backend, backend options) executed under
+one version of the code — is a pure function of its description, so
+its :class:`~repro.obs.RunSummary` is cached under the sha-256 of that
+description.  A warm rerun of a figure sweep then performs no input
+generation and no algorithm execution at all; the determinism tests
+rely on cached and fresh results being byte-identical.
+
+Layout (under the cache root, default ``.repro-cache/``)::
+
+    rows/<first two hex chars>/<full digest>.json
+
+Records are written atomically (temp file + ``os.replace``) so
+concurrent sweep workers and interrupted runs never leave a partial
+record; a corrupt or unreadable record is treated as a miss and
+overwritten.
+
+The key includes :func:`code_version` — a digest over every source
+file of the ``repro`` package — so editing any simulator or kernel
+invalidates the whole cache rather than serving stale timings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from ..backends.base import canonical_json
+
+__all__ = ["SweepCache", "code_version", "default_cache_root"]
+
+_code_version_memo: str | None = None
+
+
+def code_version() -> str:
+    """Digest of the ``repro`` package sources (memoized per process)."""
+    global _code_version_memo
+    if _code_version_memo is None:
+        pkg_root = Path(__file__).resolve().parent.parent
+        h = hashlib.sha256()
+        for path in sorted(pkg_root.rglob("*.py")):
+            h.update(str(path.relative_to(pkg_root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _code_version_memo = h.hexdigest()
+    return _code_version_memo
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``.repro-cache`` in the working directory."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    return Path(env) if env else Path(".repro-cache")
+
+
+class SweepCache:
+    """Sha-keyed store of finished job records.
+
+    Counters ``hits``, ``misses``, and ``stores`` track one process's
+    traffic; the sweep runner reports them on stderr so cached and
+    fresh runs keep identical stdout.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- keys -------------------------------------------------------------------
+
+    @staticmethod
+    def key_for(workload_canonical: dict, backend: str, backend_options: dict) -> str:
+        """Cache key: workload description + backend + code version."""
+        return hashlib.sha256(
+            canonical_json(
+                {
+                    "workload": workload_canonical,
+                    "backend": backend,
+                    "backend_options": backend_options,
+                    "code_version": code_version(),
+                }
+            ).encode()
+        ).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / "rows" / key[:2] / f"{key}.json"
+
+    # -- access -----------------------------------------------------------------
+
+    def get(self, key: str) -> dict | None:
+        """The cached record for ``key``, or ``None`` (counted as a miss)."""
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as f:
+                record = json.load(f)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: dict) -> None:
+        """Atomically store ``record`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(record, f, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    # -- reporting --------------------------------------------------------------
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    def stats_line(self) -> str:
+        return (
+            f"cache: {self.hits}/{self.requests} hits"
+            f" ({self.stores} stored) at {self.root}"
+        )

@@ -56,21 +56,44 @@ class ResultTable:
     name: str
     rows: list[Row] = field(default_factory=list)
 
-    def add(self, experiment: str | None = None, /, **kv) -> Row:
+    def add(
+        self,
+        experiment: str | None = None,
+        /,
+        params: dict | None = None,
+        values: dict | None = None,
+        **kv,
+    ) -> Row:
         """Append a row; measurement keys vs parameter keys are split by caller.
 
         Convenience form: ``table.add(n=..., p=..., seconds=...)`` puts
         ``seconds``/``utilization``/``cycles`` (and any key ending in
         ``_seconds``) into values, everything else into params.
+        Explicit form: ``table.add(params={...}, values={...})`` names
+        the split outright (needed when a measurement key isn't in the
+        convenience set).  A key claimed as both a parameter and a
+        measurement raises :class:`~repro.errors.ConfigurationError` —
+        ``where()`` filters on params only, so a collision would make
+        rows silently unfindable.
         """
+        from ..errors import ConfigurationError
+
         value_keys = {"seconds", "utilization", "cycles", "iterations", "speedup"}
-        params = {
-            k: v
-            for k, v in kv.items()
-            if k not in value_keys and not k.endswith("_seconds")
-        }
-        values = {k: v for k, v in kv.items() if k not in params}
-        row = Row(experiment or self.name, params, values)
+        row_params = dict(params or {})
+        row_values = dict(values or {})
+        for k, v in kv.items():
+            if k in value_keys or k.endswith("_seconds"):
+                row_values[k] = v
+            else:
+                row_params[k] = v
+        collisions = sorted(set(row_params) & set(row_values))
+        if collisions:
+            raise ConfigurationError(
+                f"key(s) {', '.join(map(repr, collisions))} appear as both a"
+                " parameter and a measurement in ResultTable.add"
+                f" (table {self.name!r}); a row key must be one or the other"
+            )
+        row = Row(experiment or self.name, row_params, row_values)
         self.rows.append(row)
         return row
 

@@ -80,11 +80,24 @@ class MachineResult:
         return min(1.0, sum(s.busy_cycles for s in self.steps) / total)
 
     def step(self, name: str) -> StepTime:
-        """Look up a step's timing by (unique) name."""
-        for s in self.steps:
-            if s.name == name:
-                return s
-        raise KeyError(f"no step named {name!r} in result for {self.machine}")
+        """Look up a step's timing by (unique) name.
+
+        Raises ``KeyError`` when the name is missing and
+        :class:`~repro.errors.ConfigurationError` when it is ambiguous —
+        silently returning the first of several same-named steps hid
+        phase-accounting bugs.
+        """
+        matches = [s for s in self.steps if s.name == name]
+        if not matches:
+            raise KeyError(f"no step named {name!r} in result for {self.machine}")
+        if len(matches) > 1:
+            from ..errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"step name {name!r} is ambiguous in result for {self.machine}:"
+                f" {len(matches)} steps share it"
+            )
+        return matches[0]
 
     def summary(self):
         """This result as a :class:`repro.obs.RunSummary`.

@@ -17,7 +17,7 @@ from typing import Mapping, Sequence
 
 from ..errors import ConfigurationError
 
-__all__ = ["ascii_plot"]
+__all__ = ["ascii_plot", "save_figure"]
 
 _MARKERS = "ox+*#@%&"
 
@@ -110,3 +110,50 @@ def ascii_plot(
     )
     lines.append(" " + legend)
     return "\n".join(lines)
+
+
+def save_figure(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    path: str,
+    *,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Render named (xs, ys) series to an image file via matplotlib.
+
+    matplotlib is an *optional* dependency — it is imported only here,
+    so ``import repro`` (and every text-mode code path, including
+    :func:`ascii_plot`) works without it.  Calling this without
+    matplotlib installed raises a :class:`~repro.errors.ConfigurationError`
+    explaining what to install.
+    """
+    try:
+        import matplotlib
+    except ImportError:
+        raise ConfigurationError(
+            "save_figure requires matplotlib, which is not installed;"
+            " install it (pip install matplotlib) or use ascii_plot()"
+            " for a dependency-free text rendering"
+        ) from None
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for name, (xs, ys) in series.items():
+        ax.plot(xs, ys, marker="o", label=str(name))
+    if logx:
+        ax.set_xscale("log")
+    if logy:
+        ax.set_yscale("log")
+    ax.set_xlabel(xlabel)
+    ax.set_ylabel(ylabel)
+    if title:
+        ax.set_title(title)
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(path)
+    plt.close(fig)
+    return path

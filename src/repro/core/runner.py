@@ -1,0 +1,233 @@
+"""Parallel, cached sweep runner.
+
+A sweep is a list of :class:`Job`\\ s — declarative (workload, backend)
+pairs — executed through one code path regardless of which execution
+stack each backend wraps.  The runner:
+
+* derives per-job seeds deterministically from the spec seed and the
+  grid point (:func:`derive_seed`), so a result never depends on which
+  worker ran it or in what order jobs finished;
+* memoizes finished jobs in a content-addressed on-disk cache
+  (:class:`~repro.core.cache.SweepCache`) keyed by (workload, backend,
+  backend options, code version) — a warm rerun executes nothing;
+* fans misses out across a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (``workers > 1``) or runs them serially (``workers`` ``None``/0/1 —
+  also the automatic fallback if the pool cannot start), collecting
+  results back into input order so the output is byte-identical at any
+  worker count.
+
+Every record is normalized through one canonical-JSON round trip, so a
+fresh result and its cache replay compare equal bit for bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..backends.base import Workload, canonical_json
+from ..errors import ConfigurationError
+from .cache import SweepCache
+
+__all__ = ["Job", "JobResult", "derive_seed", "run_jobs", "write_jsonl"]
+
+_SEED_SPACE = 1 << 62
+
+
+def derive_seed(base_seed: int, *parts) -> int:
+    """A per-job seed, a pure function of the spec seed and grid point.
+
+    Hashing (rather than ``base_seed + i``) keeps seeds decorrelated
+    and — crucially — independent of job order, worker count, and any
+    other jobs in the sweep.
+    """
+    payload = canonical_json([int(base_seed), list(parts)])
+    digest = hashlib.sha256(payload.encode()).digest()
+    return int.from_bytes(digest[:8], "big") % _SEED_SPACE
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of a sweep: a workload on a named backend.
+
+    ``tags`` carry presentation-only labels (figure series, sweep
+    names) into the result rows; they are not part of the cache key.
+    """
+
+    workload: Workload
+    backend: str
+    backend_options: Mapping[str, Any] = field(default_factory=dict)
+    tags: Mapping[str, Any] = field(default_factory=dict)
+
+    def payload(self) -> dict:
+        """Picklable, hashable description of the work (tags excluded)."""
+        return {
+            "workload": self.workload.canonical(),
+            "backend": self.backend,
+            "backend_options": dict(self.backend_options),
+        }
+
+    def key(self) -> str:
+        return SweepCache.key_for(
+            self.workload.canonical(), self.backend, dict(self.backend_options)
+        )
+
+
+@dataclass
+class JobResult:
+    """A finished job: its canonical record plus provenance."""
+
+    job: Job
+    record: dict
+    cached: bool = False
+    key: str = ""
+
+    # -- convenience views ------------------------------------------------------
+
+    @property
+    def summary(self) -> dict:
+        return self.record["summary"]
+
+    @property
+    def seconds(self) -> float:
+        return self.summary["cycles"] / self.summary["clock_hz"]
+
+    @property
+    def cycles(self) -> float:
+        return self.summary["cycles"]
+
+    @property
+    def utilization(self) -> float:
+        return self.summary["utilization"]
+
+    @property
+    def detail(self) -> dict:
+        return self.summary.get("detail", {})
+
+    @property
+    def stats(self) -> dict:
+        return self.detail.get("stats", {})
+
+    def run_summary(self):
+        """The record rehydrated as a :class:`repro.obs.RunSummary`."""
+        from ..obs.summary import RunSummary
+
+        return RunSummary.from_dict(self.summary)
+
+    def jsonl(self) -> str:
+        return canonical_json(self.record)
+
+
+def _execute_payload(payload: dict) -> dict:
+    """Run one job description; top-level so worker processes can pickle it."""
+    from .. import backends  # noqa: F401  (registers the built-in backends)
+    from ..backends import create
+    from ..backends.base import Workload as _W
+
+    backend = create(payload["backend"], **payload["backend_options"])
+    workload = _W.from_dict(payload["workload"])
+    summary = backend.run(workload)
+    record = {
+        "workload": payload["workload"],
+        "backend": payload["backend"],
+        "backend_options": payload["backend_options"],
+        "summary": summary.to_dict(),
+    }
+    # one canonical round trip: fresh results and cache replays compare equal
+    return json.loads(canonical_json(record))
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    *,
+    workers: int | None = None,
+    cache: SweepCache | None | bool = None,
+    progress: Callable[[int, int, Job, bool], None] | None = None,
+) -> list[JobResult]:
+    """Execute ``jobs``, returning results in input order.
+
+    Parameters
+    ----------
+    jobs:
+        The sweep, in the order results should come back.
+    workers:
+        ``None``/0/1 → serial; ``N > 1`` → a process pool of N workers.
+        Output is byte-identical either way.
+    cache:
+        A :class:`SweepCache`, ``True`` (the default cache root),
+        ``False`` (disable), or ``None`` (default: enabled).
+    progress:
+        Optional callback ``(done, total, job, was_cached)``.
+    """
+    jobs = list(jobs)
+    if cache is True or cache is None:
+        cache = SweepCache()
+    elif cache is False:
+        cache = None
+    if workers is not None and workers < 0:
+        raise ConfigurationError(f"workers must be >= 0, got {workers}")
+
+    results: list[JobResult | None] = [None] * len(jobs)
+    pending: list[int] = []
+    done = 0
+    for i, job in enumerate(jobs):
+        key = job.key() if cache is not None else ""
+        record = cache.get(key) if cache is not None else None
+        if record is not None:
+            results[i] = JobResult(job=job, record=record, cached=True, key=key)
+            done += 1
+            if progress is not None:
+                progress(done, len(jobs), job, True)
+        else:
+            pending.append(i)
+
+    def _finish(i: int, record: dict) -> None:
+        nonlocal done
+        job = jobs[i]
+        key = job.key() if cache is not None else ""
+        if cache is not None:
+            cache.put(key, record)
+        results[i] = JobResult(job=job, record=record, cached=False, key=key)
+        done += 1
+        if progress is not None:
+            progress(done, len(jobs), job, False)
+
+    if pending:
+        if workers is not None and workers > 1:
+            try:
+                _run_pool(jobs, pending, workers, _finish)
+            except (OSError, PermissionError):
+                # sandboxes without process spawning: fall back to serial
+                for i in pending:
+                    if results[i] is None:
+                        _finish(i, _execute_payload(jobs[i].payload()))
+        else:
+            for i in pending:
+                _finish(i, _execute_payload(jobs[i].payload()))
+
+    return [r for r in results if r is not None]
+
+
+def _run_pool(jobs, pending, workers, finish) -> None:
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {pool.submit(_execute_payload, jobs[i].payload()): i for i in pending}
+        remaining = set(futures)
+        while remaining:
+            finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for fut in finished:
+                finish(futures[fut], fut.result())
+
+
+def write_jsonl(results: Iterable[JobResult], stream=None) -> str:
+    """Serialize results as JSON Lines (sorted keys, stable order).
+
+    Writes to ``stream`` when given; always returns the text.
+    """
+    text = "".join(r.jsonl() + "\n" for r in results)
+    if stream is not None:
+        stream.write(text)
+    return text

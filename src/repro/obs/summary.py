@@ -221,4 +221,27 @@ class RunSummary:
                 }
                 for ph in self.phases
             ],
+            "detail": dict(self.detail),
         }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunSummary":
+        """Inverse of :meth:`to_dict` (the sweep cache round-trip)."""
+        return cls(
+            name=d["name"],
+            machine=d.get("machine", ""),
+            p=int(d["p"]),
+            clock_hz=float(d["clock_hz"]),
+            cycles=float(d["cycles"]),
+            issued=float(d["issued"]),
+            phases=[
+                PhaseSummary(
+                    name=ph["name"],
+                    cycles=float(ph["cycles"]),
+                    issued=float(ph["issued"]),
+                    op_counts=dict(ph.get("op_counts", {})),
+                )
+                for ph in d.get("phases", [])
+            ],
+            detail=dict(d.get("detail", {})),
+        )

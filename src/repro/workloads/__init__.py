@@ -10,6 +10,16 @@ from .specs import (
     paper_scale_fig1,
     paper_scale_fig2,
 )
+from .sweeps import (
+    MACHINE_LABELS,
+    fig1_jobs,
+    fig2_jobs,
+    jobs_for,
+    table1_jobs,
+    tiny_fig1_spec,
+    tiny_fig2_spec,
+    tiny_table1_spec,
+)
 
 __all__ = [
     "Fig1Spec",
@@ -20,4 +30,12 @@ __all__ = [
     "TABLE1_SPEC",
     "paper_scale_fig1",
     "paper_scale_fig2",
+    "MACHINE_LABELS",
+    "fig1_jobs",
+    "fig2_jobs",
+    "table1_jobs",
+    "tiny_fig1_spec",
+    "tiny_fig2_spec",
+    "tiny_table1_spec",
+    "jobs_for",
 ]

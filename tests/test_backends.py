@@ -1,0 +1,166 @@
+"""Tests for the backend registry and the five built-in backends."""
+
+import dataclasses
+
+import pytest
+
+from repro import backends
+from repro.backends import Workload, algorithms_for, create, describe, names, register
+from repro.backends.base import canonical_json
+from repro.errors import ConfigurationError
+
+BUILTINS = ("cluster-model", "mta-engine", "mta-model", "smp-engine", "smp-model")
+
+
+class TestRegistry:
+    def test_all_five_builtins_registered(self):
+        assert set(BUILTINS) <= set(names())
+
+    def test_names_sorted(self):
+        assert names() == sorted(names())
+
+    def test_create_unknown_raises_with_candidates(self):
+        with pytest.raises(ConfigurationError) as exc:
+            create("mta-mode")
+        assert "mta-mode" in str(exc.value)
+        assert "mta-model" in str(exc.value)  # lists what IS registered
+
+    def test_describe_rows(self):
+        rows = {r["name"]: r for r in describe()}
+        assert rows["smp-model"]["level"] == "model"
+        assert rows["smp-engine"]["level"] == "engine"
+        assert "rank" in rows["cluster-model"]["kinds"]
+        assert rows["mta-model"]["description"]
+
+    def test_duplicate_register_raises(self):
+        with pytest.raises(ConfigurationError):
+            register("smp-model", lambda: None)
+
+    def test_replace_allows_reregistration(self):
+        sentinel = object()
+        register("test-backend", lambda: sentinel, description="v1")
+        try:
+            register("test-backend", lambda: sentinel, replace=True, description="v2")
+            assert create("test-backend") is sentinel
+        finally:
+            backends.registry._REGISTRY.pop("test-backend", None)
+
+
+class TestWorkload:
+    def test_canonical_round_trip(self):
+        w = Workload("rank", 4, 7, {"n": 100, "list": "random"}, {"algorithm": "wyllie"})
+        assert Workload.from_dict(w.canonical()) == w
+
+    def test_canonical_is_json_stable(self):
+        a = Workload("cc", params={"n": 10, "m": 20})
+        b = Workload("cc", params={"m": 20, "n": 10})
+        assert canonical_json(a.canonical()) == canonical_json(b.canonical())
+        assert a.digest() == b.digest()
+
+    def test_digest_changes_with_options(self):
+        a = Workload("rank", params={"n": 64})
+        b = Workload("rank", params={"n": 64}, options={"algorithm": "wyllie"})
+        assert a.digest() != b.digest()
+
+    def test_unsupported_kind_raises(self):
+        with pytest.raises(ConfigurationError) as exc:
+            create("smp-engine").run(Workload("tree", params={"leaves": 8}))
+        assert "does not support" in str(exc.value)
+
+    def test_algorithms_for_lists_registered_kernels(self):
+        assert "helman-jaja" in algorithms_for("rank")
+        assert "sv-smp" in algorithms_for("cc")
+
+
+class TestEveryBackendRuns:
+    """Every workload kind runs on every compatible backend through
+    Backend.run and produces a well-formed RunSummary."""
+
+    CASES = [
+        ("smp-model", Workload("rank", 2, 1, {"n": 512, "list": "random"})),
+        ("mta-model", Workload("rank", 2, 1, {"n": 512, "list": "random"})),
+        ("cluster-model", Workload("rank", 2, 1, {"n": 512, "list": "random"})),
+        ("smp-engine", Workload("rank", 2, 1, {"n": 96, "list": "random"}, {"s": 8})),
+        (
+            "mta-engine",
+            Workload("rank", 2, 1, {"n": 128, "list": "random"},
+                     {"streams_per_proc": 8, "nodes_per_walk": 4}),
+        ),
+        ("smp-model", Workload("cc", 2, 1, {"graph": "random", "n": 128, "m": 512})),
+        ("mta-model", Workload("cc", 2, 1, {"graph": "random", "n": 128, "m": 512})),
+        ("cluster-model", Workload("cc", 2, 1, {"graph": "random", "n": 128, "m": 512})),
+        (
+            "smp-engine",
+            Workload("cc", 2, 1, {"graph": "random", "n": 48, "m": 128},
+                     {"max_iter": 16}),
+        ),
+        (
+            "mta-engine",
+            Workload("cc", 2, 1, {"graph": "random", "n": 48, "m": 128},
+                     {"streams_per_proc": 8, "max_iter": 16}),
+        ),
+        ("smp-model", Workload("bfs", 2, 1, {"graph": "random", "n": 128, "m": 512})),
+        ("mta-model", Workload("msf", 2, 1, {"graph": "random", "n": 64, "m": 256})),
+        ("cluster-model", Workload("tree", 2, 1, {"leaves": 64})),
+        (
+            "mta-engine",
+            Workload("chase", 1, 0, {"chasers": 4},
+                     {"steps": 4, "streams_per_proc": 8}),
+        ),
+    ]
+
+    @pytest.mark.parametrize(
+        "backend_name,workload",
+        CASES,
+        ids=[f"{b}-{w.kind}" for b, w in CASES],
+    )
+    def test_runs_and_reports(self, backend_name, workload):
+        summary = create(backend_name).run(workload)
+        assert summary.cycles > 0
+        assert 0.0 <= summary.utilization <= 1.0
+        d = summary.to_dict()
+        assert d["detail"]["backend"] == backend_name
+        # the record survives a canonical JSON round trip (cacheable)
+        assert canonical_json(d)
+
+    def test_native_algorithm_defaults(self):
+        smp = create("smp-model").run(Workload("rank", 2, 1, {"n": 256, "list": "random"}))
+        mta = create("mta-model").run(Workload("rank", 2, 1, {"n": 256, "list": "random"}))
+        assert smp.detail["algorithm"] == "helman-jaja"
+        assert mta.detail["algorithm"] == "mta-walks"
+
+
+class TestAnalyticConfigOverrides:
+    def test_flat_override(self):
+        b = create("smp-model", config={"name": "E4500-custom"})
+        assert b.config.name == "E4500-custom"
+
+    def test_nested_dataclass_override(self):
+        b = create("smp-model", config={"l2": {"size_words": 1 << 18, "line_words": 16}})
+        assert b.config.l2.size_words == 1 << 18
+        # untouched nested fields keep their defaults
+        default_l2 = create("smp-model").config.l2
+        changed = {"size_words", "line_words"}
+        for f in dataclasses.fields(default_l2):
+            if f.name not in changed:
+                assert getattr(b.config.l2, f.name) == getattr(default_l2, f.name)
+
+    def test_bad_override_key_raises(self):
+        with pytest.raises(ConfigurationError):
+            create("smp-model", config={"no_such_field": 1})
+
+    def test_bad_nested_key_raises(self):
+        with pytest.raises(ConfigurationError):
+            create("smp-model", config={"l2": {"no_such_field": 1}})
+
+    def test_override_changes_timing(self):
+        w = Workload("rank", 1, 5, {"n": 1 << 15, "list": "random"})
+        base = create("smp-model").run(w)
+        tiny_l2 = create("smp-model", config={"l2": {"size_words": 1 << 8}}).run(w)
+        assert tiny_l2.cycles > base.cycles
+
+    def test_instances_are_independent(self):
+        a = create("smp-model")
+        b = create("smp-model", config={"name": "other"})
+        assert a.config.name != b.config.name
+        assert dataclasses.is_dataclass(a.config)

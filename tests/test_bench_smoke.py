@@ -60,3 +60,33 @@ def test_benchmark_suite_collects():
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "error" not in proc.stdout.lower()
+
+
+BANNED_CONSTRUCTORS = (
+    "SMPMachine(",
+    "MTAMachine(",
+    "ClusterMachine(",
+    "SMPEngine(",
+    "MTAEngine(",
+)
+
+# bench_table1_utilization compares an engine's summary against its raw
+# report — an internals check that legitimately calls simulate_* itself.
+SIMULATE_ALLOWED = {"bench_table1_utilization"}
+
+
+@pytest.mark.parametrize("name", BENCH_MODULES)
+def test_benchmarks_go_through_the_runner(name):
+    """ISSUE acceptance gate: every benchmark routes execution through
+    the sweep runner — zero direct machine/engine construction."""
+    source = (BENCH_DIR / f"{name}.py").read_text(encoding="utf-8")
+    for pattern in BANNED_CONSTRUCTORS:
+        assert pattern not in source, (
+            f"{name} constructs {pattern[:-1]} directly; submit a Job to"
+            " repro.core.run_jobs instead"
+        )
+    if name not in SIMULATE_ALLOWED:
+        assert "simulate_" not in source, (
+            f"{name} calls a simulate_* entry point directly; use the"
+            " engine backends via the sweep runner"
+        )

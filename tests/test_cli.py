@@ -148,3 +148,119 @@ class TestTrace:
         assert main(["trace", "rank-smp", "--n", "128", "--p", "2"]) == 0
         capsys.readouterr()
         assert (tmp_path / "trace-rank-smp.json").exists()
+
+
+class TestBackendsCommand:
+    def test_lists_all_five(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "smp-model", "mta-model", "cluster-model", "smp-engine", "mta-engine"
+        ):
+            assert name in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["backends", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {r["name"] for r in rows} >= {
+            "smp-model", "mta-model", "cluster-model", "smp-engine", "mta-engine"
+        }
+        assert all({"name", "level", "kinds", "description"} <= set(r) for r in rows)
+
+
+class TestRunCommand:
+    def test_run_rank_on_model(self, capsys):
+        assert main(
+            ["run", "--workload", "rank", "--backend", "smp-model",
+             "--n", "512", "--p", "2", "--param", "list=ordered", "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rank on smp-model (fresh)" in out
+        assert "utilization" in out
+
+    def test_run_on_engine_with_opts(self, capsys):
+        assert main(
+            ["run", "--workload", "rank", "--backend", "mta-engine",
+             "--n", "128", "--p", "2",
+             "--opt", "streams_per_proc=8", "--opt", "nodes_per_walk=4",
+             "--no-cache"]
+        ) == 0
+        assert "mta-engine" in capsys.readouterr().out
+
+    def test_run_json_record(self, capsys):
+        import json
+
+        assert main(
+            ["run", "--workload", "cc", "--backend", "mta-model",
+             "--n", "128", "--param", "m=512", "--param", "graph=random",
+             "--json", "--no-cache"]
+        ) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["backend"] == "mta-model"
+        assert record["summary"]["detail"]["algorithm"] == "sv-mta"
+
+    def test_run_cached_second_time(self, tmp_path, capsys):
+        argv = ["run", "--workload", "rank", "--backend", "smp-model",
+                "--n", "256", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert "(fresh)" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "(cached)" in capsys.readouterr().out
+
+    def test_run_unknown_backend_is_config_error(self, capsys):
+        assert main(
+            ["run", "--workload", "rank", "--backend", "nope", "--n", "64",
+             "--no-cache"]
+        ) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_bad_kv_pair_is_config_error(self, capsys):
+        assert main(
+            ["run", "--workload", "rank", "--backend", "smp-model",
+             "--n", "64", "--param", "listordered", "--no-cache"]
+        ) == 2
+        assert "expected K=V" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_tiny_sweep_runs_and_reruns_byte_identical(self, tmp_path, capsys):
+        argv = ["sweep", "--spec", "fig1-tiny", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        # stdout is byte-identical; only the stderr cache stats differ
+        assert first.out == second.out
+        assert "0/" in first.err.split("cache:")[1]  # cold: no hits
+        assert "hits" in second.err
+
+    def test_workers_flag_matches_serial(self, tmp_path, capsys):
+        assert main(
+            ["sweep", "--spec", "fig1-tiny", "--workers", "1", "--no-cache"]
+        ) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            ["sweep", "--spec", "fig1-tiny", "--workers", "2", "--no-cache"]
+        ) == 0
+        pooled = capsys.readouterr().out
+        assert serial == pooled
+
+    def test_jsonl_export(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "rows.jsonl"
+        assert main(
+            ["sweep", "--spec", "fig1-tiny", "--no-cache", "--jsonl", str(out)]
+        ) == 0
+        capsys.readouterr()
+        lines = out.read_text().splitlines()
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert {"workload", "backend", "summary"} <= set(record)
+
+    def test_unknown_spec_is_config_error(self, capsys):
+        assert main(["sweep", "--spec", "fig9", "--no-cache"]) == 2
+        assert "unknown sweep" in capsys.readouterr().err

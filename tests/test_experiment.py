@@ -70,3 +70,28 @@ class TestResultTable:
     def test_to_text_requires_columns(self):
         with pytest.raises(ConfigurationError):
             ResultTable("x").to_text([])
+
+
+class TestAddKeyCollisions:
+    def test_same_key_as_param_and_value_raises(self):
+        t = ResultTable("x")
+        with pytest.raises(ConfigurationError) as exc:
+            t.add(params={"seconds": 1}, values={"seconds": 2.0})
+        assert "seconds" in str(exc.value)
+        assert "x" in str(exc.value)  # names the offending table
+
+    def test_kwarg_colliding_with_explicit_param_raises(self):
+        t = ResultTable("x")
+        with pytest.raises(ConfigurationError):
+            t.add(params={"utilization": 0.5}, utilization=0.9)
+
+    def test_explicit_split_allows_nonstandard_value_keys(self):
+        t = ResultTable("x")
+        row = t.add(params={"n": 4}, values={"t_m": 1.25})
+        assert row.params == {"n": 4} and row.values == {"t_m": 1.25}
+
+    def test_no_row_appended_on_collision(self):
+        t = ResultTable("x")
+        with pytest.raises(ConfigurationError):
+            t.add(params={"n": 1}, values={"n": 2.0})
+        assert len(t.rows) == 0

@@ -1,0 +1,91 @@
+"""matplotlib is optional: importing repro must never require it.
+
+These tests run a subprocess with matplotlib imports blocked (an
+installed copy would mask the bug) and assert that the package, the
+CLI, and the ASCII plotter all work — and that only ``save_figure``
+complains, with an actionable message.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+# A meta-path hook is the reliable way to simulate an absent package:
+# it blocks `import matplotlib` and every submodule.
+BLOCK_MATPLOTLIB = """
+import sys
+
+class _Block:
+    def find_spec(self, name, path=None, target=None):
+        if name.split(".")[0] == "matplotlib":
+            raise ImportError(f"{name} is blocked for this test")
+        return None
+
+sys.meta_path.insert(0, _Block())
+sys.modules.pop("matplotlib", None)
+"""
+
+
+def _run(snippet: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-c", BLOCK_MATPLOTLIB + snippet],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_import_repro_without_matplotlib():
+    proc = _run(
+        """
+import repro
+import repro.core.plot
+from repro.core import ResultTable, run_jobs
+print("ok")
+"""
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "ok"
+
+
+def test_ascii_plot_works_without_matplotlib():
+    proc = _run(
+        """
+from repro.core.plot import ascii_plot
+out = ascii_plot({"s": ([1, 2, 3], [1, 4, 9])}, logx=True, logy=True)
+assert "o" in out
+print("ok")
+"""
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_cli_works_without_matplotlib():
+    proc = _run(
+        """
+from repro.cli import main
+assert main(["backends"]) == 0
+"""
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_save_figure_raises_actionable_error():
+    proc = _run(
+        """
+from repro.core.plot import save_figure
+from repro.errors import ConfigurationError
+try:
+    save_figure({"s": ([1], [1])}, "/tmp/never-written.png")
+except ConfigurationError as exc:
+    assert "matplotlib" in str(exc)
+    assert "ascii_plot" in str(exc)
+    print("raised")
+else:
+    print("no error")
+"""
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "raised"

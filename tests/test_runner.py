@@ -1,0 +1,159 @@
+"""Tests for the parallel, cached sweep runner (repro.core.runner)."""
+
+import dataclasses
+
+import pytest
+
+from repro.backends import Workload
+from repro.core import (
+    Job,
+    ResultTable,
+    SweepCache,
+    derive_seed,
+    run_jobs,
+    write_jsonl,
+)
+from repro.errors import ConfigurationError
+from repro.workloads import fig1_jobs
+from repro.workloads.specs import Fig1Spec
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, {"n": 100}) == derive_seed(7, {"n": 100})
+
+    def test_depends_on_base_seed(self):
+        assert derive_seed(7, {"n": 100}) != derive_seed(8, {"n": 100})
+
+    def test_depends_on_parts(self):
+        assert derive_seed(7, {"n": 100}) != derive_seed(7, {"n": 101})
+
+    def test_key_order_irrelevant(self):
+        assert derive_seed(7, {"a": 1, "b": 2}) == derive_seed(7, {"b": 2, "a": 1})
+
+    def test_range(self):
+        for i in range(50):
+            s = derive_seed(i, "part", i * 3)
+            assert 0 <= s < 1 << 62
+
+    def test_decorrelated_from_increment(self):
+        seeds = {derive_seed(0, {"n": n}) for n in range(100)}
+        assert len(seeds) == 100
+
+
+class TestJob:
+    def test_payload_excludes_tags(self):
+        w = Workload("rank", 2, 1, {"n": 64})
+        a = Job(w, "smp-model", tags={"figure": "fig1"})
+        b = Job(w, "smp-model", tags={"other": "label"})
+        assert a.payload() == b.payload()
+        assert a.key() == b.key()
+
+    def test_key_covers_backend_options(self):
+        w = Workload("rank", 2, 1, {"n": 64})
+        assert (
+            Job(w, "smp-model").key()
+            != Job(w, "smp-model", backend_options={"use_traces": False}).key()
+        )
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_jobs([], workers=-1)
+
+
+def _tiny_jobs(n=64, count=3):
+    return [
+        Job(
+            Workload("rank", 2, seed, {"n": n, "list": "random"}),
+            "smp-model",
+            tags={"i": seed},
+        )
+        for seed in range(count)
+    ]
+
+
+class TestRunJobs:
+    def test_results_in_input_order(self):
+        jobs = _tiny_jobs()
+        results = run_jobs(jobs, cache=False)
+        assert [r.job for r in results] == jobs
+
+    def test_result_views(self):
+        [r] = run_jobs(_tiny_jobs(count=1), cache=False)
+        assert r.seconds > 0
+        assert r.cycles > 0
+        assert 0 <= r.utilization <= 1
+        assert r.detail["backend"] == "smp-model"
+        assert r.run_summary().cycles == r.cycles
+
+    def test_progress_callback(self):
+        seen = []
+        run_jobs(
+            _tiny_jobs(),
+            cache=False,
+            progress=lambda done, total, job, cached: seen.append((done, total, cached)),
+        )
+        assert seen == [(1, 3, False), (2, 3, False), (3, 3, False)]
+
+    def test_write_jsonl_round_trips(self):
+        import json
+
+        results = run_jobs(_tiny_jobs(count=2), cache=False)
+        lines = write_jsonl(results).splitlines()
+        assert len(lines) == 2
+        for line, r in zip(lines, results):
+            assert json.loads(line) == r.record
+
+
+@pytest.fixture(scope="module")
+def scaled_fig1_spec():
+    """Fig. 1 shrunk enough to run in seconds but still a real grid."""
+    return dataclasses.replace(
+        Fig1Spec(), sizes=(1 << 10, 1 << 12), procs=(1, 4), seed=99
+    )
+
+
+def _fig1_table(results):
+    table = ResultTable("fig1")
+    for r in results:
+        t = r.job.tags
+        table.add(
+            machine=t["machine"], list=t["list"], n=t["n"], p=t["p"],
+            seconds=r.seconds, utilization=r.utilization,
+        )
+    return table
+
+
+class TestDeterminismAcrossWorkers:
+    """The ISSUE's regression gate: ``--workers 4`` must be
+    byte-identical to a serial run of the same sweep."""
+
+    def test_serial_matches_pool(self, scaled_fig1_spec, tmp_path):
+        jobs = fig1_jobs(scaled_fig1_spec)
+        serial = run_jobs(jobs, workers=1, cache=False)
+        pooled = run_jobs(jobs, workers=4, cache=SweepCache(tmp_path / "cache"))
+
+        # identical RunSummary JSONL, byte for byte
+        assert write_jsonl(serial) == write_jsonl(pooled)
+
+        # identical ResultTable rows
+        rows_a = [(r.params, r.values) for r in _fig1_table(serial).rows]
+        rows_b = [(r.params, r.values) for r in _fig1_table(pooled).rows]
+        assert rows_a == rows_b
+
+    def test_cache_replay_is_byte_identical(self, scaled_fig1_spec, tmp_path):
+        jobs = fig1_jobs(scaled_fig1_spec)
+        cache = SweepCache(tmp_path / "cache")
+        cold = run_jobs(jobs, cache=cache)
+        warm = run_jobs(jobs, cache=cache)
+        assert all(not r.cached for r in cold)
+        assert all(r.cached for r in warm)
+        assert write_jsonl(cold) == write_jsonl(warm)
+
+    def test_job_subset_reproduces_full_sweep_numbers(self, scaled_fig1_spec):
+        """Per-job seeds are a pure function of the grid point, so a
+        single job rerun alone equals its value inside the sweep."""
+        jobs = fig1_jobs(scaled_fig1_spec)
+        full = run_jobs(jobs, cache=False)
+        alone = run_jobs([jobs[3]], cache=False)
+        assert alone[0].record == full[3].record

@@ -74,3 +74,61 @@ class TestPerProcTotals:
     def test_idle_processors_zero(self):
         totals = per_proc_totals(np.array([0]), np.array([5.0]), 3)
         assert totals.tolist() == [5.0, 0.0, 0.0]
+
+
+class TestAssignmentProperties:
+    """Property-based checks shared by both policies: every item in
+    [0, n) is assigned exactly one processor in [0, p), including the
+    p=1 and n < p edge cases."""
+
+    sizes = st.integers(min_value=0, max_value=200)
+    procs = st.integers(min_value=1, max_value=16)
+
+    @settings(max_examples=100, deadline=None)
+    @given(n=sizes, p=procs)
+    def test_block_is_a_partition(self, n, p):
+        assign = block_assign(n, p)
+        assert assign.shape == (n,)
+        if n:
+            assert assign.min() >= 0 and assign.max() < p
+
+    @settings(max_examples=100, deadline=None)
+    @given(n=sizes, p=procs)
+    def test_dynamic_is_a_partition(self, n, p):
+        assign = dynamic_assign(np.ones(n), p)
+        assert assign.shape == (n,)
+        if n:
+            assert assign.min() >= 0 and assign.max() < p
+
+    @settings(max_examples=100, deadline=None)
+    @given(n=sizes, p=procs)
+    def test_block_chunks_are_contiguous_and_bounded(self, n, p):
+        assign = block_assign(n, p)
+        # each processor's items form one contiguous run of ≤ ceil(n/p)
+        assert (np.diff(assign) >= 0).all()  # non-decreasing → contiguous
+        counts = np.bincount(assign, minlength=p)
+        assert counts.max(initial=0) <= (-(-n // p) if n else 0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(n=sizes, p=procs)
+    def test_dynamic_unit_weights_balance_within_one(self, n, p):
+        assign = dynamic_assign(np.ones(n), p)
+        counts = np.bincount(assign, minlength=p)
+        assert counts.max(initial=0) - counts.min() <= 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(n=st.integers(min_value=0, max_value=50))
+    def test_p_equals_one_serializes(self, n):
+        assert set(block_assign(n, 1).tolist()) <= {0}
+        assert set(dynamic_assign(np.ones(n), 1).tolist()) <= {0}
+
+    @settings(max_examples=50, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=7), extra=st.integers(1, 20))
+    def test_more_procs_than_items(self, n, extra):
+        p = n + extra
+        # every item still lands on a distinct processor; none out of range
+        block = block_assign(n, p)
+        dyn = dynamic_assign(np.ones(n), p)
+        for assign in (block, dyn):
+            assert len(set(assign.tolist())) == n
+            assert assign.max() < p

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core import MTAMachine, StepCost
 from repro.core.machine import MachineResult, StepTime
+from repro.errors import ConfigurationError
 from repro.sim.stats import SimReport, combine_reports
 
 
@@ -135,3 +136,28 @@ class TestBreakdown:
         text = SMPMachine(p=2).run(run.steps).breakdown()
         assert "hj.3.traverse-sublists" in text
         assert "utilization" in text
+
+
+class TestStepNameAmbiguity:
+    def test_duplicate_step_names_raise_on_lookup(self):
+        r = MachineResult(
+            machine="m", p=1, clock_hz=1e6,
+            steps=[
+                StepTime(name="scan", cycles=10.0, busy_cycles=5.0),
+                StepTime(name="scan", cycles=20.0, busy_cycles=5.0),
+            ],
+        )
+        with pytest.raises(ConfigurationError) as exc:
+            r.step("scan")
+        assert "ambiguous" in str(exc.value)
+        assert "2 steps" in str(exc.value)
+
+    def test_unique_names_still_resolve(self):
+        r = MachineResult(
+            machine="m", p=1, clock_hz=1e6,
+            steps=[
+                StepTime(name="scan", cycles=10.0, busy_cycles=5.0),
+                StepTime(name="rank", cycles=20.0, busy_cycles=5.0),
+            ],
+        )
+        assert r.step("rank").cycles == 20.0
