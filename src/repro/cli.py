@@ -29,6 +29,18 @@ without writing Python:
     process pool (``--workers N``) and the on-disk result cache; cache
     statistics go to stderr so stdout stays byte-identical between cold
     and warm runs.
+``serve``
+    Run the async experiment service: a JSON-over-HTTP job API with
+    request coalescing, bounded admission (``queue_full``
+    backpressure), per-job timeouts, and ``GET /v1/metrics``.  Drains
+    gracefully on SIGINT/SIGTERM.  See ``docs/SERVICE.md``.
+``submit``
+    Submit a workload or named sweep to a running service and (by
+    default) poll it to completion.
+``cache``
+    Inspect the on-disk result cache; ``--prune`` evicts
+    least-recently-used records down to ``--max-entries`` /
+    ``--max-bytes`` (or clears it, with no caps).
 
 Every command accepts ``--help``.  Exit code 0 on success; workload or
 configuration errors print a message and return 2.
@@ -167,6 +179,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write one RunSummary record per job as JSON Lines ('-' = stdout)",
     )
     _add_cache_args(p_sw)
+
+    p_sv = sub.add_parser(
+        "serve", help="run the async experiment service (JSON over HTTP)"
+    )
+    p_sv.add_argument("--host", default="127.0.0.1")
+    p_sv.add_argument("--port", type=int, default=8787)
+    p_sv.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="admission bound; submissions beyond it get a queue_full rejection",
+    )
+    p_sv.add_argument(
+        "--dispatchers", type=int, default=2, help="concurrent executions"
+    )
+    p_sv.add_argument(
+        "--job-workers",
+        type=int,
+        default=1,
+        help="runner process-pool size per execution (1 = serial)",
+    )
+    p_sv.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-submission wall-clock budget (none = unlimited)",
+    )
+    p_sv.add_argument(
+        "--cache-max-entries", type=int, default=None, help="LRU cap on cache records"
+    )
+    p_sv.add_argument(
+        "--cache-max-bytes", type=int, default=None, help="LRU cap on cache bytes"
+    )
+    _add_cache_args(p_sv)
+
+    p_sub = sub.add_parser(
+        "submit", help="submit a workload or sweep to a running service"
+    )
+    p_sub.add_argument("--host", default="127.0.0.1")
+    p_sub.add_argument("--port", type=int, default=8787)
+    p_sub.add_argument(
+        "--spec", default=None, help="named sweep (fig1, fig1-tiny, ...)"
+    )
+    p_sub.add_argument("--workload", default=None, help="workload kind (rank, cc, ...)")
+    p_sub.add_argument("--backend", default=None, help="backend name")
+    p_sub.add_argument("--n", type=int, default=None, help="problem size")
+    p_sub.add_argument("--p", type=int, default=8, help="processors")
+    p_sub.add_argument("--seed", type=int, default=0)
+    p_sub.add_argument(
+        "--param", action="append", default=[], metavar="K=V",
+        help="extra input parameter (repeatable)",
+    )
+    p_sub.add_argument(
+        "--opt", action="append", default=[], metavar="K=V",
+        help="kernel/backend option (repeatable)",
+    )
+    p_sub.add_argument("--priority", type=int, default=0)
+    p_sub.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-submission wall-clock budget",
+    )
+    p_sub.add_argument("--label", default="", help="free-form label echoed in views")
+    p_sub.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="return the job id immediately instead of polling to completion",
+    )
+    p_sub.add_argument(
+        "--wait-timeout", type=float, default=600.0, help="polling budget (seconds)"
+    )
+    p_sub.add_argument("--json", action="store_true", help="print the full job view")
+
+    p_ca = sub.add_parser("cache", help="inspect or prune the on-disk result cache")
+    p_ca.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    p_ca.add_argument(
+        "--prune",
+        action="store_true",
+        help="evict least-recently-used records down to the caps"
+        " (with no caps given, clears the cache)",
+    )
+    p_ca.add_argument(
+        "--max-entries", type=int, default=None, help="keep at most N records"
+    )
+    p_ca.add_argument(
+        "--max-bytes", type=int, default=None, help="keep at most N bytes of records"
+    )
 
     return parser
 
@@ -417,6 +520,114 @@ def _make_cache(args):
     return SweepCache(args.cache_dir) if args.cache_dir else SweepCache()
 
 
+def _cmd_serve(args) -> int:
+    from .service import serve
+
+    cache: bool | str = True
+    if args.no_cache:
+        cache = False
+    elif args.cache_dir:
+        cache = args.cache_dir
+    serve(
+        args.host,
+        args.port,
+        log=lambda msg: print(msg, file=sys.stderr, flush=True),
+        queue_limit=args.queue_limit,
+        dispatchers=args.dispatchers,
+        job_workers=args.job_workers,
+        default_timeout_s=args.timeout,
+        cache=cache,
+        cache_max_entries=args.cache_max_entries,
+        cache_max_bytes=args.cache_max_bytes,
+    )
+    return 0
+
+
+def _submit_body(args) -> dict:
+    from .errors import ConfigurationError
+
+    if (args.spec is None) == (args.workload is None):
+        raise ConfigurationError(
+            "submit needs exactly one of --spec or --workload/--backend"
+        )
+    body: dict = {}
+    if args.spec is not None:
+        body["spec"] = args.spec
+    else:
+        if args.backend is None:
+            raise ConfigurationError("--workload also needs --backend")
+        params = _parse_kv(args.param, "--param")
+        if args.n is not None:
+            key = "leaves" if args.workload == "tree" else "n"
+            params.setdefault(key, args.n)
+        body["workload"] = {
+            "kind": args.workload,
+            "p": args.p,
+            "seed": args.seed,
+            "params": params,
+            "options": _parse_kv(args.opt, "--opt"),
+        }
+        body["backend"] = args.backend
+    if args.priority:
+        body["priority"] = args.priority
+    if args.timeout is not None:
+        body["timeout_s"] = args.timeout
+    if args.label:
+        body["label"] = args.label
+    return body
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from .service import DONE, ServiceClient
+
+    client = ServiceClient(args.host, args.port)
+    view = client.submit(_submit_body(args))
+    if args.no_wait:
+        if args.json:
+            print(json.dumps(view, indent=2, sort_keys=True))
+        else:
+            print(f"{view['id']} {view['state']}")
+        return 0
+    view = client.wait(view["id"], timeout=args.wait_timeout)
+    if args.json:
+        print(json.dumps(view, indent=2, sort_keys=True))
+        return 0 if view["state"] == DONE else 2
+    if view["state"] == DONE:
+        result = view["result"]
+        print(
+            f"{view['id']} done in {view['elapsed_s']:.3f}s: {result['jobs']} job(s)"
+            f" ({result['jobs_cached']} cached, {result['jobs_fresh']} fresh)"
+        )
+        return 0
+    error = view.get("error", {})
+    print(
+        f"{view['id']} {view['state']}:"
+        f" {error.get('code', '?')}: {error.get('message', '')}",
+        file=sys.stderr,
+    )
+    return 2
+
+
+def _cmd_cache(args) -> int:
+    from .core.cache import SweepCache
+
+    cache = SweepCache(args.cache_dir) if args.cache_dir else SweepCache()
+    rows = cache.entries()
+    total = sum(size for _, _, size in rows)
+    print(f"cache at {cache.root}: {len(rows)} record(s), {total} bytes")
+    if args.prune:
+        max_entries, max_bytes = args.max_entries, args.max_bytes
+        if max_entries is None and max_bytes is None:
+            max_entries = 0  # --prune with no caps clears the cache
+        evicted, freed = cache.prune(max_entries=max_entries, max_bytes=max_bytes)
+        print(f"pruned {evicted} record(s), freed {freed} bytes")
+    elif args.max_entries is not None or args.max_bytes is not None:
+        print("(caps given without --prune: nothing evicted)")
+    return 0
+
+
 def _cmd_backends(args) -> int:
     from .backends import describe
 
@@ -519,6 +730,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
         parser.error(f"unknown command {args.command!r}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -15,7 +15,7 @@ from .metrics import (
 )
 from .mta_machine import CRAY_MTA2, MTAConfig, MTAMachine
 from .plot import ascii_plot, save_figure
-from .runner import Job, JobResult, derive_seed, run_jobs, write_jsonl
+from .runner import Job, JobResult, SweepCancelled, derive_seed, run_jobs, write_jsonl
 from .schedule import block_assign, dynamic_assign, per_proc_totals
 from .smp_machine import SUN_E4500, SMPConfig, SMPMachine
 
@@ -51,6 +51,7 @@ __all__ = [
     "save_figure",
     "Job",
     "JobResult",
+    "SweepCancelled",
     "derive_seed",
     "run_jobs",
     "write_jsonl",

@@ -19,6 +19,14 @@ overwritten.
 The key includes :func:`code_version` — a digest over every source
 file of the ``repro`` package — so editing any simulator or kernel
 invalidates the whole cache rather than serving stale timings.
+
+The store is unbounded by default (a figure sweep is a few thousand
+small records), but long-lived deployments — the experiment service,
+shared CI caches — can cap it: construct with ``max_entries`` and/or
+``max_bytes`` and every :meth:`~SweepCache.put` evicts
+least-recently-used records (``get`` refreshes a record's mtime, the
+recency clock) until the store fits.  :meth:`~SweepCache.prune` does
+the same on demand — ``repro cache --prune`` from the command line.
 """
 
 from __future__ import annotations
@@ -60,16 +68,36 @@ def default_cache_root() -> Path:
 class SweepCache:
     """Sha-keyed store of finished job records.
 
-    Counters ``hits``, ``misses``, and ``stores`` track one process's
-    traffic; the sweep runner reports them on stderr so cached and
-    fresh runs keep identical stdout.
+    Counters ``hits``, ``misses``, ``stores``, and ``evictions`` track
+    one process's traffic; the sweep runner reports them on stderr so
+    cached and fresh runs keep identical stdout.
+
+    ``max_entries`` / ``max_bytes`` (``None`` = unbounded, the default)
+    cap the on-disk store; when a :meth:`put` pushes past a cap, the
+    least-recently-used records are evicted.  Enforcement stats the
+    store (O(entries)), which is negligible against the cost of the
+    simulations whose results it holds.
     """
 
-    def __init__(self, root: str | os.PathLike | None = None):
+    def __init__(
+        self,
+        root: str | os.PathLike | None = None,
+        *,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ):
+        for name, cap in (("max_entries", max_entries), ("max_bytes", max_bytes)):
+            if cap is not None and cap < 0:
+                from ..errors import ConfigurationError
+
+                raise ConfigurationError(f"{name} must be >= 0, got {cap}")
         self.root = Path(root) if root is not None else default_cache_root()
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
 
     # -- keys -------------------------------------------------------------------
 
@@ -93,7 +121,11 @@ class SweepCache:
     # -- access -----------------------------------------------------------------
 
     def get(self, key: str) -> dict | None:
-        """The cached record for ``key``, or ``None`` (counted as a miss)."""
+        """The cached record for ``key``, or ``None`` (counted as a miss).
+
+        A hit refreshes the record's mtime — the LRU recency clock —
+        so records in active use survive eviction.
+        """
         path = self._path(key)
         try:
             with open(path, encoding="utf-8") as f:
@@ -101,6 +133,10 @@ class SweepCache:
         except (OSError, ValueError):
             self.misses += 1
             return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # read-only cache mounts still serve hits
         self.hits += 1
         return record
 
@@ -120,6 +156,59 @@ class SweepCache:
                 pass
             raise
         self.stores += 1
+        if self.max_entries is not None or self.max_bytes is not None:
+            self.prune()
+
+    # -- bounds -----------------------------------------------------------------
+
+    def entries(self) -> list[tuple[Path, float, int]]:
+        """Every record as ``(path, mtime, size)``, oldest first."""
+        rows = []
+        for path in self.root.glob("rows/*/*.json"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue  # concurrently evicted
+            rows.append((path, st.st_mtime, st.st_size))
+        rows.sort(key=lambda row: (row[1], row[0].name))
+        return rows
+
+    def size_bytes(self) -> int:
+        """Total bytes of stored records."""
+        return sum(size for _, _, size in self.entries())
+
+    def prune(
+        self, max_entries: int | None = None, max_bytes: int | None = None
+    ) -> tuple[int, int]:
+        """Evict least-recently-used records until the store fits.
+
+        Caps default to the instance's; explicit arguments override
+        (so ``repro cache --prune --max-entries 100`` works on a cache
+        constructed without caps).  Returns ``(evicted, freed_bytes)``.
+        """
+        if max_entries is None:
+            max_entries = self.max_entries
+        if max_bytes is None:
+            max_bytes = self.max_bytes
+        if max_entries is None and max_bytes is None:
+            return (0, 0)
+        rows = self.entries()
+        total = sum(size for _, _, size in rows)
+        evicted = freed = 0
+        for path, _, size in rows:
+            over_count = max_entries is not None and len(rows) - evicted > max_entries
+            over_bytes = max_bytes is not None and total > max_bytes
+            if not over_count and not over_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue  # lost a race with another process — already gone
+            evicted += 1
+            freed += size
+            total -= size
+        self.evictions += evicted
+        return (evicted, freed)
 
     # -- reporting --------------------------------------------------------------
 
@@ -128,7 +217,10 @@ class SweepCache:
         return self.hits + self.misses
 
     def stats_line(self) -> str:
-        return (
+        line = (
             f"cache: {self.hits}/{self.requests} hits"
             f" ({self.stores} stored) at {self.root}"
         )
+        if self.evictions:
+            line += f", {self.evictions} evicted"
+        return line

@@ -30,12 +30,40 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..backends.base import Workload, canonical_json
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ReproError
 from .cache import SweepCache
 
-__all__ = ["Job", "JobResult", "derive_seed", "run_jobs", "write_jsonl"]
+__all__ = [
+    "Job",
+    "JobResult",
+    "SweepCancelled",
+    "derive_seed",
+    "run_jobs",
+    "write_jsonl",
+]
 
 _SEED_SPACE = 1 << 62
+
+
+class SweepCancelled(ReproError):
+    """A sweep stopped early — Ctrl-C or a ``cancel`` hook fired.
+
+    ``results`` holds one :class:`JobResult` per input job, in input
+    order: jobs that finished before the cancellation carry their real
+    records, unfinished ones are placeholders with
+    ``cancelled=True`` and an empty record.  The worker pool has been
+    shut down (queued work cancelled, running work reaped) before this
+    is raised, so no worker processes outlive the sweep.
+    """
+
+    def __init__(self, results: list["JobResult"], message: str = "sweep cancelled"):
+        super().__init__(message)
+        self.results = results
+
+
+class _CancelRequested(BaseException):
+    """Internal: the ``cancel`` hook fired (BaseException so generic
+    ``except Exception`` handlers in job code cannot swallow it)."""
 
 
 def derive_seed(base_seed: int, *parts) -> int:
@@ -79,12 +107,18 @@ class Job:
 
 @dataclass
 class JobResult:
-    """A finished job: its canonical record plus provenance."""
+    """A finished job: its canonical record plus provenance.
+
+    ``cancelled`` marks a placeholder for a job whose execution never
+    finished (see :class:`SweepCancelled`); its ``record`` is empty and
+    the summary views below will raise ``KeyError``.
+    """
 
     job: Job
     record: dict
     cached: bool = False
     key: str = ""
+    cancelled: bool = False
 
     # -- convenience views ------------------------------------------------------
 
@@ -147,6 +181,7 @@ def run_jobs(
     workers: int | None = None,
     cache: SweepCache | None | bool = None,
     progress: Callable[[int, int, Job, bool], None] | None = None,
+    cancel: Callable[[], bool] | None = None,
 ) -> list[JobResult]:
     """Execute ``jobs``, returning results in input order.
 
@@ -162,6 +197,13 @@ def run_jobs(
         ``False`` (disable), or ``None`` (default: enabled).
     progress:
         Optional callback ``(done, total, job, was_cached)``.
+    cancel:
+        Optional hook polled between job completions (e.g.
+        ``threading.Event().is_set``).  When it returns true — or a
+        ``KeyboardInterrupt`` arrives mid-sweep — the worker pool is
+        shut down cleanly (queued futures cancelled, nothing leaked)
+        and :class:`SweepCancelled` is raised carrying the partial
+        results, with unfinished jobs marked ``cancelled``.
     """
     jobs = list(jobs)
     if cache is True or cache is None:
@@ -196,30 +238,65 @@ def run_jobs(
         if progress is not None:
             progress(done, len(jobs), job, False)
 
-    if pending:
-        if workers is not None and workers > 1:
-            try:
-                _run_pool(jobs, pending, workers, _finish)
-            except (OSError, PermissionError):
-                # sandboxes without process spawning: fall back to serial
-                for i in pending:
-                    if results[i] is None:
-                        _finish(i, _execute_payload(jobs[i].payload()))
-        else:
-            for i in pending:
-                _finish(i, _execute_payload(jobs[i].payload()))
+    def _run_serial() -> None:
+        for i in pending:
+            if results[i] is not None:
+                continue
+            if cancel is not None and cancel():
+                raise _CancelRequested()
+            _finish(i, _execute_payload(jobs[i].payload()))
+
+    try:
+        if pending:
+            if workers is not None and workers > 1:
+                try:
+                    _run_pool(jobs, pending, workers, _finish, cancel)
+                except (OSError, PermissionError):
+                    # sandboxes without process spawning: fall back to serial
+                    _run_serial()
+            else:
+                _run_serial()
+    except (KeyboardInterrupt, _CancelRequested) as exc:
+        partial = [
+            r if r is not None else JobResult(job=job, record={}, cancelled=True)
+            for job, r in zip(jobs, results)
+        ]
+        reason = "interrupted" if isinstance(exc, KeyboardInterrupt) else "cancelled"
+        raise SweepCancelled(
+            partial,
+            f"sweep {reason} after {done}/{len(jobs)} job(s)",
+        ) from None
 
     return [r for r in results if r is not None]
 
 
-def _run_pool(jobs, pending, workers, finish) -> None:
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+def _run_pool(jobs, pending, workers, finish, cancel=None) -> None:
+    """Fan pending jobs across a process pool, honouring cancellation.
+
+    On ``KeyboardInterrupt`` or a fired ``cancel`` hook the pool is
+    shut down with ``cancel_futures=True`` — queued work never starts,
+    in-flight work is awaited so no orphan worker processes remain —
+    and the exception propagates to :func:`run_jobs`.
+    """
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
         futures = {pool.submit(_execute_payload, jobs[i].payload()): i for i in pending}
         remaining = set(futures)
+        # Poll with a short timeout only when a cancel hook exists, so
+        # cancellation stays responsive without busy-waiting otherwise.
+        poll = 0.05 if cancel is not None else None
         while remaining:
-            finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            if cancel is not None and cancel():
+                raise _CancelRequested()
+            finished, remaining = wait(
+                remaining, timeout=poll, return_when=FIRST_COMPLETED
+            )
             for fut in finished:
                 finish(futures[fut], fut.result())
+    except BaseException:
+        pool.shutdown(wait=True, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
 
 
 def write_jsonl(results: Iterable[JobResult], stream=None) -> str:

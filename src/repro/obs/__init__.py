@@ -14,6 +14,7 @@ See ``docs/OBSERVABILITY.md`` for the trace format and workflow.
 """
 
 from .contention import ContentionProfile, bucket_range, log2_bucket
+from .counters import CounterSet, LatencyWindow
 from .events import TraceEvent
 from .export import (
     chrome_trace_dict,
@@ -29,6 +30,8 @@ from .tracer import Tracer
 __all__ = [
     "TraceEvent",
     "Tracer",
+    "CounterSet",
+    "LatencyWindow",
     "RunSummary",
     "PhaseSummary",
     "ContentionProfile",

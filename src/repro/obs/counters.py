@@ -1,0 +1,131 @@
+"""Named monotonic counters and latency percentiles for live metrics.
+
+The tracing side of :mod:`repro.obs` records *simulated* time — cycle
+timelines inside the machine models.  This module records *host* time:
+lightweight process-local counters for long-lived components (the
+experiment service in :mod:`repro.service`, custom harnesses) that
+need a cheap, thread-safe metrics surface without any dependency
+beyond the standard library.
+
+Two primitives:
+
+:class:`CounterSet`
+    A mapping of name → monotonically increasing integer.  Unknown
+    names spring into existence at zero, so call sites never need to
+    pre-register what they count.
+
+:class:`LatencyWindow`
+    A bounded sliding window of float observations (seconds) with
+    nearest-rank percentiles — the p50/p95 surface a service exports.
+    Bounded so a long-lived server's memory stays constant; the window
+    reflects recent traffic, while ``count`` tracks lifetime totals.
+
+Both are safe to update from multiple threads (the service touches
+them from the event loop and from executor threads).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = ["CounterSet", "LatencyWindow"]
+
+
+class CounterSet:
+    """Thread-safe named monotonic counters.
+
+    >>> c = CounterSet()
+    >>> c.inc("jobs_submitted")
+    1
+    >>> c.inc("jobs_submitted", 2)
+    3
+    >>> c["jobs_submitted"]
+    3
+    >>> c["never_touched"]
+    0
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: dict[str, int] = {}
+
+    def inc(self, name: str, delta: int = 1) -> int:
+        """Add ``delta`` to ``name`` (creating it at zero); returns the new value."""
+        with self._lock:
+            value = self._values.get(name, 0) + int(delta)
+            self._values[name] = value
+            return value
+
+    def __getitem__(self, name: str) -> int:
+        with self._lock:
+            return self._values.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot of every counter, sorted by name."""
+        with self._lock:
+            return dict(sorted(self._values.items()))
+
+
+class LatencyWindow:
+    """Sliding window of observations with nearest-rank percentiles.
+
+    ``maxlen`` bounds memory; ``count`` still reflects every
+    observation ever made, so throughput math stays exact even after
+    the window rolls.
+    """
+
+    def __init__(self, maxlen: int = 1024) -> None:
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        self._lock = threading.Lock()
+        self._window: deque[float] = deque(maxlen=maxlen)
+        self._count = 0
+        self._total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self._window.append(float(seconds))
+            self._count += 1
+            self._total += float(seconds)
+
+    @property
+    def count(self) -> int:
+        """Lifetime number of observations (not just the window)."""
+        with self._lock:
+            return self._count
+
+    def percentile(self, q: float) -> float | None:
+        """Nearest-rank percentile over the window; ``None`` when empty.
+
+        ``q`` is in percent: ``percentile(50)`` is the median.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            if not self._window:
+                return None
+            ordered = sorted(self._window)
+        rank = max(1, -(-len(ordered) * q // 100))  # ceil without floats
+        return ordered[int(rank) - 1]
+
+    def as_dict(self) -> dict:
+        """The export shape: count, mean, and the standard percentiles."""
+        with self._lock:
+            window = sorted(self._window)
+            count, total = self._count, self._total
+        if not window:
+            return {"count": count, "mean_s": None, "p50_s": None,
+                    "p95_s": None, "max_s": None}
+
+        def nearest(q: float) -> float:
+            rank = max(1, -(-len(window) * q // 100))
+            return window[int(rank) - 1]
+
+        return {
+            "count": count,
+            "mean_s": total / count,
+            "p50_s": nearest(50),
+            "p95_s": nearest(95),
+            "max_s": window[-1],
+        }

@@ -1,0 +1,79 @@
+"""Async experiment service: the sweep runner as a long-lived job server.
+
+The paper argues that irregular-workload throughput comes from
+tolerating many outstanding requests; this package applies the same
+principle one level up, turning the PR 2 runner into a service that
+keeps many experiment submissions in flight with cheap coordination:
+
+* :mod:`~repro.service.server` — the asyncio JSON-over-HTTP server
+  (``POST/GET/DELETE /v1/jobs``, ``GET /v1/metrics``) and dispatcher;
+* :mod:`~repro.service.queue` — bounded priority admission with
+  explicit ``queue_full`` backpressure;
+* :mod:`~repro.service.coalescer` — duplicate in-flight submissions
+  share one execution, keyed by the disk cache's own digests;
+* :mod:`~repro.service.metrics` — live counters and latency
+  percentiles on :mod:`repro.obs.counters`;
+* :mod:`~repro.service.protocol` — submission parsing, job states,
+  structured error codes;
+* :mod:`~repro.service.client` — the stdlib client behind
+  ``repro submit``.
+
+See ``docs/SERVICE.md`` for the API reference and deployment notes.
+"""
+
+from .client import ServiceClient, ServiceError
+from .coalescer import Coalescer
+from .metrics import ServiceMetrics
+from .protocol import (
+    CANCELLED,
+    DONE,
+    ERR_BAD_REQUEST,
+    ERR_CANCELLED,
+    ERR_EXECUTION,
+    ERR_INTERNAL,
+    ERR_NOT_FOUND,
+    ERR_QUEUE_FULL,
+    ERR_SHUTTING_DOWN,
+    ERR_TIMEOUT,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    ProtocolError,
+    Submission,
+    parse_submission,
+    submission_key,
+)
+from .queue import AdmissionQueue, QueueClosedError, QueueFullError
+from .server import ExperimentService, JobRecord, serve
+
+__all__ = [
+    "ExperimentService",
+    "JobRecord",
+    "serve",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceMetrics",
+    "AdmissionQueue",
+    "QueueFullError",
+    "QueueClosedError",
+    "Coalescer",
+    "ProtocolError",
+    "Submission",
+    "parse_submission",
+    "submission_key",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "TERMINAL_STATES",
+    "ERR_BAD_REQUEST",
+    "ERR_NOT_FOUND",
+    "ERR_QUEUE_FULL",
+    "ERR_TIMEOUT",
+    "ERR_CANCELLED",
+    "ERR_SHUTTING_DOWN",
+    "ERR_EXECUTION",
+    "ERR_INTERNAL",
+]

@@ -1,0 +1,68 @@
+"""Tests for the thread-safe counters/latency window (repro.obs.counters)."""
+
+import threading
+
+from repro.obs import CounterSet, LatencyWindow
+
+
+class TestCounterSet:
+    def test_inc_and_read(self):
+        c = CounterSet()
+        assert c.inc("hits") == 1
+        assert c.inc("hits", 4) == 5
+        assert c["hits"] == 5
+        assert c["never_touched"] == 0
+
+    def test_as_dict_is_a_snapshot(self):
+        c = CounterSet()
+        c.inc("a")
+        snap = c.as_dict()
+        c.inc("a")
+        assert snap == {"a": 1}
+        assert c["a"] == 2
+
+    def test_thread_safety(self):
+        c = CounterSet()
+
+        def bump():
+            for _ in range(1000):
+                c.inc("n")
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c["n"] == 8000
+
+
+class TestLatencyWindow:
+    def test_empty_window(self):
+        w = LatencyWindow()
+        assert w.count == 0
+        assert w.percentile(50) is None
+        d = w.as_dict()
+        assert d["count"] == 0
+        assert d["p50_s"] is None and d["p95_s"] is None
+
+    def test_percentiles_nearest_rank(self):
+        w = LatencyWindow()
+        for v in range(1, 101):  # 1..100
+            w.observe(float(v))
+        assert w.percentile(50) == 50.0
+        assert w.percentile(95) == 95.0
+        assert w.percentile(100) == 100.0
+
+    def test_single_observation(self):
+        w = LatencyWindow()
+        w.observe(0.25)
+        d = w.as_dict()
+        assert d["count"] == 1
+        assert d["p50_s"] == d["p95_s"] == d["max_s"] == 0.25
+
+    def test_window_is_bounded_but_count_is_lifetime(self):
+        w = LatencyWindow(maxlen=4)
+        for v in (100.0, 1.0, 2.0, 3.0, 4.0):
+            w.observe(v)
+        assert w.count == 5  # every observation ever made
+        assert w.as_dict()["max_s"] == 4.0  # but the 100.0 rolled out

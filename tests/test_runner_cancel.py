@@ -1,0 +1,140 @@
+"""Regression tests for sweep cancellation (repro.core.runner).
+
+A ``KeyboardInterrupt`` or a fired ``cancel`` hook mid-sweep must shut
+the worker pool down cleanly — queued futures cancelled, no orphan
+worker processes — and surface the partial results through
+:class:`SweepCancelled`, with unfinished jobs marked ``cancelled``
+rather than silently dropped.
+"""
+
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+import repro.core.runner as runner_mod
+from repro.backends import Workload
+from repro.core import Job, SweepCancelled, run_jobs
+
+
+def _jobs(count=4, n=256):
+    return [
+        Job(Workload("rank", 2, seed, {"n": n, "list": "random"}), "smp-model")
+        for seed in range(count)
+    ]
+
+
+class TestSerialCancellation:
+    def test_keyboard_interrupt_marks_unfinished_cancelled(self, monkeypatch):
+        real = runner_mod._execute_payload
+        calls = []
+
+        def interrupt_on_second(payload):
+            calls.append(payload["workload"]["seed"])
+            if len(calls) == 2:
+                raise KeyboardInterrupt
+            return real(payload)
+
+        monkeypatch.setattr(runner_mod, "_execute_payload", interrupt_on_second)
+        with pytest.raises(SweepCancelled) as exc:
+            run_jobs(_jobs(4), cache=False)
+        partial = exc.value.results
+        assert len(partial) == 4
+        assert not partial[0].cancelled and partial[0].record
+        assert [r.cancelled for r in partial[1:]] == [True] * 3
+        assert all(r.record == {} for r in partial[1:])
+
+    def test_cancel_hook_stops_between_jobs(self):
+        fired = threading.Event()
+        seen = []
+
+        def progress(done, total, job, cached):
+            seen.append(done)
+            fired.set()  # cancel after the first completion
+
+        with pytest.raises(SweepCancelled) as exc:
+            run_jobs(_jobs(3), cache=False, progress=progress, cancel=fired.is_set)
+        assert seen == [1]
+        partial = exc.value.results
+        assert [r.cancelled for r in partial] == [False, True, True]
+        assert "1/3" in str(exc.value)
+
+    def test_cancel_before_start_cancels_everything(self):
+        with pytest.raises(SweepCancelled) as exc:
+            run_jobs(_jobs(2), cache=False, cancel=lambda: True)
+        assert [r.cancelled for r in exc.value.results] == [True, True]
+
+    def test_results_keep_input_order(self):
+        fired = threading.Event()
+        with pytest.raises(SweepCancelled) as exc:
+            run_jobs(
+                _jobs(3),
+                cache=False,
+                progress=lambda *a: fired.set(),
+                cancel=fired.is_set,
+            )
+        jobs = _jobs(3)
+        assert [r.job for r in exc.value.results] == jobs
+
+
+class TestPoolCancellation:
+    def test_cancel_hook_shuts_pool_down(self):
+        """A fired cancel hook mid-pool-sweep raises SweepCancelled and
+        leaves no worker processes behind."""
+        fired = threading.Event()
+
+        def progress(done, total, job, cached):
+            fired.set()
+
+        with pytest.raises(SweepCancelled) as exc:
+            run_jobs(
+                _jobs(8, n=2048),
+                workers=2,
+                cache=False,
+                progress=progress,
+                cancel=fired.is_set,
+            )
+        partial = exc.value.results
+        assert len(partial) == 8
+        assert any(r.cancelled for r in partial)
+        assert all(r.record for r in partial if not r.cancelled)
+
+        # the pool was shut down with wait=True: workers are reaped
+        deadline = time.monotonic() + 10
+        while multiprocessing.active_children() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert multiprocessing.active_children() == []
+
+    def test_completed_jobs_match_uncancelled_run(self):
+        """Whatever finished before the cancel is byte-identical to the
+        same job in an uninterrupted sweep (determinism survives)."""
+        fired = threading.Event()
+        with pytest.raises(SweepCancelled) as exc:
+            run_jobs(
+                _jobs(4),
+                workers=2,
+                cache=False,
+                progress=lambda *a: fired.set(),
+                cancel=fired.is_set,
+            )
+        full = run_jobs(_jobs(4), cache=False)
+        by_key = {r.job.key(): r.record for r in full}
+        for r in exc.value.results:
+            if not r.cancelled:
+                assert r.record == by_key[r.job.key()]
+
+
+class TestSweepCancelledType:
+    def test_is_repro_error(self):
+        from repro.errors import ReproError
+
+        assert issubclass(SweepCancelled, ReproError)
+
+    def test_cancelled_placeholder_views(self):
+        from repro.core.runner import JobResult
+
+        r = JobResult(job=_jobs(1)[0], record={}, cancelled=True)
+        assert r.cancelled
+        with pytest.raises(KeyError):
+            r.summary

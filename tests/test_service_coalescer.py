@@ -1,0 +1,203 @@
+"""Tests for request coalescing primitives (repro.service.coalescer)
+and submission parsing/keys (repro.service.protocol)."""
+
+import asyncio
+
+import pytest
+
+from repro.backends import Workload
+from repro.core.runner import Job
+from repro.service import (
+    Coalescer,
+    ProtocolError,
+    parse_submission,
+    submission_key,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _job(n=64, seed=0):
+    return Job(Workload("rank", 2, seed, {"n": n, "list": "random"}), "smp-model")
+
+
+class TestCoalescer:
+    def test_leader_then_followers_share_result(self):
+        async def main():
+            c = Coalescer()
+            entry = c.lead("k1", "j-1")
+            assert c.attach("k1", "j-2") is entry
+            assert c.attach("k1", "j-3") is entry
+            waiters = [asyncio.ensure_future(entry.future) for _ in range(2)]
+            await asyncio.sleep(0)
+            followers = c.resolve("k1", {"answer": 42})
+            assert followers == 2
+            assert await asyncio.gather(*waiters) == [{"answer": 42}] * 2
+            assert len(c) == 0
+
+        run(main())
+
+    def test_attach_misses_when_not_in_flight(self):
+        async def main():
+            c = Coalescer()
+            assert c.attach("nope", "j-1") is None
+
+        run(main())
+
+    def test_after_resolve_key_is_free_again(self):
+        async def main():
+            c = Coalescer()
+            c.lead("k", "j-1")
+            c.resolve("k", {})
+            assert c.attach("k", "j-2") is None  # fresh execution required
+            c.lead("k", "j-2")  # and leading again works
+
+        run(main())
+
+    def test_double_lead_rejected(self):
+        async def main():
+            c = Coalescer()
+            c.lead("k", "j-1")
+            with pytest.raises(KeyError):
+                c.lead("k", "j-2")
+
+        run(main())
+
+    def test_reject_broadcasts_exception(self):
+        async def main():
+            c = Coalescer()
+            entry = c.lead("k", "j-1")
+            c.attach("k", "j-2")
+            waiter = asyncio.ensure_future(asyncio.shield(entry.future))
+            await asyncio.sleep(0)
+            c.reject("k", ProtocolError("execution_error", "boom"))
+            with pytest.raises(ProtocolError, match="boom"):
+                await waiter
+
+        run(main())
+
+    def test_detach_removes_follower(self):
+        async def main():
+            c = Coalescer()
+            entry = c.lead("k", "j-1")
+            c.attach("k", "j-2")
+            c.attach("k", "j-3")
+            c.detach("k", "j-2")
+            assert entry.followers == ["j-3"]
+            assert c.resolve("k", {}) == 1
+
+        run(main())
+
+    def test_resolve_unknown_key_is_noop(self):
+        async def main():
+            c = Coalescer()
+            assert c.resolve("ghost", {}) == 0
+            assert c.reject("ghost", RuntimeError()) == 0
+
+        run(main())
+
+
+class TestSubmissionKey:
+    def test_same_work_same_key(self):
+        assert submission_key([_job()]) == submission_key([_job()])
+
+    def test_different_work_different_key(self):
+        assert submission_key([_job(seed=0)]) != submission_key([_job(seed=1)])
+
+    def test_order_matters(self):
+        a, b = _job(seed=0), _job(seed=1)
+        assert submission_key([a, b]) != submission_key([b, a])
+
+    def test_key_tracks_job_cache_key(self):
+        """The coalescing key is built from the disk cache's own digests,
+        so coalesced-equal implies cache-row-equal."""
+        job = _job()
+        assert job.key()  # same digest family
+        assert submission_key([job]) == submission_key(
+            [Job(job.workload, job.backend, backend_options=dict(job.backend_options))]
+        )
+
+
+class TestParseSubmission:
+    def _workload_body(self, **over):
+        body = {
+            "workload": {"kind": "rank", "p": 2, "seed": 0,
+                         "params": {"n": 64, "list": "random"}},
+            "backend": "smp-model",
+        }
+        body.update(over)
+        return body
+
+    def test_single_workload_form(self):
+        sub = parse_submission(self._workload_body())
+        assert len(sub.jobs) == 1
+        assert sub.jobs[0].backend == "smp-model"
+        assert sub.priority == 0 and sub.timeout_s is None
+
+    def test_spec_form(self):
+        sub = parse_submission({"spec": "fig1-tiny"})
+        assert sub.spec == "fig1-tiny"
+        assert len(sub.jobs) > 1
+
+    def test_jobs_batch_form(self):
+        sub = parse_submission(
+            {"jobs": [self._workload_body(), self._workload_body()]}
+        )
+        assert len(sub.jobs) == 2
+
+    def test_knobs(self):
+        sub = parse_submission(
+            self._workload_body(priority=3, timeout_s=1.5, label="hello")
+        )
+        assert (sub.priority, sub.timeout_s, sub.label) == (3, 1.5, "hello")
+        desc = sub.describe()
+        assert desc["priority"] == 3 and desc["label"] == "hello"
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            None,
+            [],
+            {},
+            {"spec": "fig1-tiny", "workload": {"kind": "rank"}},
+            {"spec": "no-such-sweep"},
+            {"spec": 7},
+            {"workload": {"kind": "rank"}},  # no backend
+            {"workload": "rank", "backend": "smp-model"},
+            {"workload": {"p": 2}, "backend": "smp-model"},  # no kind
+            {"jobs": []},
+            {"jobs": "nope"},
+        ],
+    )
+    def test_malformed_bodies_rejected(self, body):
+        with pytest.raises(ProtocolError) as exc:
+            parse_submission(body)
+        assert exc.value.code == "bad_request"
+        assert exc.value.status == 400
+
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            {"priority": "high"},
+            {"priority": True},
+            {"timeout_s": 0},
+            {"timeout_s": -1},
+            {"timeout_s": "soon"},
+            {"label": 7},
+        ],
+    )
+    def test_malformed_knobs_rejected(self, knobs):
+        with pytest.raises(ProtocolError):
+            parse_submission(self._workload_body(**knobs))
+
+    def test_identical_bodies_coalesce_to_same_key(self):
+        a = parse_submission(self._workload_body())
+        b = parse_submission(self._workload_body(label="different label"))
+        assert a.key == b.key  # labels are presentation-only
+
+    def test_priority_affects_key_not(self):
+        a = parse_submission(self._workload_body(priority=0))
+        b = parse_submission(self._workload_body(priority=9))
+        assert a.key == b.key

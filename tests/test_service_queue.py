@@ -1,0 +1,156 @@
+"""Tests for the bounded priority admission queue (repro.service.queue)."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import AdmissionQueue, QueueClosedError, QueueFullError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAdmission:
+    def test_put_get_fifo_within_priority(self):
+        async def main():
+            q = AdmissionQueue(limit=4)
+            for item in "abcd":
+                q.put_nowait(item)
+            return [await q.get() for _ in range(4)]
+
+        assert run(main()) == ["a", "b", "c", "d"]
+
+    def test_higher_priority_first(self):
+        async def main():
+            q = AdmissionQueue(limit=4)
+            q.put_nowait("low", priority=0)
+            q.put_nowait("high", priority=10)
+            q.put_nowait("mid", priority=5)
+            return [await q.get() for _ in range(3)]
+
+        assert run(main()) == ["high", "mid", "low"]
+
+    def test_full_queue_rejects_explicitly(self):
+        async def main():
+            q = AdmissionQueue(limit=2)
+            q.put_nowait("a")
+            q.put_nowait("b")
+            with pytest.raises(QueueFullError) as exc:
+                q.put_nowait("c")
+            assert "2/2" in str(exc.value)
+            assert len(q) == 2
+
+        run(main())
+
+    def test_slot_freed_after_get(self):
+        async def main():
+            q = AdmissionQueue(limit=1)
+            q.put_nowait("a")
+            await q.get()
+            q.put_nowait("b")  # no raise
+            assert len(q) == 1
+
+        run(main())
+
+    def test_limit_must_be_positive(self):
+        async def main():
+            with pytest.raises(ConfigurationError):
+                AdmissionQueue(limit=0)
+
+        run(main())
+
+
+class TestWaiting:
+    def test_get_waits_for_put(self):
+        async def main():
+            q = AdmissionQueue(limit=2)
+            getter = asyncio.ensure_future(q.get())
+            await asyncio.sleep(0.01)
+            assert not getter.done()
+            q.put_nowait("x")
+            assert await asyncio.wait_for(getter, 1.0) == "x"
+
+        run(main())
+
+    def test_concurrent_getters_each_get_one(self):
+        async def main():
+            q = AdmissionQueue(limit=8)
+            getters = [asyncio.ensure_future(q.get()) for _ in range(3)]
+            await asyncio.sleep(0.01)
+            for item in ("a", "b", "c"):
+                q.put_nowait(item)
+            got = await asyncio.wait_for(asyncio.gather(*getters), 1.0)
+            assert sorted(got) == ["a", "b", "c"]
+
+        run(main())
+
+
+class TestClose:
+    def test_close_rejects_new_work(self):
+        async def main():
+            q = AdmissionQueue(limit=2)
+            q.close()
+            with pytest.raises(QueueClosedError):
+                q.put_nowait("a")
+
+        run(main())
+
+    def test_close_drains_backlog_then_raises(self):
+        async def main():
+            q = AdmissionQueue(limit=4)
+            q.put_nowait("a")
+            q.put_nowait("b")
+            q.close()
+            assert await q.get() == "a"
+            assert await q.get() == "b"
+            with pytest.raises(QueueClosedError):
+                await q.get()
+
+        run(main())
+
+    def test_close_wakes_blocked_getter(self):
+        async def main():
+            q = AdmissionQueue(limit=2)
+            getter = asyncio.ensure_future(q.get())
+            await asyncio.sleep(0.01)
+            q.close()
+            with pytest.raises(QueueClosedError):
+                await asyncio.wait_for(getter, 1.0)
+
+        run(main())
+
+
+class TestRemove:
+    def test_remove_withdraws_matching(self):
+        async def main():
+            q = AdmissionQueue(limit=8)
+            for item in ("a", "b", "c", "b"):
+                q.put_nowait(item)
+            removed = q.remove(lambda x: x == "b")
+            assert removed == ["b", "b"]
+            assert len(q) == 2
+            assert [await q.get(), await q.get()] == ["a", "c"]
+
+        run(main())
+
+    def test_remove_nothing(self):
+        async def main():
+            q = AdmissionQueue(limit=2)
+            q.put_nowait("a")
+            assert q.remove(lambda x: x == "zzz") == []
+            assert len(q) == 1
+
+        run(main())
+
+    def test_remove_preserves_priority_order(self):
+        async def main():
+            q = AdmissionQueue(limit=8)
+            q.put_nowait("lo", priority=0)
+            q.put_nowait("hi", priority=9)
+            q.put_nowait("gone", priority=5)
+            q.remove(lambda x: x == "gone")
+            return [await q.get(), await q.get()]
+
+        assert run(main()) == ["hi", "lo"]
