@@ -22,7 +22,6 @@ import asyncio
 import threading
 import time
 
-import pytest
 
 from repro.core import run_jobs, write_jsonl
 from repro.service import ExperimentService, ServiceClient

@@ -90,7 +90,7 @@ def figure2(n: int, multipliers: tuple[int, ...]) -> None:
                 + f"   {machine.upper()}"
             )
         ratios.append(row["smp"][-1] / row["mta"][-1])
-    print(f"\nMTA speedup over SMP at p=8 across densities: "
+    print("\nMTA speedup over SMP at p=8 across densities: "
           + ", ".join(f"{r:.1f}x" for r in ratios)
           + "   (paper: 5-6x)\n")
 

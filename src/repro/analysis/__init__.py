@@ -1,0 +1,28 @@
+"""Concurrency-correctness analysis for simulated ISA programs.
+
+Two cooperating passes over the op streams the cycle engines execute:
+a dynamic happens-before race detector (vector clocks with sync edges
+from barriers, full/empty-bit pairs, and fetch-add serialization) and
+a lint pass (deadlock / barrier-mismatch / sync-initialization /
+address-bounds / phase-hygiene diagnosis).  See ``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from .checker import ConcurrencyChecker
+from .driver import analyze_suite, analyze_workload
+from .findings import AnalysisReport, Finding, dump_jsonl, load_jsonl
+from .races import RaceDetector
+from .vclock import VClock
+
+__all__ = [
+    "AnalysisReport",
+    "ConcurrencyChecker",
+    "Finding",
+    "RaceDetector",
+    "VClock",
+    "analyze_suite",
+    "analyze_workload",
+    "dump_jsonl",
+    "load_jsonl",
+]

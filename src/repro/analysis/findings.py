@@ -1,0 +1,164 @@
+"""Structured findings emitted by the concurrency analyzer.
+
+Every detector reports :class:`Finding` records — never free-form log
+lines — so that results can be deduplicated, capped, sorted into a
+deterministic order, serialized to JSONL, and round-tripped in tests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Finding severities, most severe first.
+SEVERITIES = ("error", "warning")
+
+#: Known check identifiers (the ``check`` field of a finding).
+CHECKS = (
+    "race",  # unordered conflicting accesses to a shared address
+    "deadlock",  # threads blocked forever on full/empty words or barriers
+    "barrier-mismatch",  # barrier arrivals never reach the registered count
+    "sync-init",  # SLE/SLF/SSF on a word never initialized via set_full/set_counter
+    "bounds",  # address outside every AddressSpace allocation
+    "fa-uninit",  # FA on a counter never initialized via set_counter
+    "phase-hygiene",  # unbalanced / oddly interleaved phase markers
+    "barrier-unused",  # registered barrier that no thread ever reached
+    "watchdog",  # run aborted by the cycle budget / simulation error
+)
+
+
+@dataclass
+class Finding:
+    """One analyzer diagnostic.
+
+    ``witness`` carries check-specific evidence: for races the prior
+    conflicting access (thread, op index, op kind), for deadlocks the
+    blocked-thread inventory, for barrier findings arrival counts.
+    """
+
+    check: str
+    severity: str
+    message: str
+    program: str = ""
+    run: str = ""
+    thread: Optional[int] = None
+    op_index: Optional[int] = None
+    address: Optional[int] = None
+    witness: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.check not in CHECKS:
+            raise ValueError(f"unknown check id {self.check!r}")
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "check": self.check,
+            "severity": self.severity,
+            "message": self.message,
+            "program": self.program,
+            "run": self.run,
+            "thread": self.thread,
+            "op_index": self.op_index,
+            "address": self.address,
+            "witness": self.witness,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        return cls(
+            check=data["check"],
+            severity=data["severity"],
+            message=data["message"],
+            program=data.get("program", ""),
+            run=data.get("run", ""),
+            thread=data.get("thread"),
+            op_index=data.get("op_index"),
+            address=data.get("address"),
+            witness=dict(data.get("witness") or {}),
+        )
+
+    def sort_key(self):
+        return (
+            SEVERITIES.index(self.severity),
+            self.check,
+            self.program,
+            self.run,
+            self.address if self.address is not None else -1,
+            self.thread if self.thread is not None else -1,
+            self.op_index if self.op_index is not None else -1,
+        )
+
+    def render(self) -> str:
+        loc = []
+        if self.run:
+            loc.append(f"run={self.run}")
+        if self.thread is not None:
+            loc.append(f"thread={self.thread}")
+        if self.op_index is not None:
+            loc.append(f"op={self.op_index}")
+        if self.address is not None:
+            loc.append(f"addr={self.address}")
+        where = f" [{', '.join(loc)}]" if loc else ""
+        prog = f" ({self.program})" if self.program else ""
+        return f"{self.severity.upper()} {self.check}{prog}{where}: {self.message}"
+
+
+@dataclass
+class AnalysisReport:
+    """The full result of analyzing one program/workload."""
+
+    findings: List[Finding] = field(default_factory=list)
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    def ok(self) -> bool:
+        """True iff the program analyzed clean (no errors)."""
+        return not self.errors
+
+    def by_check(self, check: str) -> List[Finding]:
+        return [f for f in self.findings if f.check == check]
+
+    def summary_dict(self) -> Dict[str, Any]:
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.check] = counts.get(f.check, 0) + 1
+        return {
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "by_check": dict(sorted(counts.items())),
+            "stats": self.stats,
+        }
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+            if self.findings
+            else "clean: no findings"
+        )
+        return "\n".join(lines)
+
+
+def dump_jsonl(findings: Iterable[Finding]) -> str:
+    """Serialize findings one-per-line with sorted keys (deterministic)."""
+    return "".join(json.dumps(f.to_dict(), sort_keys=True) + "\n" for f in findings)
+
+
+def load_jsonl(text: str) -> List[Finding]:
+    """Inverse of :func:`dump_jsonl`."""
+    out: List[Finding] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            out.append(Finding.from_dict(json.loads(line)))
+    return out

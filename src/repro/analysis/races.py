@@ -1,0 +1,181 @@
+"""FastTrack-style happens-before race detection over op streams.
+
+The detector maintains one :class:`~repro.analysis.vclock.VClock` per
+thread plus, per shared address, the *epoch* of the last write and a
+map of reads since that write.  Sync objects (full/empty words, FA
+counters, barriers) each carry a clock that is joined into a thread on
+*acquire* and replaced with a snapshot of the thread's clock on
+*release* — exactly the lock-release/acquire rule, applied to the
+paper's three synchronization primitives:
+
+* **full/empty words** — the engine reports the *semantic* moment of a
+  sync access (the cycle a word is filled or a waiting reader drains
+  it), so a successful ``SSF`` releases the word's clock and a
+  successful ``SLE``/``SLF`` acquires it.
+* **fetch-add counters** — both engines serialize FA traffic per cell;
+  each FA acquires then releases the cell's clock, so FA-ordered
+  threads are happens-before ordered (this is what makes FA-dispatched
+  work queues race-free).
+* **barriers** — a release joins every participant's clock and hands
+  the join back to each of them.
+
+Plain ``S``/``L``/``LD`` accesses are checked against the address
+metadata: a write must dominate the previous write epoch and every
+read since it; a read must dominate the previous write epoch.
+Anything else is an unordered conflict — a race.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .findings import Finding
+from .vclock import ThreadKey, VClock
+
+#: Cap on races reported per address: one witness is enough to act on,
+#: and a racy inner loop would otherwise drown the report.
+MAX_RACES_PER_ADDRESS = 2
+
+
+class _Cell:
+    """Access history for one shared address."""
+
+    __slots__ = ("w_key", "w_count", "w_kind", "w_index", "reads", "races")
+
+    def __init__(self) -> None:
+        self.w_key: Optional[ThreadKey] = None
+        self.w_count = 0
+        self.w_kind = ""
+        self.w_index = -1
+        # reader thread key -> (count, op kind, op index)
+        self.reads: Dict[ThreadKey, Tuple[int, str, int]] = {}
+        self.races = 0
+
+
+class RaceDetector:
+    """Happens-before checker fed by the engine hooks (via the checker)."""
+
+    def __init__(self) -> None:
+        self._threads: Dict[ThreadKey, VClock] = {}
+        self._cells: Dict[int, _Cell] = {}
+        self._sync: Dict[int, VClock] = {}  # full/empty word + FA cell clocks
+        self._barrier_clocks: Dict[int, VClock] = {}
+        # Clock joined into every new thread: successive engine runs of a
+        # kernel are sequential, so a run boundary is a global barrier.
+        self._base = VClock()
+        self.findings: List[Finding] = []
+
+    # -- thread/run lifecycle ------------------------------------------------
+
+    def thread_clock(self, key: ThreadKey) -> VClock:
+        vc = self._threads.get(key)
+        if vc is None:
+            vc = self._base.copy()
+            vc.tick(key)
+            self._threads[key] = vc
+        return vc
+
+    def end_run(self) -> None:
+        """Join all thread clocks into the base clock (run boundary)."""
+        for vc in self._threads.values():
+            self._base.join(vc)
+        self._threads.clear()
+        # Sync-object and barrier clocks are dominated by the base clock
+        # now; dropping them keeps cross-run state tiny.
+        self._sync.clear()
+        self._barrier_clocks.clear()
+
+    # -- sync edges ----------------------------------------------------------
+
+    def acquire(self, key: ThreadKey, addr: int) -> None:
+        obj = self._sync.get(addr)
+        if obj is not None:
+            self.thread_clock(key).join(obj)
+
+    def release(self, key: ThreadKey, addr: int) -> None:
+        vc = self.thread_clock(key)
+        self._sync[addr] = vc.copy()
+        vc.tick(key)
+
+    def barrier_release(self, bid: int, keys: List[ThreadKey]) -> None:
+        joined = self._barrier_clocks.get(bid)
+        if joined is None:
+            joined = VClock()
+        for key in keys:
+            joined.join(self.thread_clock(key))
+        for key in keys:
+            vc = joined.copy()
+            vc.tick(key)
+            self._threads[key] = vc
+        self._barrier_clocks[bid] = joined
+
+    # -- data accesses -------------------------------------------------------
+
+    def read(self, key: ThreadKey, addr: int, kind: str, index: int,
+             context: Dict[str, str]) -> None:
+        cell = self._cells.get(addr)
+        if cell is None:
+            cell = self._cells[addr] = _Cell()
+        vc = self.thread_clock(key)
+        if cell.w_key is not None and cell.w_key != key and not vc.dominates(
+            cell.w_key, cell.w_count
+        ):
+            self._report(cell, addr, key, kind, index, "write-read", context,
+                         prior=(cell.w_key, cell.w_kind, cell.w_index))
+        cell.reads[key] = (vc.get(key), kind, index)
+
+    def write(self, key: ThreadKey, addr: int, kind: str, index: int,
+              context: Dict[str, str]) -> None:
+        cell = self._cells.get(addr)
+        if cell is None:
+            cell = self._cells[addr] = _Cell()
+        vc = self.thread_clock(key)
+        if cell.w_key is not None and cell.w_key != key and not vc.dominates(
+            cell.w_key, cell.w_count
+        ):
+            self._report(cell, addr, key, kind, index, "write-write", context,
+                         prior=(cell.w_key, cell.w_kind, cell.w_index))
+        else:
+            for r_key, (r_count, r_kind, r_index) in cell.reads.items():
+                if r_key != key and not vc.dominates(r_key, r_count):
+                    self._report(cell, addr, key, kind, index, "read-write", context,
+                                 prior=(r_key, r_kind, r_index))
+                    break
+        cell.w_key = key
+        cell.w_count = vc.get(key)
+        cell.w_kind = kind
+        cell.w_index = index
+        cell.reads.clear()
+
+    # -- reporting -----------------------------------------------------------
+
+    def _report(self, cell: _Cell, addr: int, key: ThreadKey, kind: str,
+                index: int, conflict: str, context: Dict[str, str],
+                prior: Tuple[ThreadKey, str, int]) -> None:
+        cell.races += 1
+        if cell.races > MAX_RACES_PER_ADDRESS:
+            return
+        run_idx, tid = key
+        (prior_run, prior_tid), prior_kind, prior_index = prior
+        self.findings.append(
+            Finding(
+                check="race",
+                severity="error",
+                message=(
+                    f"{conflict} race on address {addr}: {kind} by thread {tid} "
+                    f"is unordered with {prior_kind} by thread {prior_tid}"
+                ),
+                run=context.get("run", ""),
+                thread=tid,
+                op_index=index,
+                address=addr,
+                witness={
+                    "conflict": conflict,
+                    "other_thread": prior_tid,
+                    "other_op": prior_kind,
+                    "other_op_index": prior_index,
+                    "other_run_index": prior_run,
+                    "run_index": run_idx,
+                },
+            )
+        )

@@ -1,0 +1,52 @@
+"""Sparse vector clocks for the happens-before race detector.
+
+A :class:`VClock` maps a *thread key* to a monotonically increasing
+counter.  Thread keys are opaque hashables; the checker uses
+``(run_index, tid)`` pairs so that threads from successive engine runs
+of one kernel never collide.  Missing entries are implicitly zero,
+which keeps clocks tiny even for wide machines: a thread's clock only
+carries entries for threads it has actually synchronized with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+ThreadKey = Hashable
+Epoch = Tuple[ThreadKey, int]
+
+
+class VClock:
+    """A sparse vector clock: ``{thread_key: count}`` with implicit zeros."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, initial: Dict[ThreadKey, int] | None = None) -> None:
+        self._c: Dict[ThreadKey, int] = dict(initial) if initial else {}
+
+    def get(self, key: ThreadKey) -> int:
+        return self._c.get(key, 0)
+
+    def tick(self, key: ThreadKey) -> int:
+        """Advance ``key``'s component and return the new count."""
+        n = self._c.get(key, 0) + 1
+        self._c[key] = n
+        return n
+
+    def join(self, other: "VClock") -> None:
+        """Pointwise maximum, in place."""
+        c = self._c
+        for key, n in other._c.items():
+            if n > c.get(key, 0):
+                c[key] = n
+
+    def copy(self) -> "VClock":
+        return VClock(self._c)
+
+    def dominates(self, key: ThreadKey, count: int) -> bool:
+        """True iff the epoch ``(key, count)`` happened-before this clock."""
+        return self._c.get(key, 0) >= count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        items = ", ".join(f"{k}:{v}" for k, v in sorted(self._c.items(), key=repr))
+        return f"VClock({{{items}}})"

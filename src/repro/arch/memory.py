@@ -17,7 +17,7 @@ consecutive logical addresses land on unrelated banks).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -95,6 +95,10 @@ class AddressSpace:
 
     def __contains__(self, name: str) -> bool:
         return name in self._allocs
+
+    def allocations(self) -> list[Allocation]:
+        """All allocations, in allocation order (for bounds auditing)."""
+        return list(self._allocs.values())
 
     @property
     def size(self) -> int:

@@ -19,6 +19,11 @@ Workload options consumed here (all optional):
     (``mem_latency``, ``lookahead``, ``max_outstanding``, …).
 ``s``
     SMP Helman–JáJá sublist-count override.
+``check``
+    Truthy: run the program under a fresh
+    :class:`~repro.analysis.ConcurrencyChecker` and attach its summary
+    as ``detail["analysis"]`` (``"strict"`` enables strict mode).  An
+    explicit checker passed to :meth:`execute` takes precedence.
 ``steps``, ``mem_latency``, ``lookahead``
     ``chase`` workload: instructions per chaser and engine latency
     parameters for the saturation curve.
@@ -57,9 +62,10 @@ class SMPEngineBackend(Backend):
                 raise ConfigurationError(f"bad SMP engine config: {exc}") from None
         self.config = cfg
 
-    def execute(self, handle: RunHandle):
+    def execute(self, handle: RunHandle, check=None):
         workload = handle.workload
         opt = workload.options
+        check, attach_summary = _resolve_check(check, workload)
         if workload.kind == "rank":
             from ..lists.programs import simulate_smp_list_ranking
 
@@ -68,7 +74,7 @@ class SMPEngineBackend(Backend):
                 kw["s"] = int(opt["s"])
             sim = simulate_smp_list_ranking(
                 handle.data, p=workload.p, rng=workload.seed,
-                config=self.config, **kw,
+                config=self.config, check=check, **kw,
             )
         else:
             from ..graphs.programs import simulate_smp_cc
@@ -76,13 +82,15 @@ class SMPEngineBackend(Backend):
             sim = simulate_smp_cc(
                 handle.data, p=workload.p,
                 max_iter=int(opt.get("max_iter", 64)),
-                config=self.config,
+                config=self.config, check=check,
             )
         summary = sim.summary
         summary.detail.update(handle.meta)
         summary.detail["backend"] = self.name
         if hasattr(sim, "iterations"):
             summary.detail["iterations"] = int(sim.iterations)
+        if attach_summary:
+            summary.detail["analysis"] = check.report().summary_dict()
         return summary
 
 
@@ -97,11 +105,12 @@ class MTAEngineBackend(Backend):
     def __init__(self):
         pass
 
-    def execute(self, handle: RunHandle):
+    def execute(self, handle: RunHandle, check=None):
         workload = handle.workload
         opt = workload.options
+        check, attach_summary = _resolve_check(check, workload)
         if workload.kind == "chase":
-            return self._execute_chase(handle)
+            return self._execute_chase(handle, check, attach_summary)
         engine_kwargs = dict(opt.get("engine_kwargs") or {})
         if workload.kind == "rank":
             from ..lists.programs import simulate_mta_list_ranking
@@ -113,6 +122,7 @@ class MTAEngineBackend(Backend):
                 nodes_per_walk=int(opt.get("nodes_per_walk", 10)),
                 dynamic=bool(opt.get("dynamic", True)),
                 engine_kwargs=engine_kwargs,
+                check=check,
             )
         else:
             from ..graphs.programs import simulate_mta_cc
@@ -124,15 +134,18 @@ class MTAEngineBackend(Backend):
                 edges_per_chunk=int(opt.get("edges_per_chunk", 16)),
                 max_iter=int(opt.get("max_iter", 64)),
                 engine_kwargs=engine_kwargs,
+                check=check,
             )
         summary = sim.summary
         summary.detail.update(handle.meta)
         summary.detail["backend"] = self.name
         if hasattr(sim, "iterations"):
             summary.detail["iterations"] = int(sim.iterations)
+        if attach_summary:
+            summary.detail["analysis"] = check.report().summary_dict()
         return summary
 
-    def _execute_chase(self, handle: RunHandle):
+    def _execute_chase(self, handle: RunHandle, check=None, attach_summary=False):
         """The latency-hiding saturation microbenchmark: ``chasers``
         streams each alternating one compute with two dependent loads —
         the access pattern of a list walk."""
@@ -155,6 +168,7 @@ class MTAEngineBackend(Backend):
             streams_per_proc=int(opt.get("streams_per_proc", 128)),
             mem_latency=int(opt.get("mem_latency", 100)),
             lookahead=int(opt.get("lookahead", 2)),
+            check=check,
         )
         for _ in range(chasers):
             eng.spawn(_chaser())
@@ -163,7 +177,26 @@ class MTAEngineBackend(Backend):
         summary.name = "chase"
         summary.detail.update(handle.meta)
         summary.detail["backend"] = self.name
+        if attach_summary:
+            summary.detail["analysis"] = check.report().summary_dict()
         return summary
+
+
+def _resolve_check(check, workload):
+    """Honor an explicit checker or the workload's ``check`` option.
+
+    Returns ``(checker, attach_summary)``: the summary is only attached
+    for option-driven checkers — an explicit caller (``repro analyze``)
+    owns the report itself.
+    """
+    if check is not None:
+        return check, False
+    opt = workload.option("check")
+    if not opt:
+        return None, False
+    from ..analysis import ConcurrencyChecker
+
+    return ConcurrencyChecker(strict=opt == "strict", program=workload.kind), True
 
 
 def make_smp_engine(*, config=None):

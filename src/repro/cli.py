@@ -24,6 +24,12 @@ without writing Python:
     Run one declarative workload on one backend through the sweep
     runner: ``repro run --workload rank --backend smp-model --n 65536
     --p 8``.
+``analyze``
+    Concurrency-correctness analysis: run a workload (or every
+    registered paper program with ``--all``) on a cycle engine under
+    the happens-before race detector and lint pass; print findings (or
+    ``--jsonl``) and exit 1 when errors are found.  See
+    ``docs/ANALYSIS.md``.
 ``sweep``
     Execute a named figure/table sweep across every grid point, with a
     process pool (``--workers N``) and the on-disk result cache; cache
@@ -162,6 +168,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("--json", action="store_true", help="print the full record as JSON")
     _add_cache_args(p_run)
+
+    p_an = sub.add_parser(
+        "analyze", help="concurrency analysis of a workload's op streams"
+    )
+    p_an.add_argument(
+        "--workload",
+        default=None,
+        help="workload kind (rank, cc, chase); omit with --all",
+    )
+    p_an.add_argument(
+        "--backend",
+        default="mta-engine",
+        help="cycle-engine backend to execute under the checker",
+    )
+    p_an.add_argument(
+        "--all",
+        action="store_true",
+        dest="all_programs",
+        help="analyze every registered paper program instead of one workload",
+    )
+    p_an.add_argument("--n", type=int, default=None, help="problem size")
+    p_an.add_argument("--p", type=int, default=2, help="processors")
+    p_an.add_argument("--seed", type=int, default=0)
+    p_an.add_argument(
+        "--param", action="append", default=[], metavar="K=V",
+        help="extra input parameter (repeatable)",
+    )
+    p_an.add_argument(
+        "--opt", action="append", default=[], metavar="K=V",
+        help="kernel/backend option (repeatable)",
+    )
+    p_an.add_argument(
+        "--strict",
+        action="store_true",
+        help="report races inside allow_racy-annotated regions too",
+    )
+    p_an.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="PATH",
+        help="write findings as JSON Lines ('-' = stdout)",
+    )
+    p_an.add_argument(
+        "--max-findings", type=int, default=200, help="cap on reported findings"
+    )
 
     p_sw = sub.add_parser("sweep", help="run a named figure/table sweep")
     p_sw.add_argument(
@@ -674,6 +725,61 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from .analysis import analyze_suite, analyze_workload, dump_jsonl
+    from .backends import Workload
+    from .errors import ConfigurationError
+
+    if args.all_programs:
+        if args.workload is not None:
+            raise ConfigurationError("--all and --workload are mutually exclusive")
+        named = analyze_suite(strict=args.strict, max_findings=args.max_findings)
+    else:
+        if args.workload is None:
+            raise ConfigurationError("analyze needs --workload or --all")
+        params = _parse_kv(args.param, "--param")
+        if args.n is not None:
+            key = "leaves" if args.workload == "tree" else "n"
+            params.setdefault(key, args.n)
+        workload = Workload(
+            args.workload, args.p, args.seed, params, _parse_kv(args.opt, "--opt")
+        )
+        report = analyze_workload(
+            workload, args.backend, strict=args.strict,
+            max_findings=args.max_findings,
+        )
+        named = [(f"{args.workload}/{args.backend}", report)]
+
+    findings = [f for _, report in named for f in report.findings]
+    if args.jsonl is not None:
+        text = dump_jsonl(findings)
+        if args.jsonl == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.jsonl, "w", encoding="utf-8") as f:
+                f.write(text)
+
+    errors = 0
+    for name, report in named:
+        s = report.stats
+        fa = s.get("fa", {})
+        status = "clean" if report.ok() else f"{len(report.errors)} error(s)"
+        if report.warnings:
+            status += f", {len(report.warnings)} warning(s)"
+        suppressed = s.get("suppressed_races", 0)
+        note = f", {suppressed} annotated race(s) suppressed" if suppressed else ""
+        print(
+            f"{name}: {status}{note}  "
+            f"[{s.get('ops', 0)} ops, {s.get('threads', 0)} threads, "
+            f"{len(s.get('runs', []))} run(s), FA top-share {fa.get('top_share', 0.0):.0%}]"
+        )
+        if args.jsonl != "-":
+            for f in report.findings:
+                print(f"  {f.render()}")
+        errors += len(report.errors)
+    return 1 if errors else 0
+
+
 def _cmd_sweep(args) -> int:
     from .core.runner import run_jobs, write_jsonl
     from .workloads import jobs_for
@@ -728,6 +834,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_backends(args)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "analyze":
+            return _cmd_analyze(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
         if args.command == "cache":

@@ -28,7 +28,7 @@ the machine models in :mod:`repro.core.smp_machine` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np

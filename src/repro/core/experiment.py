@@ -15,7 +15,7 @@ print paper-shaped text tables and EXPERIMENTS.md records the numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Sequence
 
 from ..errors import ConfigurationError
 

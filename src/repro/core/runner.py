@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import sys
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence

@@ -41,7 +41,7 @@ The model charges each algorithm step per processor:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -131,8 +131,6 @@ def minimum_spanning_forest(
         # first occurrence per component along the sorted order wins
         for endpoints in (du, dv):
             comp_sorted = endpoints[order]
-            seen = np.zeros(n, dtype=bool)
-            first_mask = np.zeros(mk, dtype=bool)
             # vectorized first-occurrence: stable-sort by component, keep heads
             o2 = np.argsort(comp_sorted, kind="stable")
             heads = np.ones(mk, dtype=bool)

@@ -87,6 +87,7 @@ def simulate_mta_cc(
     max_iter: int = 64,
     engine_kwargs: dict | None = None,
     tracer=None,
+    check=None,
 ) -> CCSim:
     """Execute the paper's Alg. 3 on the MTA cycle engine.
 
@@ -127,6 +128,20 @@ def simulate_mta_cc(
     kw = dict(engine_kwargs or {})
     kw.setdefault("streams_per_proc", max(streams_per_proc, 1))
     kw.setdefault("tracer", tracer)
+    kw.setdefault("check", check)
+    if kw["check"] is not None:
+        kw["check"].set_address_space(space)
+        # Concurrent grafts d[dv] = du (different winners racing on one
+        # root) and the shared did-anything-graft flag are the textbook
+        # benign races of Shiloach--Vishkin: any winner advances the
+        # algorithm.  Annotated so default analysis stays clean while
+        # --strict still surfaces them.
+        kw["check"].allow_racy(
+            a_d.base, a_d.end, "SV concurrent grafts/shortcuts are algorithmically benign"
+        )
+        kw["check"].allow_racy(
+            a_flag.base, a_flag.end, "graft flag is a monotonic any-write-wins broadcast"
+        )
     n_workers = max(1, min(p * streams_per_proc, m2))
     reports: list[SimReport] = []
     graft_flag = [False]
@@ -212,6 +227,7 @@ def simulate_smp_cc(
     max_iter: int = 64,
     config=None,
     tracer=None,
+    check=None,
 ) -> CCSim:
     """Execute hook-and-shortcut connected components on the SMP cycle engine.
 
@@ -299,7 +315,15 @@ def simulate_smp_cc(
             yield isa.barrier("shortcut")
         raise SimulationError(f"SMP CC simulation exceeded {max_iter} iterations")
 
-    eng = SMPEngine(p=p, config=config, tracer=tracer)
+    if check is not None:
+        check.set_address_space(space)
+        check.allow_racy(
+            a_d.base, a_d.end, "SV concurrent grafts/shortcuts are algorithmically benign"
+        )
+        check.allow_racy(
+            a_flag.base, a_flag.end, "graft flag is a monotonic any-write-wins broadcast"
+        )
+    eng = SMPEngine(p=p, config=config, tracer=tracer, check=check)
     for proc in range(p):
         eng.attach(program(proc))
     report = eng.run("smp.sv-cc")

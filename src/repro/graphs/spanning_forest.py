@@ -22,7 +22,7 @@ suite verifies the forest is acyclic, spanning, and has exactly
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -28,7 +28,7 @@ from ..core.cost import StepCost
 from ..core.schedule import dynamic_assign, per_proc_totals
 from ..errors import ConfigurationError
 from ._traversal import traverse_sublists
-from .generate import TAIL, head_of
+from .generate import head_of
 from .mta_ranking import _select_walk_heads
 from .prefix import ADD, PrefixOp
 from .types import PrefixRun

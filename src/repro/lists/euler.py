@@ -221,7 +221,6 @@ def root_tree(
             steps=[],
             stats={"arcs": 0},
         )
-    m = tree.m
     n_arcs = tour.n_arcs
 
     def prefix(values: np.ndarray, tag: str) -> PrefixRun:

@@ -36,7 +36,7 @@ from ..core.cost import StepCost
 from ..core.schedule import block_assign, dynamic_assign, per_proc_totals
 from ..errors import ConfigurationError
 from ._traversal import traverse_sublists
-from .generate import TAIL, head_of
+from .generate import head_of
 from .prefix import ADD, PrefixOp
 from .types import PrefixRun
 

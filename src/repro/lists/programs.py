@@ -40,7 +40,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..arch.memory import AddressSpace
-from ..errors import ConfigurationError, WorkloadError
+from ..errors import WorkloadError
 from ..sim import isa
 from ..sim.mta_engine import MTAEngine
 from ..sim.smp_engine import SMPEngine
@@ -93,6 +93,7 @@ def simulate_mta_list_ranking(
     dynamic: bool = True,
     engine_kwargs: dict | None = None,
     tracer=None,
+    check=None,
 ) -> MTAListRankingSim:
     """Execute Alg. 1 on the MTA cycle engine and measure utilization.
 
@@ -149,6 +150,9 @@ def simulate_mta_list_ranking(
     kw = dict(engine_kwargs or {})
     kw.setdefault("streams_per_proc", max(streams_per_proc, 1))
     kw.setdefault("tracer", tracer)
+    kw.setdefault("check", check)
+    if kw["check"] is not None:
+        kw["check"].set_address_space(space)
 
     # -- phase 1: initialize + mark ------------------------------------------------
     def setup_worker(ctx_counter: int, chunk: int):
@@ -302,6 +306,7 @@ def simulate_smp_list_ranking(
     rng: np.random.Generator | int | None = None,
     config=None,
     tracer=None,
+    check=None,
 ) -> MTAListRankingSim:
     """Execute the Helman–JáJá algorithm on the SMP cycle engine.
 
@@ -427,7 +432,9 @@ def simulate_smp_list_ranking(
             yield isa.store(a_out.addr(j))
         yield isa.barrier("s5")
 
-    eng = SMPEngine(p=p, config=config, tracer=tracer)
+    if check is not None:
+        check.set_address_space(space)
+    eng = SMPEngine(p=p, config=config, tracer=tracer, check=check)
     eng.set_counter(a_ctr.base + 0, 0)
     for proc in range(p):
         eng.attach(program(proc))

@@ -23,7 +23,6 @@ import numpy as np
 
 from ..core.cost import StepCost
 from ..errors import ConfigurationError
-from .generate import TAIL
 from .prefix import ADD, PrefixOp
 from .types import PrefixRun
 

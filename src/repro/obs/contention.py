@@ -17,7 +17,31 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["log2_bucket", "bucket_range", "ContentionProfile"]
+__all__ = ["log2_bucket", "bucket_range", "fa_concentration", "ContentionProfile"]
+
+
+def fa_concentration(fa_counts: dict) -> dict:
+    """Hotspot-concentration stats over fetch-add traffic per cell.
+
+    ``fa_counts`` maps address -> FA op count (as collected by the
+    concurrency analyzer or from ``fa_sites``).  Returns the total
+    traffic, the number of distinct cells, the hottest cell with its
+    share of all traffic, and the Herfindahl–Hirschman index (sum of
+    squared shares: 1.0 means one cell serializes everything, 1/n
+    means perfectly spread traffic).
+    """
+    total = sum(fa_counts.values())
+    if total <= 0:
+        return {"total": 0, "sites": 0, "top": None, "top_share": 0.0, "hhi": 0.0}
+    top_addr, top_n = max(fa_counts.items(), key=lambda kv: (kv[1], -kv[0]))
+    hhi = sum((n / total) ** 2 for n in fa_counts.values())
+    return {
+        "total": int(total),
+        "sites": len(fa_counts),
+        "top": {"addr": int(top_addr), "count": int(top_n)},
+        "top_share": top_n / total,
+        "hhi": hhi,
+    }
 
 
 def log2_bucket(wait: int) -> int:

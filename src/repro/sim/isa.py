@@ -58,6 +58,8 @@ owns so that atomicity and blocking are real).
 
 from __future__ import annotations
 
+import operator
+
 __all__ = [
     "COMPUTE",
     "LOAD",
@@ -93,51 +95,81 @@ BARRIER = "B"
 PHASE = "P"
 
 
+def _as_int(value, op: str, operand: str) -> int:
+    """Validate an integer operand at construction time.
+
+    Engines fail obscurely (or silently mis-simulate — a float address
+    never matches the int key a producer filled) when handed a non-int,
+    so constructors reject anything that is not a true integer.  NumPy
+    integer scalars pass through ``__index__``; ``bool`` is explicitly
+    rejected even though it subclasses ``int``, because a bool operand
+    is always a bug in a program generator.
+    """
+    if isinstance(value, bool):
+        raise TypeError(f"{op} {operand} must be an int, got bool")
+    try:
+        return operator.index(value)
+    except TypeError:
+        raise TypeError(
+            f"{op} {operand} must be an int, got {type(value).__name__} ({value!r})"
+        ) from None
+
+
 def compute(k: int = 1) -> tuple:
     """``k`` compute instructions."""
-    return (COMPUTE, k)
+    return (COMPUTE, _as_int(k, "C", "k"))
 
 
 def load(addr: int) -> tuple:
     """An independent (overlappable) load of one word."""
-    return (LOAD, addr)
+    return (LOAD, _as_int(addr, "L", "addr"))
 
 
 def load_dep(addr: int) -> tuple:
     """A dependent load — the thread needs the value immediately."""
-    return (LOAD_DEP, addr)
+    return (LOAD_DEP, _as_int(addr, "LD", "addr"))
 
 
 def store(addr: int) -> tuple:
     """A buffered store of one word."""
-    return (STORE, addr)
+    return (STORE, _as_int(addr, "S", "addr"))
 
 
 def fetch_add(addr: int, inc: int = 1) -> tuple:
     """Atomic fetch-and-add; old value returned via the yield expression."""
-    return (FETCH_ADD, addr, inc)
+    return (FETCH_ADD, _as_int(addr, "FA", "addr"), _as_int(inc, "FA", "inc"))
 
 
 def sync_load_consume(addr: int) -> tuple:
     """Wait-until-full load that sets the word Empty (consume)."""
-    return (SYNC_LOAD_EMPTY, addr)
+    return (SYNC_LOAD_EMPTY, _as_int(addr, "SLE", "addr"))
 
 
 def sync_load_peek(addr: int) -> tuple:
     """Wait-until-full load that leaves the word Full (peek)."""
-    return (SYNC_LOAD_FULL, addr)
+    return (SYNC_LOAD_FULL, _as_int(addr, "SLF", "addr"))
 
 
 def sync_store(addr: int, value) -> tuple:
-    """Wait-until-empty store that sets the word Full (produce)."""
-    return (SYNC_STORE_FULL, addr, value)
+    """Wait-until-empty store that sets the word Full (produce).
+
+    ``value`` is the datum round-tripped to the matching sync load; it
+    may be any object, so it is not constrained to an int.
+    """
+    return (SYNC_STORE_FULL, _as_int(addr, "SSF", "addr"), value)
 
 
 def barrier(barrier_id: str = "default") -> tuple:
     """Block until all registered participants of ``barrier_id`` arrive."""
+    if not isinstance(barrier_id, str):
+        raise TypeError(
+            f"B barrier_id must be a str, got {type(barrier_id).__name__}"
+        )
     return (BARRIER, barrier_id)
 
 
 def phase(name: str) -> tuple:
     """Zero-cost phase marker: start the named phase at the current cycle."""
+    if not isinstance(name, str):
+        raise TypeError(f"P name must be a str, got {type(name).__name__}")
     return (PHASE, name)

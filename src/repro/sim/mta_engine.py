@@ -121,6 +121,13 @@ class MTAEngine:
         disables event recording entirely; contention *counters* are
         always collected (they are a handful of dict updates on the
         already-rare contended paths).
+    check:
+        Optional :class:`repro.analysis.ConcurrencyChecker`.  When
+        attached, the engine reports every issued op, the semantic
+        moment of each full/empty fill/drain, FA serialization order,
+        barrier releases, and (on deadlock) the blocked-thread
+        inventory.  ``None`` (default) costs one attribute test per
+        issue.
     """
 
     def __init__(
@@ -135,6 +142,7 @@ class MTAEngine:
         clock_hz: float = 220e6,
         n_banks: int = 0,
         tracer=None,
+        check=None,
     ) -> None:
         if p < 1:
             raise ConfigurationError("p must be >= 1")
@@ -182,6 +190,9 @@ class MTAEngine:
         self._barrier_stats: dict[str, list] = {}
         # phase snapshots: (cycle, name, issued so far, op_counts so far)
         self._phase_snaps: list = []
+        self._check = check
+        if check is not None:
+            check.attach_engine("mta", p)
 
     # -- setup -----------------------------------------------------------------
 
@@ -209,14 +220,20 @@ class MTAEngine:
         if count < 1:
             raise ConfigurationError("barrier count must be >= 1")
         self._barriers[barrier_id] = _Barrier(need=count)
+        if self._check is not None:
+            self._check.register_barrier(barrier_id, count)
 
     def set_full(self, addr: int, value=0) -> None:
         """Pre-set a full/empty word to Full with ``value``."""
         self._full[addr] = value
+        if self._check is not None:
+            self._check.init_full(addr)
 
     def set_counter(self, addr: int, value: int = 0) -> None:
         """Initialize a fetch-add cell."""
         self.fa_values[addr] = value
+        if self._check is not None:
+            self._check.init_counter(addr)
 
     # -- run --------------------------------------------------------------------
 
@@ -224,6 +241,8 @@ class MTAEngine:
         """Execute until every spawned thread finishes; return measurements."""
         cycle = 0
         self._phase_snaps = [(0, name, self._issued_total(), dict(self._op_counts))]
+        if self._check is not None:
+            self._check.start_run(name)
         if self._tracer is not None:
             for i in range(self.p):
                 self._tracer.name_process(i, f"proc{i}")
@@ -253,6 +272,8 @@ class MTAEngine:
                     break
                 cycle = max(cycle + 1, nxt)
 
+        if self._check is not None:
+            self._check.end_run([])
         issued = np.array([proc.issued for proc in self._procs], dtype=np.int64)
         total_cycles = self._last_issue + 1  # span up to the final real issue
         detail = {
@@ -285,10 +306,34 @@ class MTAEngine:
 
     def _raise_deadlock(self) -> None:
         stuck = [t for t in self._threads if t.state not in (DONE, READY)]
+        if self._check is not None:
+            self._check.end_run(self._blocked_inventory())
         inventory = ", ".join(f"tid{t.tid}:{t.state}" for t in stuck[:10])
         raise DeadlockError(
             f"{len(stuck)} threads blocked with no wake source ({inventory} …)"
         )
+
+    def _blocked_inventory(self) -> list:
+        """Structured rows describing every stuck thread, for the checker."""
+        rows = []
+        for addr, waiters in self._wait_full.items():
+            for w in waiters:
+                rows.append({"tid": w.tid, "state": WAIT_FULL, "addr": addr})
+        for addr, waiters in self._wait_empty.items():
+            for w in waiters:
+                rows.append({"tid": w.tid, "state": WAIT_EMPTY, "addr": addr})
+        for bid, b in self._barriers.items():
+            for w in b.waiting:
+                rows.append(
+                    {
+                        "tid": w.tid,
+                        "state": WAIT_BARRIER,
+                        "barrier": bid,
+                        "arrived": len(b.waiting),
+                        "need": b.need,
+                    }
+                )
+        return rows
 
     def _count(self, tag: str) -> None:
         self._op_counts[tag] = self._op_counts.get(tag, 0) + 1
@@ -377,12 +422,16 @@ class MTAEngine:
         t.pending_value = None
         while op[0] == PHASE:  # zero-cost marker: no slot, no cycle
             self._phase_mark(op[1], cycle)
+            if self._check is not None:
+                self._check.on_phase(t.tid, op[1])
             try:
                 op = t.gen.send(None)
             except StopIteration:
                 self._finish(t)
                 return
         tag = op[0]
+        if self._check is not None:
+            self._check.on_op(t.tid, op)
         t.issued += 1
         proc.issued += 1
         self._last_issue = max(self._last_issue, cycle)
@@ -447,6 +496,8 @@ class MTAEngine:
             addr = op[1]
             if addr in self._full:
                 value = self._full[addr]
+                if self._check is not None:
+                    self._check.on_sync_read(t.tid, addr, tag == SYNC_LOAD_EMPTY)
                 if tag == SYNC_LOAD_EMPTY:
                     del self._full[addr]
                     self._drain_empty_waiters(addr, cycle)
@@ -478,6 +529,8 @@ class MTAEngine:
                         tid=t.tid,
                         args={"addr": addr},
                     )
+                if self._check is not None:
+                    self._check.on_sync_write(t.tid, addr)
                 self._fill(addr, value, cycle)
                 self._block_until(t, cycle + self.mem_latency)
             else:
@@ -494,6 +547,8 @@ class MTAEngine:
             t.wait_since = cycle
             b.waiting.append(t)
             if len(b.waiting) == b.need:
+                if self._check is not None:
+                    self._check.on_barrier_release(bid, [w.tid for w in b.waiting])
                 release = cycle + self.barrier_latency
                 stats = self._barrier_stats.get(bid)
                 if stats is None:
@@ -520,6 +575,8 @@ class MTAEngine:
             w = waiters.popleft()
             mode = w.pending_value
             w.pending_value = self._full[addr]
+            if self._check is not None:
+                self._check.on_sync_read(w.tid, addr, mode == SYNC_LOAD_EMPTY)
             self._fe_wait(w.wait_since, cycle)
             if self._trace_ops:
                 self._tracer.span(
@@ -542,6 +599,8 @@ class MTAEngine:
             w = waiters.popleft()
             value = w.pending_value
             w.pending_value = None
+            if self._check is not None:
+                self._check.on_sync_write(w.tid, addr)
             self._fe_wait(w.wait_since, cycle)
             if self._trace_ops:
                 self._tracer.span(

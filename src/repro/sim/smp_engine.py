@@ -37,7 +37,7 @@ Observability (see :mod:`repro.obs` and ``docs/OBSERVABILITY.md``):
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator
 
 import numpy as np
@@ -82,9 +82,15 @@ class SMPEngine:
     tracer:
         Optional :class:`repro.obs.Tracer`; ``None`` disables event
         recording (contention counters are always collected).
+    check:
+        Optional :class:`repro.analysis.ConcurrencyChecker`; when
+        attached, the engine reports every op, FA serialization order,
+        barrier releases, and parked-processor inventories.
     """
 
-    def __init__(self, p: int = 1, config: SMPConfig = SUN_E4500, tracer=None) -> None:
+    def __init__(
+        self, p: int = 1, config: SMPConfig = SUN_E4500, tracer=None, check=None
+    ) -> None:
         if not 1 <= p <= config.max_p:
             raise ConfigurationError(f"p={p} outside [1, {config.max_p}]")
         self.p = p
@@ -106,6 +112,9 @@ class SMPEngine:
         self._barrier_episodes = 0
         # phase snapshots: (time, name, issued so far, op_counts so far)
         self._phase_snaps: list = []
+        self._check = check
+        if check is not None:
+            check.attach_engine("smp", p)
 
     def attach(self, gen: Generator) -> int:
         """Attach the program for the next processor; returns its index."""
@@ -118,6 +127,8 @@ class SMPEngine:
     def set_counter(self, addr: int, value: int = 0) -> None:
         """Initialize a fetch-add cell."""
         self.fa_values[addr] = value
+        if self._check is not None:
+            self._check.init_counter(addr)
 
     # -- execution -------------------------------------------------------------
 
@@ -133,6 +144,8 @@ class SMPEngine:
         ops_done = 0
         self._phase_snaps = [(0.0, name, 0, dict(self._op_counts))]
         last_mark = 0.0
+        if self._check is not None:
+            self._check.start_run(name)
         if self._tracer is not None:
             for i in range(self.p):
                 self._tracer.name_process(i, f"proc{i}")
@@ -151,6 +164,8 @@ class SMPEngine:
             ps.pending_value = None
             tag = op[0]
             if tag == PHASE:  # zero-cost marker: no slot, no time
+                if self._check is not None:
+                    self._check.on_phase(idx, op[1])
                 last_mark = max(last_mark, time)
                 self._phase_snaps.append(
                     (
@@ -164,6 +179,8 @@ class SMPEngine:
                 continue
             ps.issued += 1
             self._op_counts[tag] = self._op_counts.get(tag, 0) + 1
+            if self._check is not None:
+                self._check.on_op(idx, op)
 
             if tag == COMPUTE:
                 ps.time = time + op[1] * self.config.cpi
@@ -193,6 +210,8 @@ class SMPEngine:
                 group = waiting.setdefault(bid, [])
                 group.append(idx)
                 if len(group) == self.p:
+                    if self._check is not None:
+                        self._check.on_barrier_release(bid, list(group))
                     release = max(self._procs[i].time for i in group)
                     release += self.config.barrier_cycles(self.p)
                     self._barrier_episodes += 1
@@ -215,9 +234,24 @@ class SMPEngine:
 
         parked = [i for i, ps in enumerate(self._procs) if ps.at_barrier is not None]
         if parked:
+            if self._check is not None:
+                self._check.end_run(
+                    [
+                        {
+                            "tid": i,
+                            "state": "wait-barrier",
+                            "barrier": self._procs[i].at_barrier,
+                            "arrived": len(waiting.get(self._procs[i].at_barrier, [])),
+                            "need": self.p,
+                        }
+                        for i in parked
+                    ]
+                )
             raise DeadlockError(
                 f"processors {parked} parked at barriers no one else reached"
             )
+        if self._check is not None:
+            self._check.end_run([])
 
         cycles = max((ps.time for ps in self._procs), default=0.0)
         total_cycles = int(round(cycles))

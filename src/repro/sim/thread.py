@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Generator, Iterator
+from typing import Generator
 
 __all__ = ["SimThread"]
 

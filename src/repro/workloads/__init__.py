@@ -1,5 +1,6 @@
 """Declarative experiment configurations for the paper's figures and tables."""
 
+from .analysis_suite import paper_programs
 from .specs import (
     FIG1_SPEC,
     FIG2_SPEC,
@@ -38,4 +39,5 @@ __all__ = [
     "tiny_fig2_spec",
     "tiny_table1_spec",
     "jobs_for",
+    "paper_programs",
 ]

@@ -1,0 +1,88 @@
+"""Lint-pass detectors: deadlock, barriers, sync init, bounds, phases."""
+
+from tests import racy_programs as rp
+
+from repro.analysis import ConcurrencyChecker, Finding, dump_jsonl, load_jsonl
+
+
+class TestDeadlockDiagnosis:
+    def test_ssf_to_full_word_reports_deadlock(self):
+        r = rp.run_deadlock_ssf_full()
+        [f] = r.errors
+        assert f.check == "deadlock"
+        assert f.witness["set_full"] is True
+        assert f.address is not None
+
+    def test_drained_word_is_clean(self):
+        assert rp.run_clean_ssf_after_drain().findings == []
+
+    def test_sle_on_never_filled_word_is_sync_init(self):
+        r = rp.run_sync_uninit_sle()
+        [f] = r.errors
+        assert f.check == "sync-init"
+
+
+class TestBarrierChecks:
+    def test_mta_mismatch(self):
+        r = rp.run_barrier_mismatch_mta()
+        [f] = r.errors
+        assert f.check == "barrier-mismatch"
+        assert f.witness["arrived"] == 1 and f.witness["need"] == 2
+
+    def test_smp_mismatch(self):
+        r = rp.run_barrier_mismatch_smp()
+        [f] = r.errors
+        assert f.check == "barrier-mismatch"
+        assert f.witness["need"] == 2
+
+    def test_unused_barrier_is_warning(self):
+        r = rp.run_barrier_unused()
+        assert r.errors == []
+        [f] = r.warnings
+        assert f.check == "barrier-unused"
+
+
+class TestBoundsAndInit:
+    def test_overrun_reports_bounds(self):
+        r = rp.run_bounds_overrun()
+        [f] = r.errors
+        assert f.check == "bounds" and f.address == 4
+
+    def test_in_bounds_clean(self):
+        assert rp.run_clean_bounds().findings == []
+
+    def test_fa_uninit_warning(self):
+        r = rp.run_fa_uninit()
+        assert r.errors == []
+        [f] = r.warnings
+        assert f.check == "fa-uninit"
+
+    def test_phase_duplicate_warning(self):
+        r = rp.run_phase_duplicate()
+        [f] = r.warnings
+        assert f.check == "phase-hygiene" and "loop" in f.message
+
+
+class TestFindingRecords:
+    def test_unknown_check_rejected(self):
+        try:
+            Finding(check="nope", severity="error", message="x")
+        except ValueError as exc:
+            assert "nope" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_jsonl_round_trip(self):
+        r = rp.run_racy_store_store()
+        text = dump_jsonl(r.findings)
+        back = load_jsonl(text)
+        assert [f.to_dict() for f in back] == [f.to_dict() for f in r.findings]
+
+    def test_report_is_idempotent(self):
+        check = ConcurrencyChecker()
+        assert check.report() is check.report()
+
+    def test_render_mentions_location(self):
+        [f] = rp.run_bounds_overrun().errors
+        line = f.render()
+        assert "bounds" in line and "addr=4" in line

@@ -1,0 +1,123 @@
+"""Unit tests for the happens-before machinery and race detection."""
+
+from tests import racy_programs as rp
+
+from repro.analysis import RaceDetector, VClock
+
+
+class TestVClock:
+    def test_implicit_zero_and_tick(self):
+        vc = VClock()
+        assert vc.get("a") == 0
+        assert vc.tick("a") == 1
+        assert vc.tick("a") == 2
+        assert vc.get("b") == 0
+
+    def test_join_is_pointwise_max(self):
+        a = VClock({"x": 3, "y": 1})
+        b = VClock({"y": 5, "z": 2})
+        a.join(b)
+        assert (a.get("x"), a.get("y"), a.get("z")) == (3, 5, 2)
+
+    def test_dominates(self):
+        vc = VClock({"t": 4})
+        assert vc.dominates("t", 4)
+        assert vc.dominates("t", 3)
+        assert not vc.dominates("t", 5)
+        assert not vc.dominates("u", 1)
+
+    def test_copy_is_independent(self):
+        a = VClock({"t": 1})
+        b = a.copy()
+        b.tick("t")
+        assert a.get("t") == 1 and b.get("t") == 2
+
+
+class TestRaceDetector:
+    def test_write_write_conflict(self):
+        rd = RaceDetector()
+        rd.write(("r", 0), 10, "S", 0, {})
+        rd.write(("r", 1), 10, "S", 0, {})
+        assert len(rd.findings) == 1
+        assert rd.findings[0].witness["conflict"] == "write-write"
+
+    def test_write_read_conflict(self):
+        rd = RaceDetector()
+        rd.write(("r", 0), 10, "S", 0, {})
+        rd.read(("r", 1), 10, "L", 0, {})
+        assert len(rd.findings) == 1
+        assert rd.findings[0].witness["conflict"] == "write-read"
+
+    def test_sync_edge_orders_accesses(self):
+        rd = RaceDetector()
+        w, r = ("r", 0), ("r", 1)
+        rd.write(w, 10, "S", 0, {})
+        rd.release(w, ("fe", 99))
+        rd.acquire(r, ("fe", 99))
+        rd.read(r, 10, "L", 0, {})
+        assert rd.findings == []
+
+    def test_barrier_orders_all_participants(self):
+        rd = RaceDetector()
+        keys = [("r", t) for t in range(3)]
+        rd.write(keys[0], 7, "S", 0, {})
+        rd.barrier_release(("r", "b"), keys)
+        rd.read(keys[2], 7, "L", 1, {})
+        rd.write(keys[1], 7, "S", 1, {})
+        # the post-barrier read/write still race with *each other*
+        assert len(rd.findings) == 1
+
+    def test_run_boundary_is_global_barrier(self):
+        rd = RaceDetector()
+        rd.write((0, 0), 5, "S", 0, {})
+        rd.end_run()
+        rd.read((1, 1), 5, "L", 0, {})
+        assert rd.findings == []
+
+    def test_same_thread_never_races(self):
+        rd = RaceDetector()
+        rd.write(("r", 0), 3, "S", 0, {})
+        rd.read(("r", 0), 3, "L", 1, {})
+        rd.write(("r", 0), 3, "S", 2, {})
+        assert rd.findings == []
+
+    def test_race_cap_per_address(self):
+        rd = RaceDetector()
+        for t in range(6):
+            rd.write(("r", t), 10, "S", 0, {})
+        assert len(rd.findings) == 2  # MAX_RACES_PER_ADDRESS
+
+
+class TestRaceCorpus:
+    def test_store_store_race_fires(self):
+        r = rp.run_racy_store_store()
+        assert [f.check for f in r.errors] == ["race"]
+        f = r.errors[0]
+        assert f.address == 0 and f.witness["conflict"] == "write-write"
+
+    def test_unsynced_read_race_fires(self):
+        r = rp.run_racy_unsynced_read()
+        assert any(f.check == "race" for f in r.errors)
+
+    def test_fa_neighbor_race_fires(self):
+        r = rp.run_racy_fa_neighbor()
+        assert all(f.check == "race" for f in r.errors)
+        assert len(r.errors) >= 1
+
+    def test_full_empty_handoff_is_clean(self):
+        r = rp.run_clean_fe_handoff()
+        assert r.findings == []
+
+    def test_fa_ticket_dispatch_is_clean(self):
+        r = rp.run_clean_fa_tickets()
+        assert r.findings == []
+
+    def test_barrier_pair_is_clean(self):
+        r = rp.run_clean_barrier_pair()
+        assert r.findings == []
+
+    def test_fa_concentration_in_stats(self):
+        r = rp.run_clean_fa_tickets()
+        fa = r.stats["fa"]
+        assert fa["total"] == 4 and fa["sites"] == 1
+        assert fa["top_share"] == 1.0 and fa["hhi"] == 1.0

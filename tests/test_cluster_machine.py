@@ -1,6 +1,5 @@
 """Tests for the cluster machine model (repro.core.cluster_machine)."""
 
-import numpy as np
 import pytest
 
 from repro.core import BEOWULF_2005, ClusterConfig, ClusterMachine, SMPMachine

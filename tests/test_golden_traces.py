@@ -37,7 +37,7 @@ def _check(name: str, tracer: Tracer) -> None:
     assert path.exists(), f"golden trace missing; regenerate with REPRO_REGEN_GOLDEN=1 ({path})"
     assert text == path.read_text(), (
         f"trace for {name!r} deviates from the golden snapshot; if the engine "
-        f"change is intended, regenerate with REPRO_REGEN_GOLDEN=1 and review the diff"
+        "change is intended, regenerate with REPRO_REGEN_GOLDEN=1 and review the diff"
     )
     # snapshots must stay loadable through the public reader
     assert read_jsonl(path) == tracer.events

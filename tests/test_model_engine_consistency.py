@@ -8,11 +8,8 @@ workloads — not to equal numbers (the engines run tiny inputs where
 startup effects matter), but to the same orderings and rough ratios.
 """
 
-import numpy as np
-import pytest
 
 from repro.core import MTAMachine, SMPMachine
-from repro.core.mta_machine import CRAY_MTA2
 from repro.graphs.generate import random_graph
 from repro.graphs.programs import simulate_mta_cc, simulate_smp_cc
 from repro.graphs.sv_mta import sv_mta

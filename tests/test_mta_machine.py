@@ -1,6 +1,5 @@
 """Tests for the analytic MTA machine model (repro.core.mta_machine)."""
 
-import numpy as np
 import pytest
 
 from repro.core.cost import StepCost

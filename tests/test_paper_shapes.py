@@ -7,7 +7,6 @@ paper reports.  Bounds are deliberately loose — the claims are about
 constants.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import MTAMachine, SMPMachine, scaling_exponent, speedup

@@ -1,6 +1,5 @@
 """Tests for the MTA cycle engine (repro.sim.mta_engine)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, DeadlockError, SimulationError

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.smp_machine import SMPConfig, SUN_E4500
+from repro.core.smp_machine import SUN_E4500
 from repro.errors import ConfigurationError, DeadlockError, SimulationError
 from repro.sim import SMPEngine, isa
 

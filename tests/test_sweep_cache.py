@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 import repro.core.runner as runner_mod
 from repro.backends import Workload
