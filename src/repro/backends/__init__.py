@@ -31,6 +31,11 @@ __all__ = [
 
 
 def _register_builtins() -> None:
+    # Importing repro.sim may itself re-enter this package (machine
+    # registration auto-registers backends), so it happens first and
+    # everything below tolerates either import order.
+    from ..sim.hooks import HOOK_EVENTS
+    from ..sim.machines import ensure_builtin_machines
     from .analytic import make_cluster_model, make_mta_model, make_smp_model
     from .engine import make_mta_engine, make_smp_engine
 
@@ -61,6 +66,8 @@ def _register_builtins() -> None:
         level="engine",
         kinds=("rank", "cc"),
         description="Cycle-level SMP engine (simulated caches + bus)",
+        machine="smp",
+        hooks=HOOK_EVENTS,
     )
     register(
         "mta-engine",
@@ -68,7 +75,12 @@ def _register_builtins() -> None:
         level="engine",
         kinds=("rank", "cc", "chase"),
         description="Cycle-level MTA engine (multithreaded streams)",
+        machine="mta",
+        hooks=HOOK_EVENTS,
     )
+    # Register the built-in machine models (and, through the machine
+    # registry's auto-registration, the mta-next engine backend).
+    ensure_builtin_machines()
 
 
 _register_builtins()

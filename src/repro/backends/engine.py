@@ -40,7 +40,13 @@ import dataclasses
 from ..errors import ConfigurationError
 from .base import Backend, RunHandle
 
-__all__ = ["SMPEngineBackend", "MTAEngineBackend", "make_smp_engine", "make_mta_engine"]
+__all__ = [
+    "SMPEngineBackend",
+    "MTAEngineBackend",
+    "ModelEngineBackend",
+    "make_smp_engine",
+    "make_mta_engine",
+]
 
 
 class SMPEngineBackend(Backend):
@@ -102,6 +108,11 @@ class MTAEngineBackend(Backend):
     kinds = ("rank", "cc", "chase")
     description = "Cycle-level MTA engine (multithreaded streams)"
 
+    #: Engine facade the thread programs construct; ``None`` means the
+    #: stock :class:`~repro.sim.MTAEngine`.  :class:`ModelEngineBackend`
+    #: points this at a registered machine's facade instead.
+    engine_factory = None
+
     def __init__(self):
         pass
 
@@ -123,6 +134,7 @@ class MTAEngineBackend(Backend):
                 dynamic=bool(opt.get("dynamic", True)),
                 engine_kwargs=engine_kwargs,
                 check=check,
+                engine=self.engine_factory,
             )
         else:
             from ..graphs.programs import simulate_mta_cc
@@ -135,6 +147,7 @@ class MTAEngineBackend(Backend):
                 max_iter=int(opt.get("max_iter", 64)),
                 engine_kwargs=engine_kwargs,
                 check=check,
+                engine=self.engine_factory,
             )
         summary = sim.summary
         summary.detail.update(handle.meta)
@@ -163,7 +176,8 @@ class MTAEngineBackend(Backend):
                 yield isa.load_dep(i)
                 yield isa.load_dep(100_000 + i)
 
-        eng = MTAEngine(
+        engine = self.engine_factory or MTAEngine
+        eng = engine(
             p=workload.p,
             streams_per_proc=int(opt.get("streams_per_proc", 128)),
             mem_latency=int(opt.get("mem_latency", 100)),
@@ -173,13 +187,30 @@ class MTAEngineBackend(Backend):
         for _ in range(chasers):
             eng.spawn(_chaser())
         report = eng.run(name="chase")
-        summary = RunSummary.from_report(report, machine="mta-engine")
+        summary = RunSummary.from_report(report, machine=self.name)
         summary.name = "chase"
         summary.detail.update(handle.meta)
         summary.detail["backend"] = self.name
         if attach_summary:
             summary.detail["analysis"] = check.report().summary_dict()
         return summary
+
+
+class ModelEngineBackend(MTAEngineBackend):
+    """Engine backend synthesized from a registered machine model.
+
+    :func:`repro.sim.machines.register_machine` builds one of these for
+    every machine that opts into backend auto-registration: the same
+    MTA thread programs (``rank``, ``cc``, ``chase``) run unmodified,
+    constructing the machine's engine facade instead of the stock
+    :class:`~repro.sim.MTAEngine`.  The facade must therefore be
+    MTAEngine-compatible (interleaved scheduling, ``spawn``/``run``).
+    """
+
+    def __init__(self, *, name, engine_factory, description=""):
+        self.name = name
+        self.description = description
+        self.engine_factory = engine_factory
 
 
 def _resolve_check(check, workload):

@@ -27,6 +27,12 @@ class _Entry:
     level: str
     kinds: tuple
     description: str
+    #: Machine model behind the backend ("" for analytic models; see
+    #: repro.sim.machines for the machine registry itself).
+    machine: str = ""
+    #: HookBus events the backend's execution path can deliver
+    #: (empty for analytic models, which run no instruction streams).
+    hooks: tuple = ()
 
 
 _REGISTRY: dict[str, _Entry] = {}
@@ -39,13 +45,18 @@ def register(
     level: str = "model",
     kinds: tuple = (),
     description: str = "",
+    machine: str = "",
+    hooks: tuple = (),
     replace: bool = False,
 ) -> None:
     """Register ``factory`` under ``name``.
 
     ``factory(**options)`` must return a :class:`Backend`.  Registering
     an existing name raises unless ``replace=True`` (so typos fail loud
-    but examples can re-run).
+    but examples can re-run).  ``machine`` names the simulation machine
+    model behind an engine backend and ``hooks`` lists the
+    :class:`~repro.sim.hooks.HookBus` events its runs can deliver;
+    both are informational (shown by ``repro backends``).
     """
     if not name:
         raise ConfigurationError("backend name must be non-empty")
@@ -54,7 +65,13 @@ def register(
             f"backend {name!r} is already registered (pass replace=True to override)"
         )
     _REGISTRY[name] = _Entry(
-        name=name, factory=factory, level=level, kinds=tuple(kinds), description=description
+        name=name,
+        factory=factory,
+        level=level,
+        kinds=tuple(kinds),
+        description=description,
+        machine=machine,
+        hooks=tuple(hooks),
     )
 
 
@@ -87,12 +104,14 @@ def names() -> list[str]:
 
 
 def describe() -> list[dict]:
-    """One row per backend: name, level, kinds, description."""
+    """One row per backend: name, level, kinds, machine, hooks, description."""
     return [
         {
             "name": e.name,
             "level": e.level,
             "kinds": list(e.kinds),
+            "machine": e.machine,
+            "hooks": list(e.hooks),
             "description": e.description,
         }
         for e in (_REGISTRY[n] for n in names())

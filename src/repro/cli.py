@@ -690,9 +690,15 @@ def _cmd_backends(args) -> int:
         return 0
     width = max(len(r["name"]) for r in rows)
     kw = max(len(",".join(r["kinds"])) for r in rows)
+    mw = max(len(r["machine"] or "-") for r in rows)
     for r in rows:
         kinds = ",".join(r["kinds"])
-        print(f"{r['name']:<{width}}  {r['level']:<6}  {kinds:<{kw}}  {r['description']}")
+        machine = r["machine"] or "-"
+        hooks = f"{len(r['hooks'])} hooks" if r["hooks"] else "-"
+        print(
+            f"{r['name']:<{width}}  {r['level']:<6}  {kinds:<{kw}}"
+            f"  {machine:<{mw}}  {hooks:<8}  {r['description']}"
+        )
     return 0
 
 

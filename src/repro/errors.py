@@ -45,3 +45,32 @@ class DeadlockError(SimulationError):
     includes the blocked-thread inventory to aid debugging of simulated
     programs.
     """
+
+
+class WatchdogExceeded(SimulationError):
+    """The simulation kernel's scheduling-step budget ran out mid-run.
+
+    Raised by :class:`repro.sim.kernel.SimKernel` when a run exceeds its
+    ``budget`` (event-driven machines count scheduling steps, interleaved
+    machines count cycles).  Unlike a plain abort, the exception carries
+    the diagnostic state at the moment the watchdog fired:
+
+    Attributes
+    ----------
+    budget:
+        The exhausted budget value.
+    blocked:
+        The blocked-thread inventory rows (same schema the deadlock path
+        reports), so a watchdog trip on a livelocked program still names
+        the threads that were stuck.
+    phases:
+        :class:`~repro.sim.stats.PhaseSlice` list closed at the abort
+        cycle — the final, open phase slice ends where the run died
+        rather than being lost.
+    """
+
+    def __init__(self, message: str, *, budget=None, blocked=(), phases=()):
+        super().__init__(message)
+        self.budget = budget
+        self.blocked = list(blocked)
+        self.phases = list(phases)

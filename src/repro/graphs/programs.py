@@ -88,6 +88,7 @@ def simulate_mta_cc(
     engine_kwargs: dict | None = None,
     tracer=None,
     check=None,
+    engine=None,
 ) -> CCSim:
     """Execute the paper's Alg. 3 on the MTA cycle engine.
 
@@ -109,6 +110,10 @@ def simulate_mta_cc(
     tracer:
         Optional :class:`repro.obs.Tracer`; each graft/shortcut engine
         phase is recorded back to back on its timeline.
+    engine:
+        Engine facade to construct instead of the stock
+        :class:`~repro.sim.MTAEngine` (any registered interleaved
+        machine's facade works — see :mod:`repro.sim.machines`).
     """
     n = g.n
     if n == 0:
@@ -125,6 +130,7 @@ def simulate_mta_cc(
     a_flag = space.alloc("graft-flag", 1)
 
     d = list(range(n))
+    eng_cls = engine if engine is not None else MTAEngine
     kw = dict(engine_kwargs or {})
     kw.setdefault("streams_per_proc", max(streams_per_proc, 1))
     kw.setdefault("tracer", tracer)
@@ -196,14 +202,14 @@ def simulate_mta_cc(
         if iterations > max_iter:
             raise SimulationError(f"Alg. 3 simulation exceeded {max_iter} iterations")
         graft_flag[0] = False
-        eng = MTAEngine(p=p, **kw)
+        eng = eng_cls(p=p, **kw)
         eng.set_counter(a_ctr.base + 0, 0)
         for _ in range(n_workers):
             eng.spawn(graft_worker(a_ctr.base + 0))
         reports.append(eng.run(f"mta.graft.{iterations}"))
         if not graft_flag[0]:
             break
-        eng = MTAEngine(p=p, **kw)
+        eng = eng_cls(p=p, **kw)
         eng.set_counter(a_ctr.base + 1, 0)
         vchunk = max(4, edges_per_chunk)
         n_sc = max(1, min(p * streams_per_proc, n))

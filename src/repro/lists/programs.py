@@ -94,6 +94,7 @@ def simulate_mta_list_ranking(
     engine_kwargs: dict | None = None,
     tracer=None,
     check=None,
+    engine=None,
 ) -> MTAListRankingSim:
     """Execute Alg. 1 on the MTA cycle engine and measure utilization.
 
@@ -117,6 +118,10 @@ def simulate_mta_list_ranking(
     tracer:
         Optional :class:`repro.obs.Tracer`; the four engine phases are
         recorded back to back on its timeline.
+    engine:
+        Engine facade to construct instead of the stock
+        :class:`~repro.sim.MTAEngine` (any registered interleaved
+        machine's facade works — see :mod:`repro.sim.machines`).
     """
     n = len(nxt)
     if n == 0:
@@ -147,6 +152,7 @@ def simulate_mta_list_ranking(
     nextw = np.full(w, -1, dtype=np.int64)
     ranks = np.full(n, -1, dtype=np.int64)
     reports: list[SimReport] = []
+    eng_cls = engine if engine is not None else MTAEngine
     kw = dict(engine_kwargs or {})
     kw.setdefault("streams_per_proc", max(streams_per_proc, 1))
     kw.setdefault("tracer", tracer)
@@ -164,7 +170,7 @@ def simulate_mta_list_ranking(
                 yield isa.store(a_rank.addr(j))
                 yield isa.compute(1)
 
-    eng = MTAEngine(p=p, **kw)
+    eng = eng_cls(p=p, **kw)
     eng.set_counter(a_ctr.base + 0, 0)
     chunk = max(8, n // max(1, 4 * n_workers))
     for _ in range(n_workers):
@@ -205,7 +211,7 @@ def simulate_mta_list_ranking(
         yield isa.store(a_tail.addr(wi))
         yield isa.store(a_next.addr(wi))
 
-    eng = MTAEngine(p=p, **kw)
+    eng = eng_cls(p=p, **kw)
     if dynamic:
         eng.set_counter(a_ctr.base + 1, 0)
         for _ in range(n_workers):
@@ -246,7 +252,7 @@ def simulate_mta_list_ranking(
                 yield isa.store(a_next.addr(i))
             yield isa.barrier("wy-apply")
 
-    eng = MTAEngine(p=p, **kw)
+    eng = eng_cls(p=p, **kw)
     eng.register_barrier("wy-gather", wy_workers)
     eng.register_barrier("wy-apply", wy_workers)
     for b in np.array_split(np.arange(w), wy_workers):
@@ -281,7 +287,7 @@ def simulate_mta_list_ranking(
         for wi in walk_ids:
             yield from rerank_body(wi)
 
-    eng = MTAEngine(p=p, **kw)
+    eng = eng_cls(p=p, **kw)
     if dynamic:
         eng.set_counter(a_ctr.base + 2, 0)
         for _ in range(n_workers):

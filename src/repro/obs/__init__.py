@@ -13,7 +13,13 @@ barrier / cache contention counters the engines record.
 See ``docs/OBSERVABILITY.md`` for the trace format and workflow.
 """
 
-from .contention import ContentionProfile, bucket_range, fa_concentration, log2_bucket
+from .contention import (
+    ContentionMonitor,
+    ContentionProfile,
+    bucket_range,
+    fa_concentration,
+    log2_bucket,
+)
 from .counters import CounterSet, LatencyWindow
 from .events import TraceEvent
 from .export import (
@@ -35,6 +41,7 @@ __all__ = [
     "RunSummary",
     "PhaseSummary",
     "ContentionProfile",
+    "ContentionMonitor",
     "fa_concentration",
     "log2_bucket",
     "bucket_range",

@@ -17,7 +17,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["log2_bucket", "bucket_range", "fa_concentration", "ContentionProfile"]
+__all__ = [
+    "log2_bucket",
+    "bucket_range",
+    "fa_concentration",
+    "ContentionProfile",
+    "ContentionMonitor",
+]
 
 
 def fa_concentration(fa_counts: dict) -> dict:
@@ -193,3 +199,32 @@ class ContentionProfile:
         if len(lines) == 1:
             lines.append("  (no contention recorded)")
         return "\n".join(lines)
+
+
+class ContentionMonitor:
+    """Live :class:`~repro.sim.hooks.HookBus` listener that accumulates
+    a merged :class:`ContentionProfile` across engine runs.
+
+    Pass one via the engines' ``hooks=`` argument (or straight to
+    :class:`~repro.sim.kernel.SimKernel`); at the end of every run it
+    folds that run's contention counters into :attr:`profile`, so a
+    multi-phase simulation (e.g. the four phases of Alg. 1) yields one
+    whole-program profile with no manual report plumbing::
+
+        monitor = ContentionMonitor()
+        eng = MTAEngine(p=4, hooks=(monitor,))
+        ...
+        print(monitor.profile.render())
+
+    The monitor is engine-agnostic: it reads only the ``end_run``
+    event's :class:`~repro.sim.stats.SimReport`, so it works unchanged
+    on every registered machine model.
+    """
+
+    def __init__(self):
+        self.profile = ContentionProfile()
+        self.runs = 0
+
+    def end_run(self, report) -> None:
+        self.profile.merge(ContentionProfile.from_report(report))
+        self.runs += 1

@@ -1,15 +1,43 @@
-"""Cycle-level simulation substrate: ISA, thread state, SMP and MTA engines."""
+"""Cycle-level simulation substrate: one kernel, pluggable machine models.
+
+:class:`~repro.sim.kernel.SimKernel` owns the run loop, scheduling,
+watchdog, barriers, phases, and instrumentation (via the
+:class:`~repro.sim.hooks.HookBus`); machines plug in as
+:class:`~repro.sim.kernel.MachineModel` implementations
+(:class:`~repro.sim.smp_engine.SMPMachine`,
+:class:`~repro.sim.mta_engine.MTAMachine`, …) behind the historical
+``SMPEngine`` / ``MTAEngine`` facades.  New machines register through
+:func:`~repro.sim.machines.register_machine`.  See ``docs/SIMULATION.md``.
+"""
 
 from . import isa
-from .mta_engine import MTAEngine
-from .smp_engine import SMPEngine
+from .hooks import HOOK_EVENTS, CheckerHook, HookBus, TracerHook
+from .kernel import EVENT, INTERLEAVED, MachineModel, SimKernel
+from .machines import list_machines, machine_spec, register_machine
+from .mta_engine import MTAEngine, MTAMachine
+from .mta_next import MTANextMachine
+from .smp_engine import SMPEngine, SMPMachine
 from .stats import PhaseSlice, SimReport, combine_reports
 from .thread import SimThread
 
 __all__ = [
     "isa",
     "MTAEngine",
+    "MTAMachine",
+    "MTANextMachine",
     "SMPEngine",
+    "SMPMachine",
+    "SimKernel",
+    "MachineModel",
+    "EVENT",
+    "INTERLEAVED",
+    "HookBus",
+    "TracerHook",
+    "CheckerHook",
+    "HOOK_EVENTS",
+    "register_machine",
+    "list_machines",
+    "machine_spec",
     "PhaseSlice",
     "SimReport",
     "combine_reports",

@@ -1,0 +1,675 @@
+"""The single simulation kernel behind every cycle-level machine.
+
+The paper's central claim is architectural: the *same* kernels run on
+two machines whose only real difference is the memory / latency /
+synchronization model.  This module makes the codebase say the same
+thing.  :class:`SimKernel` owns everything machine-independent about
+cycle-level simulation —
+
+* the run loop (two scheduling disciplines, below),
+* thread creation and placement,
+* the watchdog ``budget`` (one knob; :class:`~repro.errors.WatchdogExceeded`),
+* the barrier registry, release bookkeeping, and wait statistics,
+* ``PHASE`` marks and the phase-slice partition of the run,
+* the blocked-thread inventory and deadlock diagnosis,
+* :class:`~repro.sim.stats.SimReport` assembly,
+* all instrumentation, emitted through one :class:`~repro.sim.hooks.HookBus` —
+
+while a :class:`MachineModel` plug-in supplies only what makes a machine
+that machine: per-opcode cost/semantics handlers (a precomputed dispatch
+table, no ``if``/``elif`` chain in the hot loop), memory timing, and the
+machine's contribution to ``SimReport.detail``.
+
+Two scheduling disciplines cover the paper's machines:
+
+``"event"``
+    One thread per processor, each advancing in its own local time;
+    a heap of ``(time, proc)`` orders them globally (the SMP: threads
+    interact only through the bus and barriers, so there is no
+    per-cycle loop and large programs simulate quickly).
+``"interleaved"``
+    Many streams per processor, one instruction issued per processor
+    per cycle from some ready stream, round-robin, with fast-forward
+    over globally idle spans (the MTA's fair hardware scheduler).
+
+A new machine registers in a single module with zero edits here: define
+a :class:`MachineModel` subclass, wrap it in an engine facade (or reuse
+:class:`repro.sim.MTAEngine`'s), and call
+:func:`repro.sim.machines.register_machine`.  See ``docs/SIMULATION.md``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import (
+    ConfigurationError,
+    DeadlockError,
+    SimulationError,
+    WatchdogExceeded,
+)
+from .hooks import CheckerHook, HookBus, TracerHook
+from .isa import BARRIER, COMPUTE, PHASE
+from .stats import PhaseSlice, SimReport
+from .thread import BLOCKED, DONE, READY, WAIT_BARRIER, SimThread
+
+__all__ = ["SimKernel", "MachineModel", "EVENT", "INTERLEAVED"]
+
+#: Scheduling disciplines a :class:`MachineModel` may declare.
+EVENT = "event"
+INTERLEAVED = "interleaved"
+
+
+class MachineModel:
+    """What a machine must supply to run under :class:`SimKernel`.
+
+    Subclasses override the class attributes and the protocol methods;
+    the kernel never special-cases a concrete machine.  The contract:
+
+    Attributes
+    ----------
+    kind:
+        Short machine name (``"smp"``, ``"mta"``, …); reported to hooks
+        via ``attach_engine`` and used in diagnostics.
+    scheduling:
+        :data:`EVENT` or :data:`INTERLEAVED` (see module docstring).
+    clock_hz:
+        For seconds conversion in reports.
+    default_budget:
+        Watchdog budget when ``run(budget=None)``: scheduling steps for
+        event machines, cycles for interleaved ones.
+    implicit_barriers:
+        If True, a barrier op on an unregistered id auto-registers it
+        with ``need = p`` (the SMP's software barriers); otherwise the
+        op raises (the MTA requires ``register_barrier``).
+    threads_per_proc:
+        Stream capacity per processor (interleaved machines); event
+        machines always run exactly one thread per processor.
+    lookahead:
+        Instructions a stream may issue past an outstanding memory op
+        before it must wait (interleaved machines; the kernel resets
+        each stream's credit whenever it has no outstanding refs).
+    """
+
+    kind = "machine"
+    scheduling = EVENT
+    clock_hz = 1e9
+    default_budget = 500_000_000
+    implicit_barriers = False
+    threads_per_proc = 1
+    lookahead = 0
+
+    def __init__(self, p: int = 1):
+        if p < 1:
+            raise ConfigurationError("p must be >= 1")
+        self.p = p
+
+    # -- protocol ---------------------------------------------------------------
+
+    def handlers(self, kernel: "SimKernel") -> dict:
+        """Per-opcode dispatch table: ``{tag: handler}``.
+
+        Event machines: ``handler(thread, op, time) -> end_time`` — pure
+        cost/semantics; the kernel reschedules the thread at the
+        returned local time and emits its occupancy span.
+
+        Interleaved machines: ``handler(proc, thread, op, cycle)`` — the
+        handler decides the thread's fate itself (requeue via
+        ``proc.ready.append``, or ``kernel.block_until``) and emits any
+        spans/sync events through the kernel's hook shortcuts.
+
+        ``BARRIER`` and ``PHASE`` need no entry: the kernel owns them.
+        """
+        raise NotImplementedError
+
+    def thread_state(self):
+        """Model-private per-thread state (stored on ``thread.mstate``)."""
+        return None
+
+    def barrier_release_cost(self):
+        """Cycles from last arrival at a barrier to release."""
+        return 0
+
+    def init_counter(self, addr: int, value: int) -> None:
+        """Initialize a fetch-add cell."""
+        raise ConfigurationError(f"{self.kind} does not model fetch-add cells")
+
+    def init_full(self, addr: int, value) -> None:
+        """Pre-set a full/empty word to Full."""
+        raise ConfigurationError(f"{self.kind} does not model full/empty memory")
+
+    def blocked_rows(self) -> list:
+        """Inventory rows for threads blocked on model-owned state
+        (full/empty waits); the kernel appends barrier waiters itself."""
+        return []
+
+    def report_detail(self, kernel: "SimKernel") -> dict:
+        """The machine's ``SimReport.detail`` dict (contention counters)."""
+        return {}
+
+
+@dataclass
+class _Proc:
+    """One interleaved processor: its ready queue and wake heap."""
+
+    ready: deque = field(default_factory=deque)
+    wake: list = field(default_factory=list)  # heap of (cycle, tid, thread)
+    issued: int = 0
+    live: int = 0
+
+
+@dataclass
+class _Barrier:
+    need: int
+    waiting: list = field(default_factory=list)
+
+
+class SimKernel:
+    """Machine-independent run loop; see the module docstring.
+
+    Parameters
+    ----------
+    model:
+        The :class:`MachineModel` to execute under.
+    tracer:
+        Optional :class:`repro.obs.Tracer`, attached to the bus via
+        :class:`~repro.sim.hooks.TracerHook`.
+    check:
+        Optional :class:`repro.analysis.ConcurrencyChecker`, attached
+        via :class:`~repro.sim.hooks.CheckerHook`.
+    hooks:
+        Additional pre-built hook objects (any object implementing a
+        subset of :data:`~repro.sim.hooks.HOOK_EVENTS`).
+    """
+
+    def __init__(self, model: MachineModel, *, tracer=None, check=None, hooks=()):
+        self.model = model
+        self.p = model.p
+        self.event_mode = model.scheduling == EVENT
+        if not self.event_mode and model.scheduling != INTERLEAVED:
+            raise ConfigurationError(
+                f"unknown scheduling discipline {model.scheduling!r}"
+            )
+        bus = HookBus()
+        if tracer is not None:
+            bus.add(TracerHook(tracer))
+        if check is not None:
+            bus.add(CheckerHook(check))
+        for h in hooks:
+            bus.add(h)
+        self.bus = bus
+
+        self.threads: list[SimThread] = []
+        self.procs = [_Proc() for _ in range(self.p)] if not self.event_mode else []
+        self._next_proc = 0
+        self._live = 0
+        self._last_issue = -1
+        self._barriers: dict[str, _Barrier] = {}
+        self._op_counts: dict[str, int] = {}
+        self._phase_snaps: list = []
+        #: event mode: per-processor cycles spent waiting at barriers.
+        self.barrier_wait_per_proc = [0.0] * self.p
+        self.barrier_episodes = 0
+        #: interleaved mode: barrier id -> [arrivals, wait cycles, max wait].
+        self.barrier_stats: dict[str, list] = {}
+        # per-run hook shortcuts (tuples of callables, or None = disabled);
+        # model handlers read these to emit spans / sync events cheaply.
+        self._h_span = None
+        self._h_sync = None
+        self._h_release = None
+        bus.attach_engine(model.kind, self.p)
+
+    # -- setup ------------------------------------------------------------------
+
+    def add_thread(self, gen, proc: int | None = None) -> SimThread:
+        """Create a simulated thread running ``gen``.
+
+        Event machines get one thread per processor, assigned in attach
+        order; interleaved machines place round-robin unless pinned.
+        """
+        if self.event_mode:
+            idx = len(self.threads)
+            if idx >= self.p:
+                raise ConfigurationError(
+                    f"all {self.p} processors already have programs"
+                )
+            t = SimThread(tid=idx, gen=gen, proc=idx)
+            t.mstate = self.model.thread_state()
+            self.threads.append(t)
+            self._live += 1
+            return t
+        if proc is None:
+            proc = self._next_proc
+            self._next_proc = (self._next_proc + 1) % self.p
+        if not 0 <= proc < self.p:
+            raise ConfigurationError(f"proc {proc} out of range")
+        pr = self.procs[proc]
+        if pr.live >= self.model.threads_per_proc:
+            raise ConfigurationError(
+                f"processor {proc} already has {self.model.threads_per_proc} streams;"
+                " use FA self-scheduling instead of more threads"
+            )
+        t = SimThread(tid=len(self.threads), gen=gen, proc=proc)
+        self.threads.append(t)
+        pr.ready.append(t)
+        pr.live += 1
+        self._live += 1
+        return t
+
+    def register_barrier(self, barrier_id: str, count: int) -> None:
+        """Declare that ``count`` threads will meet at ``barrier_id``."""
+        if count < 1:
+            raise ConfigurationError("barrier count must be >= 1")
+        self._barriers[barrier_id] = _Barrier(need=count)
+        self.bus.register_barrier(barrier_id, count)
+
+    def set_counter(self, addr: int, value: int = 0) -> None:
+        """Initialize a fetch-add cell (delegates to the model)."""
+        self.model.init_counter(addr, value)
+        self.bus.init_counter(addr)
+
+    def set_full(self, addr: int, value=0) -> None:
+        """Pre-set a full/empty word to Full (delegates to the model)."""
+        self.model.init_full(addr, value)
+        self.bus.init_full(addr)
+
+    # -- scheduling helpers used by model handlers -------------------------------
+
+    def block_until(self, t: SimThread, when: int) -> None:
+        """Park ``t`` until cycle ``when`` (interleaved machines)."""
+        t.state = BLOCKED
+        t.wake_at = when
+        heapq.heappush(self.procs[t.proc].wake, (when, t.tid, t))
+
+    # -- run --------------------------------------------------------------------
+
+    def run(self, name: str = "phase", budget: int | None = None) -> SimReport:
+        """Run every thread to completion; return measurements.
+
+        ``budget`` bounds the run (scheduling steps for event machines,
+        cycles for interleaved ones); exceeding it raises
+        :class:`~repro.errors.WatchdogExceeded` carrying the blocked
+        inventory and the phase slices closed at the abort point.
+        """
+        if budget is None:
+            budget = self.model.default_budget
+        if self.event_mode and len(self.threads) != self.p:
+            raise ConfigurationError(
+                f"{len(self.threads)} programs attached but machine has p={self.p}"
+            )
+        bus = self.bus
+        self._h_span = bus.listeners("on_op_span")
+        self._h_sync = bus.listeners("on_sync")
+        self._h_release = bus.listeners("on_barrier_release")
+        h_start = bus.listeners("on_run_start")
+        if h_start is not None:
+            for fn in h_start:
+                fn(name, self.p)
+        if self.event_mode:
+            report = self._run_event(name, budget)
+        else:
+            report = self._run_interleaved(name, budget)
+        h_end = bus.listeners("end_run")
+        if h_end is not None:
+            for fn in h_end:
+                fn(report)
+        return report
+
+    # -- event discipline (one thread per processor, local time) ----------------
+
+    def _run_event(self, name: str, budget: int) -> SimReport:
+        model = self.model
+        threads = self.threads
+        p = self.p
+        dispatch = model.handlers(self)
+        dispatch_get = dispatch.get
+        barrier_cost = model.barrier_release_cost()
+        implicit = model.implicit_barriers
+        barriers = self._barriers
+        barrier_wait = self.barrier_wait_per_proc
+        op_counts = self._op_counts
+        snaps = self._phase_snaps = [(0.0, name, self._issued_total(), dict(op_counts))]
+        h_op = self.bus.listeners("on_op")
+        h_phase = self.bus.listeners("on_phase")
+        h_span = self._h_span
+        h_release = self._h_release
+        heappush, heappop = heapq.heappush, heapq.heappop
+        heap: list[tuple[float, int]] = [(0.0, i) for i in range(p)]
+        heapq.heapify(heap)
+        last_mark = 0.0
+        steps = 0
+
+        while heap:
+            time, idx = heappop(heap)
+            t = threads[idx]
+            steps += 1
+            if steps > budget:
+                self._abort_watchdog(budget, f"exceeded max_ops={budget}", time)
+            try:
+                op = t.gen.send(t.pending_value)
+            except StopIteration:
+                t.state = DONE
+                continue
+            t.pending_value = None
+            tag = op[0]
+            if tag == PHASE:  # zero-cost marker: no slot, no time
+                if h_phase is not None:
+                    for fn in h_phase:
+                        fn(idx, op[1])
+                if time > last_mark:
+                    last_mark = time
+                snaps.append((last_mark, op[1], self._issued_total(), dict(op_counts)))
+                heappush(heap, (time, idx))
+                continue
+            t.issued += 1
+            op_counts[tag] = op_counts.get(tag, 0) + 1
+            if h_op is not None:
+                for fn in h_op:
+                    fn(idx, op)
+            if tag == BARRIER:
+                bid = op[1]
+                b = barriers.get(bid)
+                if b is None:
+                    if implicit:
+                        b = barriers[bid] = _Barrier(need=p)
+                    else:
+                        raise SimulationError(f"barrier {bid!r} was never registered")
+                t.state = WAIT_BARRIER
+                t.wait_key = bid
+                t.time = time
+                b.waiting.append(t)
+                if len(b.waiting) == b.need:
+                    if h_release is not None:
+                        tids = [w.tid for w in b.waiting]
+                        for fn in h_release:
+                            fn(bid, tids)
+                    release = max(w.time for w in b.waiting) + barrier_cost
+                    self.barrier_episodes += 1
+                    for w in b.waiting:
+                        arrival = w.time
+                        barrier_wait[w.tid] += release - arrival
+                        if h_span is not None:
+                            for fn in h_span:
+                                fn(f"B:{bid}", arrival, release, w.tid, 0, None)
+                        w.time = release
+                        w.state = READY
+                        w.wait_key = None
+                        heappush(heap, (release, w.tid))
+                    b.waiting = []
+                continue  # pushed (or parked) above
+            handler = dispatch_get(tag)
+            if handler is None:
+                raise SimulationError(
+                    f"unknown opcode {tag!r} on {model.kind.upper()} processor {idx}"
+                )
+            end = handler(t, op, time)
+            t.time = end
+            if h_span is not None:
+                args = {"addr": op[1]} if tag != COMPUTE else {}
+                for fn in h_span:
+                    fn(tag, time, end, idx, 0, args)
+            heappush(heap, (end, idx))
+
+        parked = [t.tid for t in threads if t.state == WAIT_BARRIER]
+        if parked:
+            rows = self._blocked_rows()
+            h_blocked = self.bus.listeners("on_blocked")
+            if h_blocked is not None:
+                for fn in h_blocked:
+                    fn(rows)
+            raise DeadlockError(
+                f"processors {parked} parked at barriers no one else reached"
+            )
+
+        cycles = max((t.time for t in threads), default=0.0)
+        total_cycles = int(round(cycles))
+        issued = np.array([t.issued for t in threads], dtype=np.int64)
+        return SimReport(
+            name=name,
+            p=p,
+            cycles=total_cycles,
+            issued=issued,
+            clock_hz=model.clock_hz,
+            op_counts=dict(op_counts),
+            detail=model.report_detail(self),
+            phases=self._close_slices(total_cycles),
+        )
+
+    # -- interleaved discipline (streams, one issue per proc per cycle) ---------
+
+    def _run_interleaved(self, name: str, budget: int) -> SimReport:
+        model = self.model
+        procs = self.procs
+        dispatch = model.handlers(self)
+        dispatch_get = dispatch.get
+        dispatch[BARRIER] = None  # kernel-owned; keep models honest
+        lookahead = model.lookahead
+        op_counts = self._op_counts
+        snaps = self._phase_snaps = [(0, name, self._issued_total(), dict(op_counts))]
+        h_op = self.bus.listeners("on_op")
+        h_phase = self.bus.listeners("on_phase")
+        heappop = heapq.heappop
+        cycle = 0
+        last_issue = -1
+
+        while self._live > 0:
+            if cycle > budget:
+                self._last_issue = last_issue
+                self._abort_watchdog(budget, f"exceeded max_cycles={budget}", cycle)
+            any_ready = False
+            for proc in procs:
+                wake = proc.wake
+                while wake and wake[0][0] <= cycle:
+                    _, _, t = heappop(wake)
+                    t.state = READY
+                    proc.ready.append(t)
+                if not proc.ready:
+                    continue
+                any_ready = True
+                t = proc.ready.popleft()
+                # ---- issue one instruction from t at cycle ----
+                t.drain_completed(cycle)
+                if not t.outstanding:
+                    t.lookahead_credit = lookahead
+                if t.compute_remaining > 0:  # burst continuation: no dispatch
+                    t.compute_remaining -= 1
+                    t.issued += 1
+                    proc.issued += 1
+                    if cycle > last_issue:
+                        last_issue = cycle
+                    op_counts[COMPUTE] = op_counts.get(COMPUTE, 0) + 1
+                    proc.ready.append(t)
+                    continue
+                try:
+                    op = t.gen.send(t.pending_value)
+                except StopIteration:
+                    t.state = DONE
+                    proc.live -= 1
+                    self._live -= 1
+                    continue
+                t.pending_value = None
+                while op[0] == PHASE:  # zero-cost marker: no slot, no cycle
+                    snaps.append(
+                        (cycle, op[1], self._issued_total(), dict(op_counts))
+                    )
+                    if h_phase is not None:
+                        for fn in h_phase:
+                            fn(t.tid, op[1])
+                    try:
+                        op = t.gen.send(None)
+                    except StopIteration:
+                        t.state = DONE
+                        proc.live -= 1
+                        self._live -= 1
+                        op = None
+                        break
+                if op is None:
+                    continue
+                tag = op[0]
+                if h_op is not None:
+                    for fn in h_op:
+                        fn(t.tid, op)
+                t.issued += 1
+                proc.issued += 1
+                if cycle > last_issue:
+                    last_issue = cycle
+                op_counts[tag] = op_counts.get(tag, 0) + 1
+                if tag == BARRIER:
+                    self._interleaved_barrier(t, op[1], cycle)
+                    continue
+                handler = dispatch_get(tag)
+                if handler is None:
+                    raise SimulationError(f"unknown opcode {tag!r} from tid {t.tid}")
+                handler(proc, t, op, cycle)
+            if any_ready:
+                cycle += 1
+            else:
+                nxt = min(
+                    (proc.wake[0][0] for proc in procs if proc.wake),
+                    default=None,
+                )
+                if nxt is None:
+                    if self._live > 0:
+                        self._last_issue = last_issue
+                        self._raise_deadlock()
+                    break
+                cycle = max(cycle + 1, nxt)
+
+        self._last_issue = last_issue
+        issued = np.array([proc.issued for proc in procs], dtype=np.int64)
+        total_cycles = last_issue + 1  # span up to the final real issue
+        return SimReport(
+            name=name,
+            p=self.p,
+            cycles=total_cycles,
+            issued=issued,
+            clock_hz=model.clock_hz,
+            op_counts=dict(op_counts),
+            detail=model.report_detail(self),
+            phases=self._close_slices(total_cycles),
+        )
+
+    def _interleaved_barrier(self, t: SimThread, bid: str, cycle: int) -> None:
+        b = self._barriers.get(bid)
+        if b is None:
+            if self.model.implicit_barriers:
+                b = self._barriers[bid] = _Barrier(need=self.p)
+            else:
+                raise SimulationError(f"barrier {bid!r} was never registered")
+        t.state = WAIT_BARRIER
+        t.wait_since = cycle
+        t.wait_key = bid
+        b.waiting.append(t)
+        if len(b.waiting) == b.need:
+            h_release = self._h_release
+            if h_release is not None:
+                tids = [w.tid for w in b.waiting]
+                for fn in h_release:
+                    fn(bid, tids)
+            release = cycle + self.model.barrier_release_cost()
+            stats = self.barrier_stats.get(bid)
+            if stats is None:
+                stats = self.barrier_stats[bid] = [0, 0, 0]
+            h_span = self._h_span
+            for w in b.waiting:
+                wait = release - w.wait_since
+                stats[0] += 1
+                stats[1] += wait
+                if wait > stats[2]:
+                    stats[2] = wait
+                if h_span is not None:
+                    for fn in h_span:
+                        fn(f"B:{bid}", w.wait_since, release, w.proc, w.tid, None)
+                w.wait_key = None
+                self.block_until(w, release)
+            b.waiting = []
+
+    # -- diagnosis --------------------------------------------------------------
+
+    def _blocked_rows(self) -> list:
+        """Structured rows describing every stuck thread (checker schema)."""
+        rows = self.model.blocked_rows()
+        if self.event_mode:
+            for t in self.threads:
+                if t.state == WAIT_BARRIER:
+                    b = self._barriers[t.wait_key]
+                    rows.append(
+                        {
+                            "tid": t.tid,
+                            "state": WAIT_BARRIER,
+                            "barrier": t.wait_key,
+                            "arrived": len(b.waiting),
+                            "need": b.need,
+                        }
+                    )
+        else:
+            for bid, b in self._barriers.items():
+                for w in b.waiting:
+                    rows.append(
+                        {
+                            "tid": w.tid,
+                            "state": WAIT_BARRIER,
+                            "barrier": bid,
+                            "arrived": len(b.waiting),
+                            "need": b.need,
+                        }
+                    )
+        return rows
+
+    def _raise_deadlock(self) -> None:
+        stuck = [t for t in self.threads if t.state not in (DONE, READY)]
+        rows = self._blocked_rows()
+        h_blocked = self.bus.listeners("on_blocked")
+        if h_blocked is not None:
+            for fn in h_blocked:
+                fn(rows)
+        inventory = ", ".join(f"tid{t.tid}:{t.state}" for t in stuck[:10])
+        raise DeadlockError(
+            f"{len(stuck)} threads blocked with no wake source ({inventory} …)"
+        )
+
+    def _abort_watchdog(self, budget: int, message: str, now) -> None:
+        """Watchdog trip: close the open phase slice at the abort point
+        and raise with the blocked inventory attached."""
+        raise WatchdogExceeded(
+            message,
+            budget=budget,
+            blocked=self._blocked_rows(),
+            phases=self._close_slices(now),
+        )
+
+    # -- phases -----------------------------------------------------------------
+
+    def _issued_total(self) -> int:
+        if self.event_mode:
+            return sum(t.issued for t in self.threads)
+        return sum(proc.issued for proc in self.procs)
+
+    def _close_slices(self, total_cycles) -> list:
+        """Turn the phase snapshots into a partition of ``[0, total_cycles)``.
+
+        Boundaries are clamped into ``[0, total_cycles]`` (event-mode
+        marks carry fractional processor-local times and the report's
+        total is rounded; an aborted run's marks may sit past the abort
+        point) so slice widths telescope to the reported total exactly
+        and the final, possibly still-open slice is closed at the end
+        of the run rather than producing a negative-width slice.
+        """
+        total = float(total_cycles)
+        final = (total, None, self._issued_total(), dict(self._op_counts))
+        snaps = self._phase_snaps + [final]
+        slices = []
+        for (t0, label, i0, oc0), (t1, _, i1, oc1) in zip(snaps, snaps[1:]):
+            t0 = min(max(t0, 0.0), total)
+            t1 = min(max(t1, 0.0), total)
+            if t1 == t0 and i1 == i0 and len(snaps) > 2:
+                continue  # zero-width slice from a marker at a boundary
+            counts = {k: v - oc0.get(k, 0) for k, v in oc1.items() if v != oc0.get(k, 0)}
+            slices.append(
+                PhaseSlice(name=label, start=t0, end=t1, issued=i1 - i0, op_counts=counts)
+            )
+        return slices

@@ -1,11 +1,15 @@
-"""Cycle-level engine for the multithreaded (Cray MTA-2 style) machine.
+"""Machine model and engine facade for the multithreaded (Cray MTA-2 style) machine.
 
-This engine *executes* simulated thread programs under the MTA's rules,
-so utilization (the paper's Table 1) is measured, not asserted:
+The machine-specific physics live in :class:`MTAMachine`, a
+:class:`~repro.sim.kernel.MachineModel` plug-in; the run loop,
+watchdog, barriers, phases, and instrumentation are the shared
+:class:`~repro.sim.kernel.SimKernel`'s.  What makes this machine an
+MTA:
 
 * Each of the ``p`` processors holds up to ``streams_per_proc`` streams
   and issues **one instruction per cycle from some ready stream**,
-  round-robin among ready streams (the hardware's fair scheduler).
+  round-robin among ready streams (the kernel's ``"interleaved"``
+  scheduling discipline — the hardware's fair scheduler).
 * A memory operation takes ``mem_latency`` cycles.  After issuing one,
   a stream may issue up to ``lookahead`` further instructions (the
   compiler-scheduled lookahead; the MTA-2 allowed 8 outstanding
@@ -16,79 +20,357 @@ so utilization (the paper's Table 1) is measured, not asserted:
   hotspot the paper mentions.
 * Full/empty bits implement synchronous loads and stores with real
   blocking and FIFO wakeup.
-* Barriers block until every registered participant arrives.
+* Barriers block until every registered participant arrives
+  (registration is required — no implicit barriers here).
 
 There are no caches and no locality effects: an address's cost is the
 flat memory latency, exactly like the hashed MTA memory.  (Addresses
-still matter — FA serialization and full/empty state are per-address.)
+still matter — FA serialization and full/empty state are per-address,
+and with ``n_banks`` enabled each hashed bank admits one request per
+cycle.)
 
-The engine advances cycle by cycle but fast-forwards over globally idle
-spans, so phase drains don't cost wall-clock time to simulate.
-
-Observability (see :mod:`repro.obs` and ``docs/OBSERVABILITY.md``):
-
-* ``PHASE`` pseudo-ops decompose a run into named
-  :class:`~repro.sim.stats.PhaseSlice` records (zero cost, always on);
-* contention is profiled at its source — per-cell ``int_fetch_add``
-  serialization, full/empty wait histograms, per-barrier wait totals —
-  and reported through ``SimReport.detail``;
-* an optional :class:`~repro.obs.Tracer` receives phase spans (and at
-  ``op`` level one span per memory operation / wait episode).  With no
-  tracer attached the only added work is one attribute test per issue.
+Observability (``PHASE`` slices, contention counters in
+``SimReport.detail``, optional tracer / concurrency checker) attaches
+through the kernel's :class:`~repro.sim.hooks.HookBus`; see
+:mod:`repro.obs`, ``docs/OBSERVABILITY.md``, and ``docs/SIMULATION.md``.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Generator
 
-import numpy as np
-
-from ..errors import ConfigurationError, DeadlockError, SimulationError
+from ..errors import ConfigurationError, SimulationError
 from .isa import (
-    BARRIER,
     COMPUTE,
     FETCH_ADD,
     LOAD,
     LOAD_DEP,
-    PHASE,
     STORE,
     SYNC_LOAD_EMPTY,
     SYNC_LOAD_FULL,
     SYNC_STORE_FULL,
 )
-from .stats import PhaseSlice, SimReport
-from .thread import (
-    BLOCKED,
-    DONE,
-    READY,
-    WAIT_BARRIER,
-    WAIT_EMPTY,
-    WAIT_FULL,
-    SimThread,
-)
+from .kernel import INTERLEAVED, MachineModel, SimKernel
+from .thread import SimThread, WAIT_EMPTY, WAIT_FULL
 
-__all__ = ["MTAEngine"]
+__all__ = ["MTAEngine", "MTAMachine"]
 
 
-@dataclass
-class _Proc:
-    ready: deque = field(default_factory=deque)
-    wake: list = field(default_factory=list)  # heap of (cycle, tid, thread)
-    issued: int = 0
-    live: int = 0
+class MTAMachine(MachineModel):
+    """Flat hashed memory + streams + full/empty bits, as a kernel plug-in."""
 
+    kind = "mta"
+    scheduling = INTERLEAVED
+    implicit_barriers = False
+    default_budget = 200_000_000
 
-@dataclass
-class _Barrier:
-    need: int
-    waiting: list = field(default_factory=list)
+    def __init__(
+        self,
+        p: int = 1,
+        *,
+        streams_per_proc: int = 128,
+        mem_latency: int = 100,
+        lookahead: int = 2,
+        max_outstanding: int = 8,
+        barrier_latency: int = 20,
+        clock_hz: float = 220e6,
+        n_banks: int = 0,
+    ):
+        if p < 1:
+            raise ConfigurationError("p must be >= 1")
+        if streams_per_proc < 1:
+            raise ConfigurationError("streams_per_proc must be >= 1")
+        if mem_latency < 1:
+            raise ConfigurationError("mem_latency must be >= 1")
+        if n_banks and (n_banks < 1 or (n_banks & (n_banks - 1)) != 0):
+            raise ConfigurationError(f"n_banks must be 0 or a power of two, got {n_banks}")
+        self.p = p
+        self.streams_per_proc = streams_per_proc
+        self.threads_per_proc = streams_per_proc
+        self.mem_latency = mem_latency
+        self.lookahead = lookahead
+        self.max_outstanding = max_outstanding
+        self.barrier_latency = barrier_latency
+        self.clock_hz = clock_hz
+        self.n_banks = n_banks
+        self._bank_next_free: dict[int, int] = {}
+        self.bank_contention_stalls = 0
+        # full/empty memory: address present in _full ⇔ word is Full
+        self._full: dict[int, object] = {}
+        self._wait_full: dict[int, deque] = {}
+        self._wait_empty: dict[int, deque] = {}
+        # fetch-add cells
+        self.fa_values: dict[int, int] = {}
+        self._fa_next_free: dict[int, int] = {}
+        self.fa_serialization_stalls = 0
+        #: addr -> [ops, serialization stall cycles] per fetch-add cell.
+        self._fa_sites: dict[int, list] = {}
+        #: log2 bucket -> full/empty wait episodes; plus total wait cycles.
+        self._fe_wait_hist: dict[int, int] = {}
+        self.fe_wait_cycles = 0
+
+    def barrier_release_cost(self) -> int:
+        return self.barrier_latency
+
+    def init_counter(self, addr: int, value: int) -> None:
+        self.fa_values[addr] = value
+
+    def init_full(self, addr: int, value) -> None:
+        self._full[addr] = value
+
+    # -- contention bookkeeping -------------------------------------------------
+
+    def _fe_wait(self, since: int, now: int) -> None:
+        """Record one full/empty wait episode ending now."""
+        wait = now - since
+        bucket = 0 if wait <= 0 else int(wait).bit_length()
+        self._fe_wait_hist[bucket] = self._fe_wait_hist.get(bucket, 0) + 1
+        self.fe_wait_cycles += max(0, wait)
+
+    def _mem_done(self, addr: int, cycle: int) -> int:
+        """Completion cycle of a memory reference issued now.
+
+        With bank modeling on, the hashed bank serving ``addr`` admits
+        one request per cycle, so colliding references queue.
+        """
+        earliest = cycle + self.mem_latency
+        if not self.n_banks:
+            return earliest
+        from ..arch.memory import bank_of
+
+        bank = int(bank_of(addr, self.n_banks))
+        done = max(earliest, self._bank_next_free.get(bank, 0) + 1)
+        self.bank_contention_stalls += done - earliest
+        self._bank_next_free[bank] = done
+        return done
+
+    # -- full/empty semantics ---------------------------------------------------
+
+    def _fill(self, kernel: SimKernel, addr: int, value, cycle: int) -> None:
+        """Set a word Full and service waiting sync-loads FIFO."""
+        full = self._full
+        full[addr] = value
+        waiters = self._wait_full.get(addr)
+        mem_latency = self.mem_latency
+        while waiters and addr in full:
+            w = waiters.popleft()
+            mode = w.pending_value
+            w.pending_value = full[addr]
+            h_sync = kernel._h_sync
+            if h_sync is not None:
+                consume = mode == SYNC_LOAD_EMPTY
+                for fn in h_sync:
+                    fn(w.tid, addr, "read", consume)
+            self._fe_wait(w.wait_since, cycle)
+            h_span = kernel._h_span
+            if h_span is not None:
+                for fn in h_span:
+                    fn(f"{mode}:wait", w.wait_since, cycle + mem_latency,
+                       w.proc, w.tid, {"addr": addr})
+            kernel.block_until(w, cycle + mem_latency)
+            if mode == SYNC_LOAD_EMPTY:
+                del full[addr]
+                self._drain_empty_waiters(kernel, addr, cycle)
+
+    def _drain_empty_waiters(self, kernel: SimKernel, addr: int, cycle: int) -> None:
+        """A word just became Empty: let one waiting producer store."""
+        waiters = self._wait_empty.get(addr)
+        if waiters and addr not in self._full:
+            w = waiters.popleft()
+            value = w.pending_value
+            w.pending_value = None
+            h_sync = kernel._h_sync
+            if h_sync is not None:
+                for fn in h_sync:
+                    fn(w.tid, addr, "write", False)
+            self._fe_wait(w.wait_since, cycle)
+            h_span = kernel._h_span
+            if h_span is not None:
+                for fn in h_span:
+                    fn("SSF:wait", w.wait_since, cycle + self.mem_latency,
+                       w.proc, w.tid, {"addr": addr})
+            kernel.block_until(w, cycle + self.mem_latency)
+            self._fill(kernel, addr, value, cycle)
+
+    # -- dispatch table ---------------------------------------------------------
+
+    def handlers(self, kernel: SimKernel) -> dict:
+        """Interleaved-mode handlers: ``(proc, thread, op, cycle)``."""
+        mem_latency = self.mem_latency
+        max_outstanding = self.max_outstanding
+        block_until = kernel.block_until
+        fa_values = self.fa_values
+        fa_next_free = self._fa_next_free
+        fa_sites = self._fa_sites
+        full = self._full
+        wait_full = self._wait_full
+        wait_empty = self._wait_empty
+        if self.n_banks:
+            mem_done = self._mem_done
+        else:
+            def mem_done(addr, cycle):
+                return cycle + mem_latency
+
+        def h_compute(proc, t, op, cycle):
+            k = op[1]
+            if k < 1:
+                raise SimulationError(f"compute burst must be >= 1, got {k}")
+            t.compute_remaining = k - 1
+            h_span = kernel._h_span
+            if h_span is not None:
+                for fn in h_span:
+                    fn("C", cycle, cycle + k, t.proc, t.tid, None)
+            proc.ready.append(t)
+
+        def h_mem(proc, t, op, cycle):
+            done_at = mem_done(op[1], cycle)
+            h_span = kernel._h_span
+            if h_span is not None:
+                for fn in h_span:
+                    fn(op[0], cycle, done_at, t.proc, t.tid, {"addr": op[1]})
+            out = t.outstanding
+            out.append(done_at)
+            if len(out) > max_outstanding:
+                block_until(t, out.popleft())
+            elif t.lookahead_credit > 0:
+                t.lookahead_credit -= 1
+                proc.ready.append(t)
+            else:
+                block_until(t, out[0])
+
+        def h_load_dep(proc, t, op, cycle):
+            done_at = mem_done(op[1], cycle)
+            h_span = kernel._h_span
+            if h_span is not None:
+                for fn in h_span:
+                    fn(LOAD_DEP, cycle, done_at, t.proc, t.tid, {"addr": op[1]})
+            block_until(t, done_at)
+
+        def h_fetch_add(proc, t, op, cycle):
+            addr = op[1]
+            inc = op[2] if len(op) > 2 else 1
+            old = fa_values.get(addr, 0)
+            fa_values[addr] = old + inc
+            earliest = cycle + mem_latency
+            done_at = fa_next_free.get(addr, 0) + 1
+            if done_at < earliest:
+                done_at = earliest
+            stall = done_at - earliest
+            self.fa_serialization_stalls += stall
+            site = fa_sites.get(addr)
+            if site is None:
+                site = fa_sites[addr] = [0, 0]
+            site[0] += 1
+            site[1] += stall
+            fa_next_free[addr] = done_at
+            t.pending_value = old
+            h_span = kernel._h_span
+            if h_span is not None:
+                for fn in h_span:
+                    fn("FA", cycle, done_at, t.proc, t.tid,
+                       {"addr": addr, "stall": stall})
+            block_until(t, done_at)
+
+        def h_sync_load(proc, t, op, cycle):
+            tag = op[0]
+            addr = op[1]
+            if addr in full:
+                value = full[addr]
+                h_sync = kernel._h_sync
+                if h_sync is not None:
+                    consume = tag == SYNC_LOAD_EMPTY
+                    for fn in h_sync:
+                        fn(t.tid, addr, "read", consume)
+                if tag == SYNC_LOAD_EMPTY:
+                    del full[addr]
+                    self._drain_empty_waiters(kernel, addr, cycle)
+                t.pending_value = value
+                h_span = kernel._h_span
+                if h_span is not None:
+                    for fn in h_span:
+                        fn(tag, cycle, cycle + mem_latency, t.proc, t.tid,
+                           {"addr": addr})
+                block_until(t, cycle + mem_latency)
+            else:
+                t.state = WAIT_FULL
+                t.wait_since = cycle
+                t.pending_value = tag  # remember consume-vs-peek
+                q = wait_full.get(addr)
+                if q is None:
+                    q = wait_full[addr] = deque()
+                q.append(t)
+
+        def h_sync_store(proc, t, op, cycle):
+            addr, value = op[1], op[2]
+            if addr not in full:
+                h_span = kernel._h_span
+                if h_span is not None:
+                    for fn in h_span:
+                        fn(SYNC_STORE_FULL, cycle, cycle + mem_latency,
+                           t.proc, t.tid, {"addr": addr})
+                h_sync = kernel._h_sync
+                if h_sync is not None:
+                    for fn in h_sync:
+                        fn(t.tid, addr, "write", False)
+                self._fill(kernel, addr, value, cycle)
+                block_until(t, cycle + mem_latency)
+            else:
+                t.state = WAIT_EMPTY
+                t.wait_since = cycle
+                t.pending_value = value  # the value awaiting an Empty slot
+                q = wait_empty.get(addr)
+                if q is None:
+                    q = wait_empty[addr] = deque()
+                q.append(t)
+
+        return {
+            COMPUTE: h_compute,
+            LOAD: h_mem,
+            STORE: h_mem,
+            LOAD_DEP: h_load_dep,
+            FETCH_ADD: h_fetch_add,
+            SYNC_LOAD_EMPTY: h_sync_load,
+            SYNC_LOAD_FULL: h_sync_load,
+            SYNC_STORE_FULL: h_sync_store,
+        }
+
+    # -- diagnosis / reporting --------------------------------------------------
+
+    def blocked_rows(self) -> list:
+        """Full/empty wait inventory; the kernel appends barrier waiters."""
+        rows = []
+        for addr, waiters in self._wait_full.items():
+            for w in waiters:
+                rows.append({"tid": w.tid, "state": WAIT_FULL, "addr": addr})
+        for addr, waiters in self._wait_empty.items():
+            for w in waiters:
+                rows.append({"tid": w.tid, "state": WAIT_EMPTY, "addr": addr})
+        return rows
+
+    def report_detail(self, kernel: SimKernel) -> dict:
+        detail = {
+            "fa_serialization_stalls": self.fa_serialization_stalls,
+            "fa_sites": {a: tuple(v) for a, v in self._fa_sites.items()},
+            "fe_wait_hist": dict(self._fe_wait_hist),
+            "fe_wait_cycles": self.fe_wait_cycles,
+            "barrier_waits": {
+                bid: {"episodes": v[0], "wait_cycles": v[1], "max_wait": v[2]}
+                for bid, v in kernel.barrier_stats.items()
+            },
+        }
+        if self.n_banks:
+            detail["bank_contention_stalls"] = self.bank_contention_stalls
+        return detail
 
 
 class MTAEngine:
     """One simulated multithreaded machine, ready to run thread programs.
+
+    A thin facade over ``SimKernel(MTAMachine(p, ...))`` that keeps the
+    historical construction/run API.  Subclass hook: an alternate
+    interleaved machine (e.g. ``mta-next``) overrides
+    :attr:`machine_class` and reuses everything else.
 
     Parameters
     ----------
@@ -112,504 +394,111 @@ class MTAEngine:
         Simulated memory banks (power of two).  0 (default) disables
         bank modeling — appropriate because the MTA hashes logical
         addresses across physical banks, making collisions rare.
-        Enable it to study hotspot traffic beyond ``int_fetch_add``:
-        each bank services one request per cycle, addresses map to
-        banks through :func:`repro.arch.memory.bank_of` (the same
-        multiplicative hash the machine model describes).
+        Enable it to study hotspot traffic beyond ``int_fetch_add``.
     tracer:
         Optional :class:`repro.obs.Tracer`.  ``None`` (default)
         disables event recording entirely; contention *counters* are
-        always collected (they are a handful of dict updates on the
-        already-rare contended paths).
+        always collected.
     check:
         Optional :class:`repro.analysis.ConcurrencyChecker`.  When
-        attached, the engine reports every issued op, the semantic
+        attached, the kernel reports every issued op, the semantic
         moment of each full/empty fill/drain, FA serialization order,
         barrier releases, and (on deadlock) the blocked-thread
-        inventory.  ``None`` (default) costs one attribute test per
-        issue.
+        inventory.
+    hooks:
+        Additional :class:`~repro.sim.hooks.HookBus` subscribers.
     """
 
-    def __init__(
-        self,
-        p: int = 1,
-        *,
-        streams_per_proc: int = 128,
-        mem_latency: int = 100,
-        lookahead: int = 2,
-        max_outstanding: int = 8,
-        barrier_latency: int = 20,
-        clock_hz: float = 220e6,
-        n_banks: int = 0,
-        tracer=None,
-        check=None,
-    ) -> None:
-        if p < 1:
-            raise ConfigurationError("p must be >= 1")
-        if streams_per_proc < 1:
-            raise ConfigurationError("streams_per_proc must be >= 1")
-        if mem_latency < 1:
-            raise ConfigurationError("mem_latency must be >= 1")
-        self.p = p
-        self.streams_per_proc = streams_per_proc
-        self.mem_latency = mem_latency
-        self.lookahead = lookahead
-        self.max_outstanding = max_outstanding
-        self.barrier_latency = barrier_latency
-        self.clock_hz = clock_hz
-        if n_banks and (n_banks < 1 or (n_banks & (n_banks - 1)) != 0):
-            raise ConfigurationError(f"n_banks must be 0 or a power of two, got {n_banks}")
-        self.n_banks = n_banks
-        self._bank_next_free: dict[int, int] = {}
-        self.bank_contention_stalls = 0
+    #: The MachineModel this facade instantiates; subclasses override.
+    machine_class = MTAMachine
 
-        self._procs = [_Proc() for _ in range(p)]
-        self._threads: list[SimThread] = []
-        self._next_proc = 0
-        # full/empty memory: address present in _full ⇔ word is Full
-        self._full: dict[int, object] = {}
-        self._wait_full: dict[int, deque] = {}
-        self._wait_empty: dict[int, deque] = {}
-        # fetch-add cells
-        self.fa_values: dict[int, int] = {}
-        self._fa_next_free: dict[int, int] = {}
-        self.fa_serialization_stalls = 0
-        self._barriers: dict[str, _Barrier] = {}
-        self._op_counts: dict[str, int] = {}
-        self._live = 0
-        self._last_issue = -1
-        # observability: tracer hookup and contention profilers
-        self._tracer = tracer
-        self._trace_ops = tracer is not None and tracer.op_level
-        #: addr -> [ops, serialization stall cycles] per fetch-add cell.
-        self._fa_sites: dict[int, list] = {}
-        #: log2 bucket -> full/empty wait episodes; plus total wait cycles.
-        self._fe_wait_hist: dict[int, int] = {}
-        self.fe_wait_cycles = 0
-        #: barrier id -> [arrivals, wait cycles, max wait].
-        self._barrier_stats: dict[str, list] = {}
-        # phase snapshots: (cycle, name, issued so far, op_counts so far)
-        self._phase_snaps: list = []
-        self._check = check
-        if check is not None:
-            check.attach_engine("mta", p)
+    def __init__(self, p: int = 1, *, tracer=None, check=None, hooks=(), **params) -> None:
+        # Only caller-supplied parameters reach the machine, so a
+        # subclass machine's own defaults (mta-next's latency, stream
+        # budget…) apply; unknown parameters raise from its constructor.
+        self.model = self.machine_class(p, **params)
+        self.kernel = SimKernel(self.model, tracer=tracer, check=check, hooks=hooks)
 
     # -- setup -----------------------------------------------------------------
 
     def spawn(self, gen: Generator, proc: int | None = None) -> SimThread:
         """Add a thread; round-robin processor placement unless pinned."""
-        if proc is None:
-            proc = self._next_proc
-            self._next_proc = (self._next_proc + 1) % self.p
-        if not 0 <= proc < self.p:
-            raise ConfigurationError(f"proc {proc} out of range")
-        if self._procs[proc].live >= self.streams_per_proc:
-            raise ConfigurationError(
-                f"processor {proc} already has {self.streams_per_proc} streams;"
-                " use FA self-scheduling instead of more threads"
-            )
-        t = SimThread(tid=len(self._threads), gen=gen, proc=proc)
-        self._threads.append(t)
-        self._procs[proc].ready.append(t)
-        self._procs[proc].live += 1
-        self._live += 1
-        return t
+        return self.kernel.add_thread(gen, proc)
 
     def register_barrier(self, barrier_id: str, count: int) -> None:
         """Declare that ``count`` threads will meet at ``barrier_id``."""
-        if count < 1:
-            raise ConfigurationError("barrier count must be >= 1")
-        self._barriers[barrier_id] = _Barrier(need=count)
-        if self._check is not None:
-            self._check.register_barrier(barrier_id, count)
+        self.kernel.register_barrier(barrier_id, count)
 
     def set_full(self, addr: int, value=0) -> None:
         """Pre-set a full/empty word to Full with ``value``."""
-        self._full[addr] = value
-        if self._check is not None:
-            self._check.init_full(addr)
+        self.kernel.set_full(addr, value)
 
     def set_counter(self, addr: int, value: int = 0) -> None:
         """Initialize a fetch-add cell."""
-        self.fa_values[addr] = value
-        if self._check is not None:
-            self._check.init_counter(addr)
+        self.kernel.set_counter(addr, value)
 
     # -- run --------------------------------------------------------------------
 
-    def run(self, name: str = "phase", max_cycles: int = 200_000_000) -> SimReport:
-        """Execute until every spawned thread finishes; return measurements."""
-        cycle = 0
-        self._phase_snaps = [(0, name, self._issued_total(), dict(self._op_counts))]
-        if self._check is not None:
-            self._check.start_run(name)
-        if self._tracer is not None:
-            for i in range(self.p):
-                self._tracer.name_process(i, f"proc{i}")
-        while self._live > 0:
-            if cycle > max_cycles:
-                raise SimulationError(f"exceeded max_cycles={max_cycles}")
-            any_ready = False
-            for proc in self._procs:
-                wake = proc.wake
-                while wake and wake[0][0] <= cycle:
-                    _, _, t = heapq.heappop(wake)
-                    t.state = READY
-                    proc.ready.append(t)
-                if proc.ready:
-                    any_ready = True
-                    self._issue(proc, proc.ready.popleft(), cycle)
-            if any_ready:
-                cycle += 1
-            else:
-                nxt = min(
-                    (proc.wake[0][0] for proc in self._procs if proc.wake),
-                    default=None,
-                )
-                if nxt is None:
-                    if self._live > 0:
-                        self._raise_deadlock()
-                    break
-                cycle = max(cycle + 1, nxt)
+    def run(
+        self,
+        name: str = "phase",
+        max_cycles: int = 200_000_000,
+        *,
+        budget: int | None = None,
+    ):
+        """Execute until every spawned thread finishes; return measurements.
 
-        if self._check is not None:
-            self._check.end_run([])
-        issued = np.array([proc.issued for proc in self._procs], dtype=np.int64)
-        total_cycles = self._last_issue + 1  # span up to the final real issue
-        detail = {
-            "fa_serialization_stalls": self.fa_serialization_stalls,
-            "fa_sites": {a: tuple(v) for a, v in self._fa_sites.items()},
-            "fe_wait_hist": dict(self._fe_wait_hist),
-            "fe_wait_cycles": self.fe_wait_cycles,
-            "barrier_waits": {
-                bid: {"episodes": v[0], "wait_cycles": v[1], "max_wait": v[2]}
-                for bid, v in self._barrier_stats.items()
-            },
-        }
-        if self.n_banks:
-            detail["bank_contention_stalls"] = self.bank_contention_stalls
-        report = SimReport(
-            name=name,
-            p=self.p,
-            cycles=total_cycles,
-            issued=issued,
-            clock_hz=self.clock_hz,
-            op_counts=dict(self._op_counts),
-            detail=detail,
-            phases=self._close_slices(total_cycles),
-        )
-        if self._tracer is not None:
-            self._tracer.record_run(report)
-        return report
-
-    # -- internals ----------------------------------------------------------------
-
-    def _raise_deadlock(self) -> None:
-        stuck = [t for t in self._threads if t.state not in (DONE, READY)]
-        if self._check is not None:
-            self._check.end_run(self._blocked_inventory())
-        inventory = ", ".join(f"tid{t.tid}:{t.state}" for t in stuck[:10])
-        raise DeadlockError(
-            f"{len(stuck)} threads blocked with no wake source ({inventory} …)"
-        )
-
-    def _blocked_inventory(self) -> list:
-        """Structured rows describing every stuck thread, for the checker."""
-        rows = []
-        for addr, waiters in self._wait_full.items():
-            for w in waiters:
-                rows.append({"tid": w.tid, "state": WAIT_FULL, "addr": addr})
-        for addr, waiters in self._wait_empty.items():
-            for w in waiters:
-                rows.append({"tid": w.tid, "state": WAIT_EMPTY, "addr": addr})
-        for bid, b in self._barriers.items():
-            for w in b.waiting:
-                rows.append(
-                    {
-                        "tid": w.tid,
-                        "state": WAIT_BARRIER,
-                        "barrier": bid,
-                        "arrived": len(b.waiting),
-                        "need": b.need,
-                    }
-                )
-        return rows
-
-    def _count(self, tag: str) -> None:
-        self._op_counts[tag] = self._op_counts.get(tag, 0) + 1
-
-    def _issued_total(self) -> int:
-        return sum(proc.issued for proc in self._procs)
-
-    def _phase_mark(self, label: str, cycle: int) -> None:
-        """Close the current phase slice and open ``label`` at ``cycle``."""
-        self._phase_snaps.append(
-            (cycle, label, self._issued_total(), dict(self._op_counts))
-        )
-
-    def _close_slices(self, total_cycles: int) -> list:
-        """Turn the phase snapshots into a partition of ``[0, total_cycles)``."""
-        snaps = self._phase_snaps + [
-            (total_cycles, None, self._issued_total(), dict(self._op_counts))
-        ]
-        slices = []
-        for (c0, label, i0, oc0), (c1, _, i1, oc1) in zip(snaps, snaps[1:]):
-            if c1 == c0 and i1 == i0 and len(snaps) > 2:
-                continue  # zero-width slice from a marker at a boundary
-            counts = {k: v - oc0.get(k, 0) for k, v in oc1.items() if v != oc0.get(k, 0)}
-            slices.append(
-                PhaseSlice(name=label, start=c0, end=c1, issued=i1 - i0, op_counts=counts)
-            )
-        return slices
-
-    def _fe_wait(self, since: int, now: int) -> None:
-        """Record one full/empty wait episode ending now."""
-        wait = now - since
-        bucket = 0 if wait <= 0 else int(wait).bit_length()
-        self._fe_wait_hist[bucket] = self._fe_wait_hist.get(bucket, 0) + 1
-        self.fe_wait_cycles += max(0, wait)
-
-    def _finish(self, t: SimThread) -> None:
-        t.state = DONE
-        self._procs[t.proc].live -= 1
-        self._live -= 1
-
-    def _mem_done(self, addr: int, cycle: int) -> int:
-        """Completion cycle of a memory reference issued now.
-
-        With bank modeling on, the hashed bank serving ``addr`` admits
-        one request per cycle, so colliding references queue.
+        ``max_cycles`` is the historical name for the kernel ``budget``
+        (cycles); ``budget`` wins when both are given.
         """
-        earliest = cycle + self.mem_latency
-        if not self.n_banks:
-            return earliest
-        from ..arch.memory import bank_of
+        return self.kernel.run(name, budget=budget if budget is not None else max_cycles)
 
-        bank = int(bank_of(addr, self.n_banks))
-        done = max(earliest, self._bank_next_free.get(bank, 0) + 1)
-        self.bank_contention_stalls += done - earliest
-        self._bank_next_free[bank] = done
-        return done
+    # -- public state the historical engine exposed -----------------------------
 
-    def _block_until(self, t: SimThread, when: int) -> None:
-        t.state = BLOCKED
-        t.wake_at = when
-        heapq.heappush(self._procs[t.proc].wake, (when, t.tid, t))
+    @property
+    def p(self) -> int:
+        return self.model.p
 
-    def _requeue(self, t: SimThread) -> None:
-        self._procs[t.proc].ready.append(t)
+    @property
+    def streams_per_proc(self) -> int:
+        return self.model.streams_per_proc
 
-    def _issue(self, proc: _Proc, t: SimThread, cycle: int) -> None:
-        """Issue one instruction from thread ``t`` at ``cycle``."""
-        t.drain_completed(cycle)
-        if not t.outstanding:
-            t.lookahead_credit = self.lookahead
+    @property
+    def mem_latency(self) -> int:
+        return self.model.mem_latency
 
-        if t.compute_remaining > 0:
-            t.compute_remaining -= 1
-            t.issued += 1
-            proc.issued += 1
-            self._last_issue = max(self._last_issue, cycle)
-            self._count(COMPUTE)
-            self._requeue(t)
-            return
+    @property
+    def lookahead(self) -> int:
+        return self.model.lookahead
 
-        try:
-            op = t.gen.send(t.pending_value)
-        except StopIteration:
-            self._finish(t)
-            return
-        t.pending_value = None
-        while op[0] == PHASE:  # zero-cost marker: no slot, no cycle
-            self._phase_mark(op[1], cycle)
-            if self._check is not None:
-                self._check.on_phase(t.tid, op[1])
-            try:
-                op = t.gen.send(None)
-            except StopIteration:
-                self._finish(t)
-                return
-        tag = op[0]
-        if self._check is not None:
-            self._check.on_op(t.tid, op)
-        t.issued += 1
-        proc.issued += 1
-        self._last_issue = max(self._last_issue, cycle)
-        self._count(tag)
+    @property
+    def max_outstanding(self) -> int:
+        return self.model.max_outstanding
 
-        if tag == COMPUTE:
-            k = op[1]
-            if k < 1:
-                raise SimulationError(f"compute burst must be >= 1, got {k}")
-            t.compute_remaining = k - 1
-            if self._trace_ops:
-                self._tracer.span("C", cycle, cycle + k, pid=t.proc, tid=t.tid)
-            self._requeue(t)
-        elif tag in (LOAD, STORE):
-            done_at = self._mem_done(op[1], cycle)
-            if self._trace_ops:
-                self._tracer.span(
-                    tag, cycle, done_at, pid=t.proc, tid=t.tid, args={"addr": op[1]}
-                )
-            t.outstanding.append(done_at)
-            if len(t.outstanding) > self.max_outstanding:
-                self._block_until(t, t.outstanding.popleft())
-            elif t.lookahead_credit > 0:
-                t.lookahead_credit -= 1
-                self._requeue(t)
-            else:
-                self._block_until(t, t.outstanding[0])
-        elif tag == LOAD_DEP:
-            done_at = self._mem_done(op[1], cycle)
-            if self._trace_ops:
-                self._tracer.span(
-                    tag, cycle, done_at, pid=t.proc, tid=t.tid, args={"addr": op[1]}
-                )
-            self._block_until(t, done_at)
-        elif tag == FETCH_ADD:
-            addr, inc = op[1], op[2] if len(op) > 2 else 1
-            old = self.fa_values.get(addr, 0)
-            self.fa_values[addr] = old + inc
-            earliest = cycle + self.mem_latency
-            queued = self._fa_next_free.get(addr, 0) + 1
-            done_at = max(earliest, queued)
-            stall = done_at - earliest
-            self.fa_serialization_stalls += stall
-            site = self._fa_sites.get(addr)
-            if site is None:
-                site = self._fa_sites[addr] = [0, 0]
-            site[0] += 1
-            site[1] += stall
-            self._fa_next_free[addr] = done_at
-            t.pending_value = old
-            if self._trace_ops:
-                self._tracer.span(
-                    "FA",
-                    cycle,
-                    done_at,
-                    pid=t.proc,
-                    tid=t.tid,
-                    args={"addr": addr, "stall": stall},
-                )
-            self._block_until(t, done_at)
-        elif tag in (SYNC_LOAD_EMPTY, SYNC_LOAD_FULL):
-            addr = op[1]
-            if addr in self._full:
-                value = self._full[addr]
-                if self._check is not None:
-                    self._check.on_sync_read(t.tid, addr, tag == SYNC_LOAD_EMPTY)
-                if tag == SYNC_LOAD_EMPTY:
-                    del self._full[addr]
-                    self._drain_empty_waiters(addr, cycle)
-                t.pending_value = value
-                if self._trace_ops:
-                    self._tracer.span(
-                        tag,
-                        cycle,
-                        cycle + self.mem_latency,
-                        pid=t.proc,
-                        tid=t.tid,
-                        args={"addr": addr},
-                    )
-                self._block_until(t, cycle + self.mem_latency)
-            else:
-                t.state = WAIT_FULL
-                t.wait_since = cycle
-                t.pending_value = tag  # remember consume-vs-peek
-                self._wait_full.setdefault(addr, deque()).append(t)
-        elif tag == SYNC_STORE_FULL:
-            addr, value = op[1], op[2]
-            if addr not in self._full:
-                if self._trace_ops:
-                    self._tracer.span(
-                        tag,
-                        cycle,
-                        cycle + self.mem_latency,
-                        pid=t.proc,
-                        tid=t.tid,
-                        args={"addr": addr},
-                    )
-                if self._check is not None:
-                    self._check.on_sync_write(t.tid, addr)
-                self._fill(addr, value, cycle)
-                self._block_until(t, cycle + self.mem_latency)
-            else:
-                t.state = WAIT_EMPTY
-                t.wait_since = cycle
-                t.pending_value = value  # the value awaiting an Empty slot
-                self._wait_empty.setdefault(addr, deque()).append(t)
-        elif tag == BARRIER:
-            bid = op[1]
-            if bid not in self._barriers:
-                raise SimulationError(f"barrier {bid!r} was never registered")
-            b = self._barriers[bid]
-            t.state = WAIT_BARRIER
-            t.wait_since = cycle
-            b.waiting.append(t)
-            if len(b.waiting) == b.need:
-                if self._check is not None:
-                    self._check.on_barrier_release(bid, [w.tid for w in b.waiting])
-                release = cycle + self.barrier_latency
-                stats = self._barrier_stats.get(bid)
-                if stats is None:
-                    stats = self._barrier_stats[bid] = [0, 0, 0]
-                for w in b.waiting:
-                    wait = release - w.wait_since
-                    stats[0] += 1
-                    stats[1] += wait
-                    stats[2] = max(stats[2], wait)
-                    if self._trace_ops:
-                        self._tracer.span(
-                            f"B:{bid}", w.wait_since, release, pid=w.proc, tid=w.tid
-                        )
-                    self._block_until(w, release)
-                b.waiting = []
-        else:
-            raise SimulationError(f"unknown opcode {tag!r} from tid {t.tid}")
+    @property
+    def barrier_latency(self) -> int:
+        return self.model.barrier_latency
 
-    def _fill(self, addr: int, value, cycle: int) -> None:
-        """Set a word Full and service waiting sync-loads FIFO."""
-        self._full[addr] = value
-        waiters = self._wait_full.get(addr)
-        while waiters and addr in self._full:
-            w = waiters.popleft()
-            mode = w.pending_value
-            w.pending_value = self._full[addr]
-            if self._check is not None:
-                self._check.on_sync_read(w.tid, addr, mode == SYNC_LOAD_EMPTY)
-            self._fe_wait(w.wait_since, cycle)
-            if self._trace_ops:
-                self._tracer.span(
-                    f"{mode}:wait",
-                    w.wait_since,
-                    cycle + self.mem_latency,
-                    pid=w.proc,
-                    tid=w.tid,
-                    args={"addr": addr},
-                )
-            self._block_until(w, cycle + self.mem_latency)
-            if mode == SYNC_LOAD_EMPTY:
-                del self._full[addr]
-                self._drain_empty_waiters(addr, cycle)
+    @property
+    def clock_hz(self) -> float:
+        return self.model.clock_hz
 
-    def _drain_empty_waiters(self, addr: int, cycle: int) -> None:
-        """A word just became Empty: let one waiting producer store."""
-        waiters = self._wait_empty.get(addr)
-        if waiters and addr not in self._full:
-            w = waiters.popleft()
-            value = w.pending_value
-            w.pending_value = None
-            if self._check is not None:
-                self._check.on_sync_write(w.tid, addr)
-            self._fe_wait(w.wait_since, cycle)
-            if self._trace_ops:
-                self._tracer.span(
-                    "SSF:wait",
-                    w.wait_since,
-                    cycle + self.mem_latency,
-                    pid=w.proc,
-                    tid=w.tid,
-                    args={"addr": addr},
-                )
-            self._block_until(w, cycle + self.mem_latency)
-            self._fill(addr, value, cycle)
+    @property
+    def n_banks(self) -> int:
+        return self.model.n_banks
+
+    @property
+    def fa_values(self) -> dict:
+        return self.model.fa_values
+
+    @property
+    def fa_serialization_stalls(self) -> int:
+        return self.model.fa_serialization_stalls
+
+    @property
+    def bank_contention_stalls(self) -> int:
+        return self.model.bank_contention_stalls
+
+    @property
+    def fe_wait_cycles(self) -> int:
+        return self.model.fe_wait_cycles

@@ -1,77 +1,174 @@
-"""Cycle-level engine for the cache-based SMP machine.
+"""Machine model and engine facade for the cache-based SMP machine.
 
-Executes one simulated thread per processor (the paper's POSIX-threads
-model) against per-processor L1/L2 cache hierarchies, a shared bus, and
-software barriers:
+The machine-specific physics live in :class:`SMPMachine`, a
+:class:`~repro.sim.kernel.MachineModel` plug-in; the run loop,
+watchdog, barriers, phases, and instrumentation are the shared
+:class:`~repro.sim.kernel.SimKernel`'s.  What makes this machine an
+SMP:
 
-* Every load goes through the processor's
-  :class:`~repro.arch.cache.CacheHierarchy`; the level that serves it
-  sets its latency.  Misses to memory also arbitrate for the shared
-  bus, which transfers one cache line at the configured bandwidth —
-  concurrent misses from different processors queue, which is what
-  erodes SMP scalability at higher p.
+* One simulated thread per processor (the paper's POSIX-threads
+  model), each with a private L1/L2
+  :class:`~repro.arch.cache.CacheHierarchy`; the level that serves a
+  load sets its latency.  Misses to memory also arbitrate for the
+  shared bus, which transfers one cache line at the configured
+  bandwidth — concurrent misses from different processors queue, which
+  is what erodes SMP scalability at higher p.
 * Stores probe the cache (write-allocate) but retire through the write
   buffer: the processor is charged a cycle of occupancy (plus bus
   traffic on a miss), not the miss latency.
-* Barriers are software: the last arrival releases everyone after
-  ``barrier_cycles(p)``.
+* Barriers are software and implicit: the last arrival releases
+  everyone after ``barrier_cycles(p)``.
 * ``FETCH_ADD`` models a lock-free atomic: serialized per cell with a
   memory round-trip.
 
-The engine is event-driven — processors advance independently in local
-time, globally ordered through the bus and barriers — so there is no
-per-cycle loop and large programs simulate quickly.
+The machine is event-driven (``scheduling = "event"``) — processors
+advance independently in local time, globally ordered through the bus
+and barriers — so there is no per-cycle loop and large programs
+simulate quickly.
 
-Observability (see :mod:`repro.obs` and ``docs/OBSERVABILITY.md``):
-
-* ``PHASE`` pseudo-ops decompose a run into named
-  :class:`~repro.sim.stats.PhaseSlice` records (zero cost, always on);
-* contention is profiled per processor — barrier-wait cycles, L1/L2
-  hit/miss counts, per-cell fetch-add serialization — and reported
-  through ``SimReport.detail``;
-* an optional :class:`~repro.obs.Tracer` receives phase spans (and at
-  ``op`` level one span per operation).  With no tracer attached the
-  only added work is one boolean test per operation.
+Observability (``PHASE`` slices, contention counters in
+``SimReport.detail``, optional tracer / concurrency checker) attaches
+through the kernel's :class:`~repro.sim.hooks.HookBus`; see
+:mod:`repro.obs`, ``docs/OBSERVABILITY.md``, and ``docs/SIMULATION.md``.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass
 from typing import Generator
 
-import numpy as np
-
 from ..arch.cache import CacheHierarchy
-from ..errors import ConfigurationError, DeadlockError, SimulationError
+from ..errors import ConfigurationError
 from ..core.smp_machine import SMPConfig, SUN_E4500
-from .isa import (
-    BARRIER,
-    COMPUTE,
-    FETCH_ADD,
-    LOAD,
-    LOAD_DEP,
-    PHASE,
-    STORE,
-)
-from .stats import PhaseSlice, SimReport
+from .isa import COMPUTE, FETCH_ADD, LOAD, LOAD_DEP, STORE
+from .kernel import EVENT, MachineModel, SimKernel
 
-__all__ = ["SMPEngine"]
+__all__ = ["SMPEngine", "SMPMachine"]
 
 
-@dataclass
-class _ProcState:
-    gen: Generator
-    time: float = 0.0
-    issued: int = 0
-    pending_value: object = None
-    done: bool = False
-    at_barrier: str | None = None
-    hier: CacheHierarchy | None = None
+class SMPMachine(MachineModel):
+    """Cache hierarchy + shared bus + write buffer, as a kernel plug-in."""
+
+    kind = "smp"
+    scheduling = EVENT
+    implicit_barriers = True
+    default_budget = 500_000_000
+
+    def __init__(self, p: int = 1, config: SMPConfig = SUN_E4500):
+        if not 1 <= p <= config.max_p:
+            raise ConfigurationError(f"p={p} outside [1, {config.max_p}]")
+        self.p = p
+        self.config = config
+        self.clock_hz = config.clock_hz
+        self._bus_free = 0.0
+        self._bus_busy_cycles = 0.0
+        self.fa_values: dict[int, int] = {}
+        self._fa_next_free: dict[int, float] = {}
+        self._line_transfer = config.l2.line_words / config.bus_words_per_cycle
+        #: addr -> [ops, serialization stall cycles] per fetch-add cell.
+        self._fa_sites: dict[int, list] = {}
+
+    def thread_state(self) -> CacheHierarchy:
+        return CacheHierarchy(self.config.l1, self.config.l2)
+
+    def barrier_release_cost(self) -> float:
+        return self.config.barrier_cycles(self.p)
+
+    def init_counter(self, addr: int, value: int) -> None:
+        self.fa_values[addr] = value
+
+    def handlers(self, kernel: SimKernel) -> dict:
+        """Event-mode handlers: ``(thread, op, time) -> end_time``."""
+        cfg = self.config
+        cpi = cfg.cpi
+        l1_hit = cfg.l1_hit_cycles
+        l2_hit = cfg.l2_hit_cycles
+        mem = cfg.mem_cycles
+        line = self._line_transfer
+        allowance = cfg.store_buffer_depth * line
+        fa_values = self.fa_values
+        fa_next_free = self._fa_next_free
+        fa_sites = self._fa_sites
+
+        def bus_transfer(time):
+            # arbitrate one line transfer; returns its completion time
+            start = self._bus_free
+            if time > start:
+                start = time
+            free = start + line
+            self._bus_free = free
+            self._bus_busy_cycles += line
+            return free
+
+        def h_compute(t, op, time):
+            return time + op[1] * cpi
+
+        def h_load(t, op, time):
+            level = t.mstate.access(op[1])
+            if level == "l1":
+                return time + l1_hit
+            if level == "l2":
+                return time + l2_hit
+            done = bus_transfer(time) + mem - line
+            return time + max(done - time, mem)
+
+        def h_store(t, op, time):
+            level = t.mstate.access(op[1])  # write-allocate
+            if level == "mem":
+                bus_transfer(time)  # line fill occupies the bus, not the CPU
+                # write-buffer backpressure: once the buffer's worth of
+                # line fills is queued behind the bus, the processor
+                # stalls until the backlog drains below the buffer depth
+                backlog = self._bus_free - time
+                if backlog > allowance:
+                    return time + (backlog - allowance + 1.0)
+            return time + 1.0
+
+        def h_fetch_add(t, op, time):
+            addr = op[1]
+            inc = op[2] if len(op) > 2 else 1
+            old = fa_values.get(addr, 0)
+            fa_values[addr] = old + inc
+            t.pending_value = old
+            start = fa_next_free.get(addr, 0.0)
+            if time > start:
+                start = time
+            done = start + l2_hit  # atomic at the coherence point
+            fa_next_free[addr] = done
+            site = fa_sites.get(addr)
+            if site is None:
+                site = fa_sites[addr] = [0, 0.0]
+            site[0] += 1
+            site[1] += start - time
+            return done
+
+        return {
+            COMPUTE: h_compute,
+            LOAD: h_load,
+            LOAD_DEP: h_load,
+            STORE: h_store,
+            FETCH_ADD: h_fetch_add,
+        }
+
+    def report_detail(self, kernel: SimKernel) -> dict:
+        l1 = [t.mstate.l1_stats for t in kernel.threads]
+        l2 = [t.mstate.l2_stats for t in kernel.threads]
+        return {
+            "l1_hit_rate": [s.hit_rate for s in l1],
+            "l2_hit_rate": [s.hit_rate for s in l2],
+            "l1_misses": [s.misses for s in l1],
+            "l2_misses": [s.misses for s in l2],
+            "bus_busy_cycles": self._bus_busy_cycles,
+            "barrier_wait_cycles": list(kernel.barrier_wait_per_proc),
+            "barrier_episodes": kernel.barrier_episodes,
+            "fa_sites": {a: (v[0], v[1]) for a, v in self._fa_sites.items()},
+        }
 
 
 class SMPEngine:
     """One simulated SMP, running exactly one thread per processor.
+
+    A thin facade over ``SimKernel(SMPMachine(p, config))`` that keeps
+    the historical construction/run API.
 
     Parameters
     ----------
@@ -84,257 +181,62 @@ class SMPEngine:
         recording (contention counters are always collected).
     check:
         Optional :class:`repro.analysis.ConcurrencyChecker`; when
-        attached, the engine reports every op, FA serialization order,
+        attached, the kernel reports every op, FA serialization order,
         barrier releases, and parked-processor inventories.
+    hooks:
+        Additional :class:`~repro.sim.hooks.HookBus` subscribers.
     """
 
     def __init__(
-        self, p: int = 1, config: SMPConfig = SUN_E4500, tracer=None, check=None
+        self,
+        p: int = 1,
+        config: SMPConfig = SUN_E4500,
+        tracer=None,
+        check=None,
+        hooks=(),
     ) -> None:
-        if not 1 <= p <= config.max_p:
-            raise ConfigurationError(f"p={p} outside [1, {config.max_p}]")
-        self.p = p
-        self.config = config
-        self._procs: list[_ProcState] = []
-        self._bus_free = 0.0
-        self._bus_busy_cycles = 0.0
-        self.fa_values: dict[int, int] = {}
-        self._fa_next_free: dict[int, float] = {}
-        self._op_counts: dict[str, int] = {}
-        self._line_transfer = config.l2.line_words / config.bus_words_per_cycle
-        # observability: tracer hookup and contention profilers
-        self._tracer = tracer
-        self._trace_ops = tracer is not None and tracer.op_level
-        #: addr -> [ops, serialization stall cycles] per fetch-add cell.
-        self._fa_sites: dict[int, list] = {}
-        #: per-processor cycles spent waiting at (and executing) barriers.
-        self._barrier_wait = [0.0] * p
-        self._barrier_episodes = 0
-        # phase snapshots: (time, name, issued so far, op_counts so far)
-        self._phase_snaps: list = []
-        self._check = check
-        if check is not None:
-            check.attach_engine("smp", p)
+        self.model = SMPMachine(p, config)
+        self.kernel = SimKernel(self.model, tracer=tracer, check=check, hooks=hooks)
+
+    @property
+    def p(self) -> int:
+        return self.model.p
+
+    @property
+    def config(self) -> SMPConfig:
+        return self.model.config
+
+    @property
+    def fa_values(self) -> dict:
+        return self.model.fa_values
 
     def attach(self, gen: Generator) -> int:
         """Attach the program for the next processor; returns its index."""
-        if len(self._procs) >= self.p:
-            raise ConfigurationError(f"all {self.p} processors already have programs")
-        ps = _ProcState(gen=gen, hier=CacheHierarchy(self.config.l1, self.config.l2))
-        self._procs.append(ps)
-        return len(self._procs) - 1
+        return self.kernel.add_thread(gen).tid
 
     def set_counter(self, addr: int, value: int = 0) -> None:
         """Initialize a fetch-add cell."""
-        self.fa_values[addr] = value
-        if self._check is not None:
-            self._check.init_counter(addr)
+        self.kernel.set_counter(addr, value)
 
-    # -- execution -------------------------------------------------------------
+    def register_barrier(self, barrier_id: str, count: int) -> None:
+        """Pre-register a barrier with an explicit arrival count.
 
-    def run(self, name: str = "phase", max_ops: int = 500_000_000) -> SimReport:
-        """Run all processors to completion; return measurements."""
-        if len(self._procs) != self.p:
-            raise ConfigurationError(
-                f"{len(self._procs)} programs attached but machine has p={self.p}"
-            )
-        heap: list[tuple[float, int]] = [(0.0, i) for i in range(self.p)]
-        heapq.heapify(heap)
-        waiting: dict[str, list[int]] = {}
-        ops_done = 0
-        self._phase_snaps = [(0.0, name, 0, dict(self._op_counts))]
-        last_mark = 0.0
-        if self._check is not None:
-            self._check.start_run(name)
-        if self._tracer is not None:
-            for i in range(self.p):
-                self._tracer.name_process(i, f"proc{i}")
-
-        while heap:
-            time, idx = heapq.heappop(heap)
-            ps = self._procs[idx]
-            ops_done += 1
-            if ops_done > max_ops:
-                raise SimulationError(f"exceeded max_ops={max_ops}")
-            try:
-                op = ps.gen.send(ps.pending_value)
-            except StopIteration:
-                ps.done = True
-                continue
-            ps.pending_value = None
-            tag = op[0]
-            if tag == PHASE:  # zero-cost marker: no slot, no time
-                if self._check is not None:
-                    self._check.on_phase(idx, op[1])
-                last_mark = max(last_mark, time)
-                self._phase_snaps.append(
-                    (
-                        last_mark,
-                        op[1],
-                        sum(q.issued for q in self._procs),
-                        dict(self._op_counts),
-                    )
-                )
-                heapq.heappush(heap, (time, idx))
-                continue
-            ps.issued += 1
-            self._op_counts[tag] = self._op_counts.get(tag, 0) + 1
-            if self._check is not None:
-                self._check.on_op(idx, op)
-
-            if tag == COMPUTE:
-                ps.time = time + op[1] * self.config.cpi
-            elif tag in (LOAD, LOAD_DEP):
-                ps.time = time + self._load_cost(ps, op[1], time)
-            elif tag == STORE:
-                ps.time = time + self._store_cost(ps, op[1], time)
-            elif tag == FETCH_ADD:
-                addr = op[1]
-                inc = op[2] if len(op) > 2 else 1
-                old = self.fa_values.get(addr, 0)
-                self.fa_values[addr] = old + inc
-                ps.pending_value = old
-                start = max(time, self._fa_next_free.get(addr, 0.0))
-                done = start + self.config.l2_hit_cycles  # atomic at the coherence point
-                self._fa_next_free[addr] = done
-                site = self._fa_sites.get(addr)
-                if site is None:
-                    site = self._fa_sites[addr] = [0, 0.0]
-                site[0] += 1
-                site[1] += start - time
-                ps.time = done
-            elif tag == BARRIER:
-                bid = op[1]
-                ps.at_barrier = bid
-                ps.time = time
-                group = waiting.setdefault(bid, [])
-                group.append(idx)
-                if len(group) == self.p:
-                    if self._check is not None:
-                        self._check.on_barrier_release(bid, list(group))
-                    release = max(self._procs[i].time for i in group)
-                    release += self.config.barrier_cycles(self.p)
-                    self._barrier_episodes += 1
-                    for i in group:
-                        arrival = self._procs[i].time
-                        self._barrier_wait[i] += release - arrival
-                        if self._trace_ops:
-                            self._tracer.span(f"B:{bid}", arrival, release, pid=i)
-                        self._procs[i].time = release
-                        self._procs[i].at_barrier = None
-                        heapq.heappush(heap, (release, i))
-                    waiting[bid] = []
-                continue  # pushed (or parked) above
-            else:
-                raise SimulationError(f"unknown opcode {tag!r} on SMP processor {idx}")
-            if self._trace_ops:
-                args = {"addr": op[1]} if tag != COMPUTE else {}
-                self._tracer.span(tag, time, ps.time, pid=idx, args=args)
-            heapq.heappush(heap, (ps.time, idx))
-
-        parked = [i for i, ps in enumerate(self._procs) if ps.at_barrier is not None]
-        if parked:
-            if self._check is not None:
-                self._check.end_run(
-                    [
-                        {
-                            "tid": i,
-                            "state": "wait-barrier",
-                            "barrier": self._procs[i].at_barrier,
-                            "arrived": len(waiting.get(self._procs[i].at_barrier, [])),
-                            "need": self.p,
-                        }
-                        for i in parked
-                    ]
-                )
-            raise DeadlockError(
-                f"processors {parked} parked at barriers no one else reached"
-            )
-        if self._check is not None:
-            self._check.end_run([])
-
-        cycles = max((ps.time for ps in self._procs), default=0.0)
-        total_cycles = int(round(cycles))
-        issued = np.array([ps.issued for ps in self._procs], dtype=np.int64)
-        l1 = [ps.hier.l1_stats for ps in self._procs]
-        l2 = [ps.hier.l2_stats for ps in self._procs]
-        report = SimReport(
-            name=name,
-            p=self.p,
-            cycles=total_cycles,
-            issued=issued,
-            clock_hz=self.config.clock_hz,
-            op_counts=dict(self._op_counts),
-            detail={
-                "l1_hit_rate": [s.hit_rate for s in l1],
-                "l2_hit_rate": [s.hit_rate for s in l2],
-                "l1_misses": [s.misses for s in l1],
-                "l2_misses": [s.misses for s in l2],
-                "bus_busy_cycles": self._bus_busy_cycles,
-                "barrier_wait_cycles": list(self._barrier_wait),
-                "barrier_episodes": self._barrier_episodes,
-                "fa_sites": {a: (v[0], v[1]) for a, v in self._fa_sites.items()},
-            },
-            phases=self._close_slices(total_cycles),
-        )
-        if self._tracer is not None:
-            self._tracer.record_run(report)
-        return report
-
-    def _close_slices(self, total_cycles: int) -> list:
-        """Turn the phase snapshots into a partition of ``[0, total_cycles)``.
-
-        Boundaries are clamped into ``[0, total_cycles]`` (marks carry
-        fractional processor-local times; the report's total is rounded)
-        so slice widths telescope to the reported total exactly.
+        Optional on the SMP — its software barriers implicitly need all
+        ``p`` processors — but lets a program run a barrier among a
+        subset of processors.
         """
-        final = (
-            float(total_cycles),
-            None,
-            sum(q.issued for q in self._procs),
-            dict(self._op_counts),
-        )
-        snaps = self._phase_snaps + [final]
-        slices = []
-        for (t0, label, i0, oc0), (t1, _, i1, oc1) in zip(snaps, snaps[1:]):
-            t0 = min(max(t0, 0.0), float(total_cycles))
-            t1 = min(max(t1, 0.0), float(total_cycles))
-            if t1 == t0 and i1 == i0 and len(snaps) > 2:
-                continue  # zero-width slice from a marker at a boundary
-            counts = {k: v - oc0.get(k, 0) for k, v in oc1.items() if v != oc0.get(k, 0)}
-            slices.append(
-                PhaseSlice(name=label, start=t0, end=t1, issued=i1 - i0, op_counts=counts)
-            )
-        return slices
+        self.kernel.register_barrier(barrier_id, count)
 
-    # -- cost helpers ------------------------------------------------------------
+    def run(
+        self,
+        name: str = "phase",
+        max_ops: int = 500_000_000,
+        *,
+        budget: int | None = None,
+    ):
+        """Run all processors to completion; return measurements.
 
-    def _bus_transfer(self, time: float) -> float:
-        """Arbitrate one line transfer; returns its completion time."""
-        start = max(time, self._bus_free)
-        self._bus_free = start + self._line_transfer
-        self._bus_busy_cycles += self._line_transfer
-        return self._bus_free
-
-    def _load_cost(self, ps: _ProcState, addr: int, time: float) -> float:
-        level = ps.hier.access(addr)
-        c = self.config
-        if level == "l1":
-            return c.l1_hit_cycles
-        if level == "l2":
-            return c.l2_hit_cycles
-        done = self._bus_transfer(time) + c.mem_cycles - self._line_transfer
-        return max(done - time, c.mem_cycles)
-
-    def _store_cost(self, ps: _ProcState, addr: int, time: float) -> float:
-        level = ps.hier.access(addr)  # write-allocate
-        if level == "mem":
-            self._bus_transfer(time)  # line fill occupies the bus, not the CPU
-            # write-buffer backpressure: once the buffer's worth of line
-            # fills is queued behind the bus, the processor stalls until
-            # the backlog drains below the buffer depth
-            allowance = self.config.store_buffer_depth * self._line_transfer
-            backlog = self._bus_free - time
-            if backlog > allowance:
-                return backlog - allowance + 1.0
-        return 1.0
+        ``max_ops`` is the historical name for the kernel ``budget``
+        (scheduling steps); ``budget`` wins when both are given.
+        """
+        return self.kernel.run(name, budget=budget if budget is not None else max_ops)

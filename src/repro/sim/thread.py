@@ -47,6 +47,14 @@ class SimThread:
     #: Cycle at which the thread started waiting (full/empty word or
     #: barrier) — consumed by the contention profiler when it wakes.
     wait_since: int = 0
+    #: Event-driven machines: the thread's local time (one thread per
+    #: processor advances independently; the kernel's heap orders them).
+    time: float = 0.0
+    #: What the thread is waiting on (barrier id for WAIT_BARRIER).
+    wait_key: object = None
+    #: Machine-model-private per-thread state (e.g. the SMP's per-
+    #: processor cache hierarchy); opaque to the kernel.
+    mstate: object = None
 
     def drain_completed(self, now: int) -> None:
         """Drop outstanding memory ops that have completed by cycle ``now``."""

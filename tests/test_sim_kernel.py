@@ -1,0 +1,372 @@
+"""The unified simulation kernel: HookBus, watchdog, machine registry.
+
+The engine-equivalence suite (``test_engine_equivalence.py``) pins the
+refactor's behavior to the pre-kernel goldens; this file tests the new
+surfaces the kernel added — the single instrumentation bus, the unified
+watchdog ``budget`` with its blocked-inventory diagnosis, phase-slice
+closure on mid-phase aborts, and the machine-model registry with its
+backend auto-registration (``mta-next`` end to end).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, WatchdogExceeded
+from repro.sim import (
+    HOOK_EVENTS,
+    INTERLEAVED,
+    HookBus,
+    MTAEngine,
+    SMPEngine,
+    isa,
+    list_machines,
+    machine_spec,
+    register_machine,
+)
+from repro.sim.mta_next import MTANextEngine, MTANextMachine
+
+
+class _Recorder:
+    """Hook implementing every event: appends (event, args) tuples."""
+
+    def __init__(self):
+        self.events = []
+
+    def __getattr__(self, name):
+        if name in HOOK_EVENTS:
+            return lambda *a, _n=name: self.events.append((_n, a))
+        raise AttributeError(name)
+
+    def names(self):
+        return [n for n, _ in self.events]
+
+
+class _EndOnly:
+    def __init__(self):
+        self.reports = []
+
+    def end_run(self, report):
+        self.reports.append(report)
+
+
+class TestHookBus:
+    def test_listeners_none_when_empty(self):
+        bus = HookBus()
+        for event in HOOK_EVENTS:
+            assert bus.listeners(event) is None
+
+    def test_listeners_filter_by_implemented_subset(self):
+        bus = HookBus()
+        hook = _EndOnly()
+        bus.add(hook)
+        assert bus.listeners("on_op") is None
+        (fn,) = bus.listeners("end_run")
+        fn("report")
+        assert hook.reports == ["report"]
+
+    def test_add_invalidates_listener_cache(self):
+        bus = HookBus()
+        assert bus.listeners("end_run") is None  # cached as disabled
+        bus.add(_EndOnly())
+        assert bus.listeners("end_run") is not None
+
+    def test_fan_out_preserves_attach_order(self):
+        bus = HookBus()
+        order = []
+        first, second = _EndOnly(), _EndOnly()
+        first.end_run = lambda r: order.append("first")
+        second.end_run = lambda r: order.append("second")
+        bus.add(first)
+        bus.add(second)
+        bus.emit("end_run", None)
+        assert order == ["first", "second"]
+
+    def test_engine_delivers_full_event_stream(self):
+        rec = _Recorder()
+        eng = MTAEngine(p=1, streams_per_proc=2, hooks=(rec,))
+        eng.register_barrier("b", 2)
+        eng.set_counter(7, 0)
+        eng.set_full(9, 5)
+
+        def prog():
+            yield isa.compute(1)
+            got = yield isa.fetch_add(7, 1)
+            assert got in (0, 1)
+            yield isa.phase(f"worker")
+            yield isa.barrier("b")
+
+        eng.spawn(prog())
+        eng.spawn(prog())
+        report = eng.run("hooked")
+        names = rec.names()
+        # setup events, in declaration order
+        assert names[0] == "attach_engine"
+        assert rec.events[0][1] == ("mta", 1)
+        assert "register_barrier" in names
+        assert "init_counter" in names
+        assert "init_full" in names
+        # run events
+        assert "on_run_start" in names
+        assert "on_op" in names
+        assert "on_phase" in names
+        assert "on_barrier_release" in names
+        assert names[-1] == "end_run"
+        assert rec.events[-1][1][0] is report
+
+    def test_smp_engine_accepts_extra_hooks(self):
+        rec = _Recorder()
+        eng = SMPEngine(p=2, hooks=(rec,))
+
+        def prog():
+            yield isa.compute(3)
+            yield isa.barrier("sync")
+
+        eng.attach(prog())
+        eng.attach(prog())
+        eng.run("t")
+        names = rec.names()
+        assert names[0] == "attach_engine"
+        assert rec.events[0][1] == ("smp", 2)
+        assert "on_barrier_release" in names
+        assert names[-1] == "end_run"
+
+
+class TestWatchdog:
+    def test_mta_budget_carries_blocked_inventory(self):
+        eng = MTAEngine(p=1, streams_per_proc=2)
+        eng.register_barrier("never", 2)
+
+        def stuck():
+            yield isa.compute(1)
+            yield isa.barrier("never")
+
+        def spinner():
+            while True:
+                yield isa.compute(1)
+
+        eng.spawn(stuck())
+        eng.spawn(spinner())
+        with pytest.raises(WatchdogExceeded) as ei:
+            eng.run("t", budget=50)
+        exc = ei.value
+        assert "max_cycles=50" in str(exc)
+        assert exc.budget == 50
+        barrier_rows = [r for r in exc.blocked if r.get("barrier") == "never"]
+        assert barrier_rows and barrier_rows[0]["need"] == 2
+
+    def test_mta_max_cycles_alias_still_works(self):
+        eng = MTAEngine(p=1, streams_per_proc=1)
+
+        def spinner():
+            while True:
+                yield isa.compute(1)
+
+        eng.spawn(spinner())
+        with pytest.raises(WatchdogExceeded, match="max_cycles=25"):
+            eng.run("t", max_cycles=25)
+
+    def test_smp_budget_counts_scheduling_steps(self):
+        eng = SMPEngine(p=1)
+
+        def spinner():
+            while True:
+                yield isa.compute(1)
+
+        eng.attach(spinner())
+        with pytest.raises(WatchdogExceeded, match="max_ops=30") as ei:
+            eng.run("t", budget=30)
+        assert ei.value.budget == 30
+
+    def test_mid_phase_abort_closes_open_slice(self):
+        """An aborted run's phase partition is closed at the abort point:
+        every slice has an end, and no boundary exceeds the abort cycle."""
+        eng = MTAEngine(p=1, streams_per_proc=1)
+
+        def prog():
+            yield isa.compute(5)
+            yield isa.phase("endless")
+            while True:
+                yield isa.compute(1)
+
+        eng.spawn(prog())
+        with pytest.raises(WatchdogExceeded) as ei:
+            eng.run("t", budget=40)
+        phases = ei.value.phases
+        assert phases, "abort should still deliver the phase partition"
+        assert [s.name for s in phases][:2] == ["t", "endless"]
+        for s in phases:
+            assert s.end is not None
+            assert s.start <= s.end <= 41  # clamped at the abort cycle
+        assert phases[-1].name == "endless"
+
+    def test_full_empty_waiters_in_blocked_inventory(self):
+        eng = MTAEngine(p=1, streams_per_proc=2)
+
+        def reader():
+            yield isa.sync_load_consume(123)
+
+        def spinner():
+            while True:
+                yield isa.compute(1)
+
+        eng.spawn(reader())
+        eng.spawn(spinner())
+        with pytest.raises(WatchdogExceeded) as ei:
+            eng.run("t", budget=20)
+        rows = ei.value.blocked
+        assert {"tid": 0, "state": "wait-full", "addr": 123} in rows
+
+
+class TestMachineRegistry:
+    def test_builtins_registered(self):
+        names = [m.name for m in list_machines()]
+        assert {"smp", "mta", "mta-next"} <= set(names)
+
+    def test_unknown_machine_lists_known(self):
+        with pytest.raises(ConfigurationError, match="unknown machine"):
+            machine_spec("pdp-11")
+
+    def test_spec_fields(self):
+        spec = machine_spec("mta-next")
+        assert spec.engine is MTANextEngine
+        assert spec.scheduling == INTERLEAVED
+        assert spec.backend == "mta-next-engine"
+        # built-ins keep their bespoke backends
+        assert machine_spec("mta").backend is None
+        assert machine_spec("smp").backend is None
+
+    def test_register_machine_auto_registers_backend(self):
+        from repro.backends import describe, names
+        from repro.backends.registry import _REGISTRY
+        from repro.sim.machines import _MACHINES
+
+        register_machine(
+            "toy-mta",
+            MTAEngine,
+            scheduling=INTERLEAVED,
+            kinds=("rank",),
+            description="registry test machine",
+        )
+        try:
+            assert "toy-mta-engine" in names()
+            row = next(r for r in describe() if r["name"] == "toy-mta-engine")
+            assert row["machine"] == "toy-mta"
+            assert row["hooks"] == list(HOOK_EVENTS)
+            assert row["level"] == "engine"
+        finally:
+            _MACHINES.pop("toy-mta", None)
+            _REGISTRY.pop("toy-mta-engine", None)
+
+    def test_duplicate_machine_needs_replace(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_machine("mta", MTAEngine, scheduling=INTERLEAVED)
+
+
+class TestMTANext:
+    def test_machine_defaults(self):
+        eng = MTANextEngine()
+        assert eng.streams_per_proc == 64
+        assert eng.mem_latency == 400
+        assert eng.n_banks == 4096
+        assert eng.clock_hz == 500e6
+        assert isinstance(eng.model, MTANextMachine)
+        assert eng.model.kind == "mta-next"
+
+    def test_runs_programs_like_the_mta(self):
+        eng = MTANextEngine(p=2)
+        eng.set_counter(5, 0)
+
+        def worker():
+            while True:
+                i = yield isa.fetch_add(5, 1)
+                if i >= 20:
+                    return
+                yield isa.load_dep(1000 + i)
+                yield isa.compute(1)
+
+        for _ in range(8):
+            eng.spawn(worker())
+        report = eng.run("walk")
+        assert report.cycles > 0
+        # the memory system is 4x slower than stock: same program on a
+        # stock MTA with matching streams finishes in fewer cycles
+        ref = MTAEngine(p=2, streams_per_proc=64)
+        ref.set_counter(5, 0)
+        for _ in range(8):
+            ref.spawn(worker())
+        assert ref.run("walk").cycles < report.cycles
+
+    def test_backend_end_to_end(self):
+        """A registered machine is reachable through the backend layer
+        with zero bespoke plumbing: prepare + execute a rank workload."""
+        from repro.backends import Workload, create
+
+        summary = create("mta-next-engine").run(
+            Workload(
+                "rank",
+                2,
+                1,
+                {"n": 96, "list": "random"},
+                {"streams_per_proc": 8, "nodes_per_walk": 4},
+            )
+        )
+        assert summary.cycles > 0
+        assert 0.0 <= summary.utilization <= 1.0
+        assert summary.detail["backend"] == "mta-next-engine"
+
+    def test_chase_uses_machine_factory(self):
+        from repro.backends import Workload, create
+
+        summary = create("mta-next-engine").run(
+            Workload("chase", 1, 0, {"chasers": 4}, {"steps": 4, "streams_per_proc": 8})
+        )
+        assert summary.cycles > 0
+        assert summary.detail["backend"] == "mta-next-engine"
+
+
+class TestContentionMonitor:
+    def test_accumulates_across_runs(self):
+        from repro.obs import ContentionMonitor
+
+        monitor = ContentionMonitor()
+        for _ in range(2):
+            eng = MTAEngine(p=1, streams_per_proc=4, hooks=(monitor,))
+            eng.set_counter(3, 0)
+
+            def worker():
+                while True:
+                    i = yield isa.fetch_add(3, 1)
+                    if i >= 16:
+                        return
+                    yield isa.compute(1)
+
+            for _ in range(4):
+                eng.spawn(worker())
+            eng.run("fa")
+        assert monitor.runs == 2
+        assert 3 in monitor.profile.fa_sites
+        ops, _stalls = monitor.profile.fa_sites[3]
+        assert ops >= 2 * 16  # both runs' traffic merged
+
+
+class TestSMPExplicitBarrier:
+    def test_register_barrier_with_subset_count(self):
+        """SMP barriers are implicit (need=p) unless explicitly
+        registered; an explicit registration with a smaller count
+        releases without the other processors."""
+        eng = SMPEngine(p=3)
+        eng.register_barrier("pair", 2)
+
+        def pair():
+            yield isa.compute(1)
+            yield isa.barrier("pair")
+
+        def loner():
+            yield isa.compute(50)
+
+        eng.attach(pair())
+        eng.attach(pair())
+        eng.attach(loner())
+        report = eng.run("t")
+        assert report.cycles > 0
