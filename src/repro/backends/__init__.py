@@ -68,6 +68,7 @@ def _register_builtins() -> None:
         description="Cycle-level SMP engine (simulated caches + bus)",
         machine="smp",
         hooks=HOOK_EVENTS,
+        tiers=("interpreted", "vector"),
     )
     register(
         "mta-engine",
@@ -77,6 +78,7 @@ def _register_builtins() -> None:
         description="Cycle-level MTA engine (multithreaded streams)",
         machine="mta",
         hooks=HOOK_EVENTS,
+        tiers=("interpreted", "vector"),
     )
     # Register the built-in machine models (and, through the machine
     # registry's auto-registration, the mta-next engine backend).

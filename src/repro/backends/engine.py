@@ -24,6 +24,12 @@ Workload options consumed here (all optional):
     :class:`~repro.analysis.ConcurrencyChecker` and attach its summary
     as ``detail["analysis"]`` (``"strict"`` enables strict mode).  An
     explicit checker passed to :meth:`execute` takes precedence.
+``tier``
+    Execution tier for the run (``"auto"``/``"interpreted"``/
+    ``"vector"``; see ``docs/SIMULATION.md``).  Any active concurrency
+    checker — explicit or option-driven — forces ``"interpreted"``:
+    analysis observes every op, so ``repro analyze`` always runs at
+    full per-op fidelity regardless of the requested tier.
 ``steps``, ``mem_latency``, ``lookahead``
     ``chase`` workload: instructions per chaser and engine latency
     parameters for the saturation curve.
@@ -72,6 +78,7 @@ class SMPEngineBackend(Backend):
         workload = handle.workload
         opt = workload.options
         check, attach_summary = _resolve_check(check, workload)
+        tier = _resolve_tier(workload, check)
         if workload.kind == "rank":
             from ..lists.programs import simulate_smp_list_ranking
 
@@ -80,7 +87,7 @@ class SMPEngineBackend(Backend):
                 kw["s"] = int(opt["s"])
             sim = simulate_smp_list_ranking(
                 handle.data, p=workload.p, rng=workload.seed,
-                config=self.config, check=check, **kw,
+                config=self.config, check=check, tier=tier, **kw,
             )
         else:
             from ..graphs.programs import simulate_smp_cc
@@ -88,7 +95,7 @@ class SMPEngineBackend(Backend):
             sim = simulate_smp_cc(
                 handle.data, p=workload.p,
                 max_iter=int(opt.get("max_iter", 64)),
-                config=self.config, check=check,
+                config=self.config, check=check, tier=tier,
             )
         summary = sim.summary
         summary.detail.update(handle.meta)
@@ -123,6 +130,7 @@ class MTAEngineBackend(Backend):
         if workload.kind == "chase":
             return self._execute_chase(handle, check, attach_summary)
         engine_kwargs = dict(opt.get("engine_kwargs") or {})
+        engine_kwargs.setdefault("tier", _resolve_tier(workload, check))
         if workload.kind == "rank":
             from ..lists.programs import simulate_mta_list_ranking
 
@@ -183,6 +191,7 @@ class MTAEngineBackend(Backend):
             mem_latency=int(opt.get("mem_latency", 100)),
             lookahead=int(opt.get("lookahead", 2)),
             check=check,
+            tier=_resolve_tier(workload, check),
         )
         for _ in range(chasers):
             eng.spawn(_chaser())
@@ -228,6 +237,26 @@ def _resolve_check(check, workload):
     from ..analysis import ConcurrencyChecker
 
     return ConcurrencyChecker(strict=opt == "strict", program=workload.kind), True
+
+
+def _resolve_tier(workload, check) -> str:
+    """The execution tier for a workload run (see module docstring).
+
+    An active concurrency checker wins over the requested tier: the
+    checker subscribes to per-op hook events, which the vector tier
+    cannot deliver, so checked runs always interpret.  ``repro analyze
+    --all`` relies on this (tests/test_tier_fallback.py pins it).
+    """
+    tier = str(workload.option("tier") or "auto")
+    from ..sim import TIERS
+
+    if tier not in TIERS:
+        raise ConfigurationError(
+            f"unknown tier {tier!r}; expected one of {', '.join(TIERS)}"
+        )
+    if check is not None:
+        return "interpreted"
+    return tier
 
 
 def make_smp_engine(*, config=None):

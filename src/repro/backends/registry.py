@@ -33,6 +33,9 @@ class _Entry:
     #: HookBus events the backend's execution path can deliver
     #: (empty for analytic models, which run no instruction streams).
     hooks: tuple = ()
+    #: Execution tiers the backend's runs may use (empty for analytic
+    #: models, which compute in closed form and have no run loop).
+    tiers: tuple = ()
 
 
 _REGISTRY: dict[str, _Entry] = {}
@@ -47,6 +50,7 @@ def register(
     description: str = "",
     machine: str = "",
     hooks: tuple = (),
+    tiers: tuple = (),
     replace: bool = False,
 ) -> None:
     """Register ``factory`` under ``name``.
@@ -54,9 +58,11 @@ def register(
     ``factory(**options)`` must return a :class:`Backend`.  Registering
     an existing name raises unless ``replace=True`` (so typos fail loud
     but examples can re-run).  ``machine`` names the simulation machine
-    model behind an engine backend and ``hooks`` lists the
-    :class:`~repro.sim.hooks.HookBus` events its runs can deliver;
-    both are informational (shown by ``repro backends``).
+    model behind an engine backend, ``hooks`` lists the
+    :class:`~repro.sim.hooks.HookBus` events its runs can deliver, and
+    ``tiers`` the execution tiers its runs may use (the workload's
+    ``tier`` option); all three are informational (shown by ``repro
+    backends``).
     """
     if not name:
         raise ConfigurationError("backend name must be non-empty")
@@ -72,6 +78,7 @@ def register(
         description=description,
         machine=machine,
         hooks=tuple(hooks),
+        tiers=tuple(tiers),
     )
 
 
@@ -104,7 +111,8 @@ def names() -> list[str]:
 
 
 def describe() -> list[dict]:
-    """One row per backend: name, level, kinds, machine, hooks, description."""
+    """One row per backend: name, level, kinds, machine, hooks, tiers,
+    description."""
     return [
         {
             "name": e.name,
@@ -112,6 +120,7 @@ def describe() -> list[dict]:
             "kinds": list(e.kinds),
             "machine": e.machine,
             "hooks": list(e.hooks),
+            "tiers": list(e.tiers),
             "description": e.description,
         }
         for e in (_REGISTRY[n] for n in names())

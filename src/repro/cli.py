@@ -691,13 +691,15 @@ def _cmd_backends(args) -> int:
     width = max(len(r["name"]) for r in rows)
     kw = max(len(",".join(r["kinds"])) for r in rows)
     mw = max(len(r["machine"] or "-") for r in rows)
+    tw = max(len(",".join(r.get("tiers", [])) or "-") for r in rows)
     for r in rows:
         kinds = ",".join(r["kinds"])
         machine = r["machine"] or "-"
         hooks = f"{len(r['hooks'])} hooks" if r["hooks"] else "-"
+        tiers = ",".join(r.get("tiers", [])) or "-"
         print(
             f"{r['name']:<{width}}  {r['level']:<6}  {kinds:<{kw}}"
-            f"  {machine:<{mw}}  {hooks:<8}  {r['description']}"
+            f"  {machine:<{mw}}  {hooks:<8}  {tiers:<{tw}}  {r['description']}"
         )
     return 0
 

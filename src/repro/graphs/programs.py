@@ -234,6 +234,7 @@ def simulate_smp_cc(
     config=None,
     tracer=None,
     check=None,
+    tier: str = "auto",
 ) -> CCSim:
     """Execute hook-and-shortcut connected components on the SMP cycle engine.
 
@@ -329,7 +330,7 @@ def simulate_smp_cc(
         check.allow_racy(
             a_flag.base, a_flag.end, "graft flag is a monotonic any-write-wins broadcast"
         )
-    eng = SMPEngine(p=p, config=config, tracer=tracer, check=check)
+    eng = SMPEngine(p=p, config=config, tracer=tracer, check=check, tier=tier)
     for proc in range(p):
         eng.attach(program(proc))
     report = eng.run("smp.sv-cc")

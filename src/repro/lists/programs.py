@@ -313,6 +313,7 @@ def simulate_smp_list_ranking(
     config=None,
     tracer=None,
     check=None,
+    tier: str = "auto",
 ) -> MTAListRankingSim:
     """Execute the Helman–JáJá algorithm on the SMP cycle engine.
 
@@ -440,7 +441,7 @@ def simulate_smp_list_ranking(
 
     if check is not None:
         check.set_address_space(space)
-    eng = SMPEngine(p=p, config=config, tracer=tracer, check=check)
+    eng = SMPEngine(p=p, config=config, tracer=tracer, check=check, tier=tier)
     eng.set_counter(a_ctr.base + 0, 0)
     for proc in range(p):
         eng.attach(program(proc))

@@ -11,8 +11,9 @@ watchdog, barriers, phases, and instrumentation (via the
 """
 
 from . import isa
+from .fastpath import OpBlock, VectorProfile
 from .hooks import HOOK_EVENTS, CheckerHook, HookBus, TracerHook
-from .kernel import EVENT, INTERLEAVED, MachineModel, SimKernel
+from .kernel import EVENT, INTERLEAVED, TIERS, MachineModel, SimKernel
 from .machines import list_machines, machine_spec, register_machine
 from .mta_engine import MTAEngine, MTAMachine
 from .mta_next import MTANextMachine
@@ -31,6 +32,9 @@ __all__ = [
     "MachineModel",
     "EVENT",
     "INTERLEAVED",
+    "TIERS",
+    "OpBlock",
+    "VectorProfile",
     "HookBus",
     "TracerHook",
     "CheckerHook",

@@ -77,11 +77,19 @@ class HookBus:
     def __init__(self, hooks=()):
         self._hooks = list(hooks)
         self._cache: dict[str, tuple | None] = {}
+        #: Bumped on every :meth:`add`.  The kernel's run loops compare
+        #: it against the value they cached their listener tuples from,
+        #: so a hook attached *mid-run* (from another hook's callback)
+        #: starts receiving events at the next scheduling boundary — and
+        #: the vectorized fast tier demotes itself if the new subscriber
+        #: demands per-op fidelity.
+        self.version = 0
 
     def add(self, hook) -> None:
         """Attach ``hook``; it receives every event it has a method for."""
         self._hooks.append(hook)
         self._cache.clear()
+        self.version += 1
 
     @property
     def hooks(self) -> tuple:

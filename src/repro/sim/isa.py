@@ -49,6 +49,17 @@ tag string.  Tags:
     engine-global — any thread may emit one, and it applies to the
     whole machine.
 
+``("VR", block)``
+    Run block (pseudo-op): a precompiled straight-line run of *plain*
+    ops (``C``/``L``/``LD``/``S`` only — nothing that returns a value,
+    synchronizes, or marks a phase).  The kernel macro-expands the
+    block in place, charging each contained op exactly as if the
+    generator had yielded it directly, so reports are identical either
+    way.  Declaring a run as a block is what lets the vectorized fast
+    tier (:mod:`repro.sim.fastpath`) batch-execute it: the ops are
+    static data, so no generator code needs to run between them.
+    Build one with :func:`run_block`.
+
 Addresses are word addresses in a shared
 :class:`repro.arch.memory.AddressSpace`; the engines only use them for
 banking/hash/cache decisions — actual data lives in the program's own
@@ -71,6 +82,7 @@ __all__ = [
     "SYNC_STORE_FULL",
     "BARRIER",
     "PHASE",
+    "RUN_BLOCK",
     "compute",
     "load",
     "load_dep",
@@ -81,6 +93,7 @@ __all__ = [
     "sync_store",
     "barrier",
     "phase",
+    "run_block",
 ]
 
 COMPUTE = "C"
@@ -93,6 +106,7 @@ SYNC_LOAD_FULL = "SLF"
 SYNC_STORE_FULL = "SSF"
 BARRIER = "B"
 PHASE = "P"
+RUN_BLOCK = "VR"
 
 
 def _as_int(value, op: str, operand: str) -> int:
@@ -173,3 +187,22 @@ def phase(name: str) -> tuple:
     if not isinstance(name, str):
         raise TypeError(f"P name must be a str, got {type(name).__name__}")
     return (PHASE, name)
+
+
+def run_block(ops) -> tuple:
+    """Precompile a straight-line run of plain ops into one ``VR`` pseudo-op.
+
+    ``ops`` is a sequence of already-built op tuples restricted to the
+    plain subset (``C``/``L``/``LD``/``S``).  The returned pseudo-op
+    costs nothing itself; the kernel expands it in place, so yielding
+    ``run_block([load_dep(a), load_dep(b)])`` simulates identically to
+    yielding the two loads — but the declared run is what the
+    vectorized fast tier can execute as a batch.  Passing an
+    :class:`~repro.sim.fastpath.OpBlock` built earlier reuses its
+    precomputed form (build once per inner loop, yield many times).
+    """
+    from .fastpath import OpBlock
+
+    if not isinstance(ops, OpBlock):
+        ops = OpBlock(ops)
+    return (RUN_BLOCK, ops)

@@ -53,15 +53,27 @@ from ..errors import (
     WatchdogExceeded,
 )
 from .hooks import CheckerHook, HookBus, TracerHook
-from .isa import BARRIER, COMPUTE, PHASE
+from .isa import BARRIER, COMPUTE, PHASE, RUN_BLOCK
 from .stats import PhaseSlice, SimReport
 from .thread import BLOCKED, DONE, READY, WAIT_BARRIER, SimThread
 
-__all__ = ["SimKernel", "MachineModel", "EVENT", "INTERLEAVED"]
+__all__ = ["SimKernel", "MachineModel", "EVENT", "INTERLEAVED", "TIERS"]
 
 #: Scheduling disciplines a :class:`MachineModel` may declare.
 EVENT = "event"
 INTERLEAVED = "interleaved"
+
+#: Execution tiers a caller may request (see docs/SIMULATION.md,
+#: "Execution tiers").  ``auto`` picks ``vector`` whenever the machine
+#: publishes a :meth:`MachineModel.vector_profile` and nobody demands
+#: per-op fidelity (an ``on_op``/``on_op_span``/``on_sync`` subscriber
+#: — a checker or an op-level tracer); otherwise ``interpreted``.
+TIERS = ("auto", "interpreted", "vector")
+
+#: HookBus events whose subscribers require the interpreted tier: they
+#: observe individual ops or sync transitions, which the vectorized
+#: windows skip by construction.
+_FIDELITY_EVENTS = ("on_op", "on_op_span", "on_sync")
 
 
 class MachineModel:
@@ -151,6 +163,13 @@ class MachineModel:
         """The machine's ``SimReport.detail`` dict (contention counters)."""
         return {}
 
+    def vector_profile(self):
+        """A :class:`~repro.sim.fastpath.VectorProfile` if the vectorized
+        fast tier may run on this machine, else None (the default: a
+        machine must opt in by declaring which closed-form fast-forwards
+        are sound for its memory model)."""
+        return None
+
 
 @dataclass
 class _Proc:
@@ -184,9 +203,19 @@ class SimKernel:
     hooks:
         Additional pre-built hook objects (any object implementing a
         subset of :data:`~repro.sim.hooks.HOOK_EVENTS`).
+    tier:
+        Execution tier (one of :data:`TIERS`): ``"auto"`` (default)
+        uses the vectorized fast path whenever the machine supports it
+        and no subscriber demands per-op fidelity; ``"interpreted"``
+        forces the per-op path; ``"vector"`` demands the fast path and
+        raises :class:`~repro.errors.ConfigurationError` if fidelity
+        requirements or the machine forbid it — never a silent
+        downgrade.  ``run(tier=...)`` overrides per run.
     """
 
-    def __init__(self, model: MachineModel, *, tracer=None, check=None, hooks=()):
+    def __init__(
+        self, model: MachineModel, *, tracer=None, check=None, hooks=(), tier="auto"
+    ):
         self.model = model
         self.p = model.p
         self.event_mode = model.scheduling == EVENT
@@ -221,6 +250,17 @@ class SimKernel:
         self._h_span = None
         self._h_sync = None
         self._h_release = None
+        if tier not in TIERS:
+            raise ConfigurationError(f"unknown tier {tier!r}; expected one of {TIERS}")
+        self.tier = tier
+        #: Tier the last run resolved to ("vector" or "interpreted").
+        self.tier_used: str | None = None
+        #: True when a mid-run subscription forced the vector tier to
+        #: demote to per-op execution for the rest of the run.
+        self.tier_demoted = False
+        #: Fast-forward window accounting (not part of SimReport — the
+        #: report must stay byte-identical across tiers).
+        self._window_stats = {"windows": 0, "ops": 0}
         bus.attach_engine(model.kind, self.p)
 
     # -- setup ------------------------------------------------------------------
@@ -285,15 +325,53 @@ class SimKernel:
         t.wake_at = when
         heapq.heappush(self.procs[t.proc].wake, (when, t.tid, t))
 
+    # -- instrumentation plumbing ------------------------------------------------
+
+    @property
+    def window_stats(self) -> dict:
+        """Fast-tier fast-forward accounting: windows fired and ops
+        they bulk-executed.  Diagnostic only — never in the report."""
+        return dict(self._window_stats)
+
+    def _fidelity_demanded(self) -> bool:
+        bus = self.bus
+        return any(bus.listeners(e) is not None for e in _FIDELITY_EVENTS)
+
+    def _refresh_listeners(self):
+        """Re-read listener tuples after a mid-run ``HookBus.add``.
+
+        Updates the shortcuts the model handlers read and returns the
+        ``(on_op, on_phase)`` tuples the run loops cache locally.  A
+        hook attached mid-run starts receiving events at the next
+        scheduling boundary (next cycle for interleaved machines, next
+        step for event machines).
+        """
+        bus = self.bus
+        self._h_span = bus.listeners("on_op_span")
+        self._h_sync = bus.listeners("on_sync")
+        self._h_release = bus.listeners("on_barrier_release")
+        return bus.listeners("on_op"), bus.listeners("on_phase")
+
     # -- run --------------------------------------------------------------------
 
-    def run(self, name: str = "phase", budget: int | None = None) -> SimReport:
+    def run(
+        self,
+        name: str = "phase",
+        budget: int | None = None,
+        *,
+        tier: str | None = None,
+    ) -> SimReport:
         """Run every thread to completion; return measurements.
 
         ``budget`` bounds the run (scheduling steps for event machines,
         cycles for interleaved ones); exceeding it raises
         :class:`~repro.errors.WatchdogExceeded` carrying the blocked
         inventory and the phase slices closed at the abort point.
+
+        ``tier`` overrides the kernel's configured execution tier for
+        this run (see the constructor); both tiers produce
+        byte-identical reports — the fast one merely skips the
+        interpreter where nothing observable happens.
         """
         if budget is None:
             budget = self.model.default_budget
@@ -301,18 +379,45 @@ class SimKernel:
             raise ConfigurationError(
                 f"{len(self.threads)} programs attached but machine has p={self.p}"
             )
+        if tier is None:
+            tier = self.tier
+        elif tier not in TIERS:
+            raise ConfigurationError(f"unknown tier {tier!r}; expected one of {TIERS}")
         bus = self.bus
         self._h_span = bus.listeners("on_op_span")
         self._h_sync = bus.listeners("on_sync")
         self._h_release = bus.listeners("on_barrier_release")
+        fidelity = self._fidelity_demanded()
+        profile = self.model.vector_profile()
+        if tier == "vector":
+            if profile is None:
+                raise ConfigurationError(
+                    f"tier='vector' requested but the {self.model.kind!r} machine "
+                    "publishes no vector profile (per-op semantics, e.g. bank "
+                    "queueing, admit no closed-form fast-forward)"
+                )
+            if fidelity:
+                raise ConfigurationError(
+                    "tier='vector' conflicts with per-op instrumentation "
+                    "(an on_op/on_op_span/on_sync subscriber — a concurrency "
+                    "checker or an op-level tracer); use tier='auto' or "
+                    "'interpreted'"
+                )
+            fast = True
+        elif tier == "interpreted":
+            fast = False
+        else:  # auto
+            fast = profile is not None and not fidelity
+        self.tier_used = "vector" if fast else "interpreted"
+        self.tier_demoted = False
         h_start = bus.listeners("on_run_start")
         if h_start is not None:
             for fn in h_start:
                 fn(name, self.p)
         if self.event_mode:
-            report = self._run_event(name, budget)
+            report = self._run_event(name, budget, fast)
         else:
-            report = self._run_interleaved(name, budget)
+            report = self._run_interleaved(name, budget, fast)
         h_end = bus.listeners("end_run")
         if h_end is not None:
             for fn in h_end:
@@ -321,7 +426,7 @@ class SimKernel:
 
     # -- event discipline (one thread per processor, local time) ----------------
 
-    def _run_event(self, name: str, budget: int) -> SimReport:
+    def _run_event(self, name: str, budget: int, fast: bool = False) -> SimReport:
         model = self.model
         threads = self.threads
         p = self.p
@@ -333,8 +438,10 @@ class SimKernel:
         barrier_wait = self.barrier_wait_per_proc
         op_counts = self._op_counts
         snaps = self._phase_snaps = [(0.0, name, self._issued_total(), dict(op_counts))]
-        h_op = self.bus.listeners("on_op")
-        h_phase = self.bus.listeners("on_phase")
+        bus = self.bus
+        ver = bus.version
+        h_op = bus.listeners("on_op")
+        h_phase = bus.listeners("on_phase")
         h_span = self._h_span
         h_release = self._h_release
         heappush, heappop = heapq.heappush, heapq.heappop
@@ -343,76 +450,123 @@ class SimKernel:
         last_mark = 0.0
         steps = 0
 
+        # One pass of the inner loop is one scheduling step — identical
+        # whether the thread was re-popped from the heap (interpreted)
+        # or continued inline (fast superblock: when the thread's next
+        # event still precedes everything on the heap, push+pop would
+        # return it immediately, so the fast tier skips the heap churn;
+        # the `(time, idx)` tie-break reproduces the heap order exactly).
         while heap:
             time, idx = heappop(heap)
             t = threads[idx]
-            steps += 1
-            if steps > budget:
-                self._abort_watchdog(budget, f"exceeded max_ops={budget}", time)
-            try:
-                op = t.gen.send(t.pending_value)
-            except StopIteration:
-                t.state = DONE
-                continue
-            t.pending_value = None
-            tag = op[0]
-            if tag == PHASE:  # zero-cost marker: no slot, no time
-                if h_phase is not None:
-                    for fn in h_phase:
-                        fn(idx, op[1])
-                if time > last_mark:
-                    last_mark = time
-                snaps.append((last_mark, op[1], self._issued_total(), dict(op_counts)))
-                heappush(heap, (time, idx))
-                continue
-            t.issued += 1
-            op_counts[tag] = op_counts.get(tag, 0) + 1
-            if h_op is not None:
-                for fn in h_op:
-                    fn(idx, op)
-            if tag == BARRIER:
-                bid = op[1]
-                b = barriers.get(bid)
-                if b is None:
-                    if implicit:
-                        b = barriers[bid] = _Barrier(need=p)
-                    else:
-                        raise SimulationError(f"barrier {bid!r} was never registered")
-                t.state = WAIT_BARRIER
-                t.wait_key = bid
-                t.time = time
-                b.waiting.append(t)
-                if len(b.waiting) == b.need:
-                    if h_release is not None:
-                        tids = [w.tid for w in b.waiting]
-                        for fn in h_release:
-                            fn(bid, tids)
-                    release = max(w.time for w in b.waiting) + barrier_cost
-                    self.barrier_episodes += 1
-                    for w in b.waiting:
-                        arrival = w.time
-                        barrier_wait[w.tid] += release - arrival
-                        if h_span is not None:
-                            for fn in h_span:
-                                fn(f"B:{bid}", arrival, release, w.tid, 0, None)
-                        w.time = release
-                        w.state = READY
-                        w.wait_key = None
-                        heappush(heap, (release, w.tid))
-                    b.waiting = []
-                continue  # pushed (or parked) above
-            handler = dispatch_get(tag)
-            if handler is None:
-                raise SimulationError(
-                    f"unknown opcode {tag!r} on {model.kind.upper()} processor {idx}"
-                )
-            end = handler(t, op, time)
-            t.time = end
-            if h_span is not None:
-                args = {"addr": op[1]} if tag != COMPUTE else {}
-                for fn in h_span:
-                    fn(tag, time, end, idx, 0, args)
-            heappush(heap, (end, idx))
+            inline = True
+            while inline:
+                inline = False
+                steps += 1
+                if steps > budget:
+                    self._abort_watchdog(budget, f"exceeded max_ops={budget}", time)
+                if bus.version != ver:
+                    ver = bus.version
+                    h_op, h_phase = self._refresh_listeners()
+                    h_span = self._h_span
+                    h_release = self._h_release
+                    if fast and (h_op is not None or h_span is not None
+                                 or self._h_sync is not None):
+                        fast = False
+                        self.tier_demoted = True
+                blk = t.fblock
+                if blk is not None:
+                    op = blk.ops[t.fbpos]
+                    t.fbpos += 1
+                    if t.fbpos == blk.n:
+                        t.fblock = None
+                else:
+                    try:
+                        op = t.gen.send(t.pending_value)
+                    except StopIteration:
+                        t.state = DONE
+                        break
+                    t.pending_value = None
+                tag = op[0]
+                if tag == PHASE:  # zero-cost marker: no slot, no time
+                    if h_phase is not None:
+                        for fn in h_phase:
+                            fn(idx, op[1])
+                    if time > last_mark:
+                        last_mark = time
+                    snaps.append(
+                        (last_mark, op[1], self._issued_total(), dict(op_counts))
+                    )
+                    if fast and not (heap and heap[0] < (time, idx)):
+                        inline = True
+                        continue
+                    heappush(heap, (time, idx))
+                    break
+                if tag == RUN_BLOCK:  # zero-cost macro: expand in place
+                    b = op[1]
+                    if b.n:
+                        t.fblock = b
+                        t.fbpos = 0
+                    if fast and not (heap and heap[0] < (time, idx)):
+                        inline = True
+                        continue
+                    heappush(heap, (time, idx))
+                    break
+                t.issued += 1
+                op_counts[tag] = op_counts.get(tag, 0) + 1
+                if h_op is not None:
+                    for fn in h_op:
+                        fn(idx, op)
+                if tag == BARRIER:
+                    bid = op[1]
+                    b = barriers.get(bid)
+                    if b is None:
+                        if implicit:
+                            b = barriers[bid] = _Barrier(need=p)
+                        else:
+                            raise SimulationError(
+                                f"barrier {bid!r} was never registered"
+                            )
+                    t.state = WAIT_BARRIER
+                    t.wait_key = bid
+                    t.time = time
+                    b.waiting.append(t)
+                    if len(b.waiting) == b.need:
+                        if h_release is not None:
+                            tids = [w.tid for w in b.waiting]
+                            for fn in h_release:
+                                fn(bid, tids)
+                        release = max(w.time for w in b.waiting) + barrier_cost
+                        self.barrier_episodes += 1
+                        for w in b.waiting:
+                            arrival = w.time
+                            barrier_wait[w.tid] += release - arrival
+                            if h_span is not None:
+                                for fn in h_span:
+                                    fn(f"B:{bid}", arrival, release, w.tid, 0, None)
+                            w.time = release
+                            w.state = READY
+                            w.wait_key = None
+                            heappush(heap, (release, w.tid))
+                        b.waiting = []
+                    break  # pushed (or parked) above
+                handler = dispatch_get(tag)
+                if handler is None:
+                    raise SimulationError(
+                        f"unknown opcode {tag!r} on {model.kind.upper()} "
+                        f"processor {idx}"
+                    )
+                end = handler(t, op, time)
+                t.time = end
+                if h_span is not None:
+                    args = {"addr": op[1]} if tag != COMPUTE else {}
+                    for fn in h_span:
+                        fn(tag, time, end, idx, 0, args)
+                if fast and not (heap and heap[0] < (end, idx)):
+                    time = end
+                    inline = True
+                    continue
+                heappush(heap, (end, idx))
 
         parked = [t.tid for t in threads if t.state == WAIT_BARRIER]
         if parked:
@@ -441,7 +595,7 @@ class SimKernel:
 
     # -- interleaved discipline (streams, one issue per proc per cycle) ---------
 
-    def _run_interleaved(self, name: str, budget: int) -> SimReport:
+    def _run_interleaved(self, name: str, budget: int, fast: bool = False) -> SimReport:
         model = self.model
         procs = self.procs
         dispatch = model.handlers(self)
@@ -450,16 +604,37 @@ class SimKernel:
         lookahead = model.lookahead
         op_counts = self._op_counts
         snaps = self._phase_snaps = [(0, name, self._issued_total(), dict(op_counts))]
-        h_op = self.bus.listeners("on_op")
-        h_phase = self.bus.listeners("on_phase")
+        bus = self.bus
+        ver = bus.version
+        h_op = bus.listeners("on_op")
+        h_phase = bus.listeners("on_phase")
         heappop = heapq.heappop
         cycle = 0
         last_issue = -1
+        if fast:
+            from .fastpath import try_ld_window
+        else:
+            try_ld_window = None
 
         while self._live > 0:
             if cycle > budget:
                 self._last_issue = last_issue
                 self._abort_watchdog(budget, f"exceeded max_cycles={budget}", cycle)
+            if bus.version != ver:  # a hook attached mid-run
+                ver = bus.version
+                h_op, h_phase = self._refresh_listeners()
+                if fast and (h_op is not None or self._h_span is not None
+                             or self._h_sync is not None):
+                    fast = False  # per-op fidelity demanded: demote
+                    self.tier_demoted = True
+            if fast:
+                # fast-forward the pure-LD regime in closed form; the
+                # window ends (or never opens) exactly where per-op
+                # execution must resume
+                w = try_ld_window(self, cycle, budget)
+                if w is not None:
+                    cycle, last_issue = w
+                    continue
             any_ready = False
             for proc in procs:
                 wake = proc.wake
@@ -484,31 +659,50 @@ class SimKernel:
                     op_counts[COMPUTE] = op_counts.get(COMPUTE, 0) + 1
                     proc.ready.append(t)
                     continue
-                try:
-                    op = t.gen.send(t.pending_value)
-                except StopIteration:
-                    t.state = DONE
-                    proc.live -= 1
-                    self._live -= 1
-                    continue
-                t.pending_value = None
-                while op[0] == PHASE:  # zero-cost marker: no slot, no cycle
-                    snaps.append(
-                        (cycle, op[1], self._issued_total(), dict(op_counts))
-                    )
-                    if h_phase is not None:
-                        for fn in h_phase:
-                            fn(t.tid, op[1])
+                blk = t.fblock
+                if blk is not None:  # inside a VR run: ops are static data
+                    op = blk.ops[t.fbpos]
+                    t.fbpos += 1
+                    if t.fbpos == blk.n:
+                        t.fblock = None
+                else:
                     try:
-                        op = t.gen.send(None)
+                        op = t.gen.send(t.pending_value)
                     except StopIteration:
                         t.state = DONE
                         proc.live -= 1
                         self._live -= 1
-                        op = None
-                        break
-                if op is None:
-                    continue
+                        continue
+                    t.pending_value = None
+                    while True:  # zero-cost pseudo-ops: no slot, no cycle
+                        tag0 = op[0]
+                        if tag0 == PHASE:
+                            snaps.append(
+                                (cycle, op[1], self._issued_total(), dict(op_counts))
+                            )
+                            if h_phase is not None:
+                                for fn in h_phase:
+                                    fn(t.tid, op[1])
+                        elif tag0 == RUN_BLOCK:
+                            b = op[1]
+                            if b.n:  # first block op issues in this slot
+                                if b.n > 1:
+                                    t.fblock = b
+                                    t.fbpos = 1
+                                op = b.ops[0]
+                                break
+                        else:
+                            break
+                        try:
+                            op = t.gen.send(None)
+                        except StopIteration:
+                            t.state = DONE
+                            proc.live -= 1
+                            self._live -= 1
+                            op = None
+                            break
+                    if op is None:
+                        continue
                 tag = op[0]
                 if h_op is not None:
                     for fn in h_op:

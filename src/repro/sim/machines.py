@@ -52,6 +52,7 @@ def register_machine(
     description: str = "",
     kinds: tuple = ("rank", "cc", "chase"),
     engine_backend: bool = True,
+    tiers: tuple = ("interpreted",),
     replace: bool = False,
 ) -> MachineSpec:
     """Register the machine ``name`` backed by the ``engine`` facade.
@@ -62,6 +63,13 @@ def register_machine(
     then be :class:`~repro.sim.mta_engine.MTAEngine`-compatible
     (interleaved machines run the MTA thread programs as-is).  Event
     machines with bespoke backends pass ``engine_backend=False``.
+
+    ``tiers`` lists the execution tiers the machine's runs may use and
+    is shown by ``repro backends``; include ``"vector"`` only when the
+    machine model publishes a
+    :meth:`~repro.sim.kernel.MachineModel.vector_profile` (otherwise an
+    explicit ``tier="vector"`` request fails at run time, which the
+    listing should not advertise).
     """
     if not name:
         raise ConfigurationError("machine name must be non-empty")
@@ -92,6 +100,7 @@ def register_machine(
             description=description,
             machine=name,
             hooks=HOOK_EVENTS,
+            tiers=tiers,
             replace=replace,
         )
     spec = MachineSpec(

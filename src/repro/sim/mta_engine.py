@@ -113,6 +113,17 @@ class MTAMachine(MachineModel):
     def barrier_release_cost(self) -> int:
         return self.barrier_latency
 
+    def vector_profile(self):
+        """The fast tier may run only with bank modeling off: uniform
+        memory latency is what makes the pure-LD rotation schedule
+        closable in closed form.  With banks on, every address
+        interacts through per-bank queues — per-op execution only."""
+        if self.n_banks:
+            return None
+        from .fastpath import VectorProfile
+
+        return VectorProfile(uniform_mem=True)
+
     def init_counter(self, addr: int, value: int) -> None:
         self.fa_values[addr] = value
 
@@ -407,17 +418,26 @@ class MTAEngine:
         inventory.
     hooks:
         Additional :class:`~repro.sim.hooks.HookBus` subscribers.
+    tier:
+        Execution tier (``"auto"``/``"interpreted"``/``"vector"``; see
+        :class:`~repro.sim.kernel.SimKernel`).  Both tiers report
+        byte-identically; ``"auto"`` vectorizes whenever bank modeling
+        is off and no per-op observer is attached.
     """
 
     #: The MachineModel this facade instantiates; subclasses override.
     machine_class = MTAMachine
 
-    def __init__(self, p: int = 1, *, tracer=None, check=None, hooks=(), **params) -> None:
+    def __init__(
+        self, p: int = 1, *, tracer=None, check=None, hooks=(), tier="auto", **params
+    ) -> None:
         # Only caller-supplied parameters reach the machine, so a
         # subclass machine's own defaults (mta-next's latency, stream
         # budget…) apply; unknown parameters raise from its constructor.
         self.model = self.machine_class(p, **params)
-        self.kernel = SimKernel(self.model, tracer=tracer, check=check, hooks=hooks)
+        self.kernel = SimKernel(
+            self.model, tracer=tracer, check=check, hooks=hooks, tier=tier
+        )
 
     # -- setup -----------------------------------------------------------------
 
@@ -445,13 +465,17 @@ class MTAEngine:
         max_cycles: int = 200_000_000,
         *,
         budget: int | None = None,
+        tier: str | None = None,
     ):
         """Execute until every spawned thread finishes; return measurements.
 
         ``max_cycles`` is the historical name for the kernel ``budget``
-        (cycles); ``budget`` wins when both are given.
+        (cycles); ``budget`` wins when both are given.  ``tier``
+        overrides the engine's configured execution tier for this run.
         """
-        return self.kernel.run(name, budget=budget if budget is not None else max_cycles)
+        return self.kernel.run(
+            name, budget=budget if budget is not None else max_cycles, tier=tier
+        )
 
     # -- public state the historical engine exposed -----------------------------
 

@@ -73,6 +73,14 @@ class SMPMachine(MachineModel):
     def barrier_release_cost(self) -> float:
         return self.config.barrier_cycles(self.p)
 
+    def vector_profile(self):
+        """Event machines fast-forward by superblock continuation inside
+        the kernel loop (no heap churn while a thread stays earliest),
+        which holds for any event-mode cost model — always allowed."""
+        from .fastpath import VectorProfile
+
+        return VectorProfile()
+
     def init_counter(self, addr: int, value: int) -> None:
         self.fa_values[addr] = value
 
@@ -194,9 +202,12 @@ class SMPEngine:
         tracer=None,
         check=None,
         hooks=(),
+        tier: str = "auto",
     ) -> None:
         self.model = SMPMachine(p, config)
-        self.kernel = SimKernel(self.model, tracer=tracer, check=check, hooks=hooks)
+        self.kernel = SimKernel(
+            self.model, tracer=tracer, check=check, hooks=hooks, tier=tier
+        )
 
     @property
     def p(self) -> int:
@@ -233,10 +244,14 @@ class SMPEngine:
         max_ops: int = 500_000_000,
         *,
         budget: int | None = None,
+        tier: str | None = None,
     ):
         """Run all processors to completion; return measurements.
 
         ``max_ops`` is the historical name for the kernel ``budget``
         (scheduling steps); ``budget`` wins when both are given.
+        ``tier`` overrides the engine's configured execution tier.
         """
-        return self.kernel.run(name, budget=budget if budget is not None else max_ops)
+        return self.kernel.run(
+            name, budget=budget if budget is not None else max_ops, tier=tier
+        )

@@ -55,6 +55,14 @@ class SimThread:
     #: Machine-model-private per-thread state (e.g. the SMP's per-
     #: processor cache hierarchy); opaque to the kernel.
     mstate: object = None
+    #: Active :class:`~repro.sim.fastpath.OpBlock` being expanded (a
+    #: ``VR`` pseudo-op's precompiled straight-line run), or None.  The
+    #: kernel pulls the next op from ``fblock.ops[fbpos]`` before
+    #: resuming the generator; the fast tier batch-executes the same
+    #: block, so both tiers consume it op for op.
+    fblock: object = None
+    #: Next unexecuted position within :attr:`fblock`.
+    fbpos: int = 0
 
     def drain_completed(self, now: int) -> None:
         """Drop outstanding memory ops that have completed by cycle ``now``."""

@@ -24,6 +24,7 @@ then review the diff like any other code change.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import pathlib
@@ -51,9 +52,9 @@ def _canon(obj):
     return obj
 
 
-def _check_bytes(name: str, text: str) -> None:
+def _check_bytes(name: str, text: str, *, regen_write: bool = True) -> None:
     path = GOLDEN_DIR / name
-    if REGEN:
+    if REGEN and regen_write:
         GOLDEN_DIR.mkdir(exist_ok=True)
         path.write_text(text)
     assert path.exists(), (
@@ -66,14 +67,24 @@ def _check_bytes(name: str, text: str) -> None:
     )
 
 
+@pytest.mark.parametrize("tier", [None, "vector"])
 @pytest.mark.parametrize("slug", sorted(PROGRAMS))
-def test_paper_program_report_golden(slug):
-    """SimReport-derived summaries are byte-identical across the refactor."""
+def test_paper_program_report_golden(slug, tier):
+    """SimReport-derived summaries are byte-identical across the refactor
+    — and across execution tiers: the ``tier="vector"`` runs compare
+    against the *same* golden snapshots as the default-tier runs (which
+    is why they never write on REGEN), so the vectorized fast path is
+    pinned to the interpreted engines' exact output on every paper
+    program."""
     workload, backend_name = PROGRAMS[slug]
+    if tier is not None:
+        workload = dataclasses.replace(
+            workload, options={**workload.options, "tier": tier}
+        )
     backend = create(backend_name)
     summary = backend.execute(backend.prepare(workload))
     text = json.dumps(_canon(summary.to_dict()), sort_keys=True, indent=1) + "\n"
-    _check_bytes(f"equiv_{slug}.json", text)
+    _check_bytes(f"equiv_{slug}.json", text, regen_write=tier is None)
 
 
 #: Programs re-run under a phase-level tracer; their Chrome-trace export
@@ -85,14 +96,20 @@ _TRACED = sorted(
 )
 
 
+@pytest.mark.parametrize("tier", [None, "vector"])
 @pytest.mark.parametrize("slug", _TRACED)
-def test_paper_program_chrome_trace_golden(slug):
+def test_paper_program_chrome_trace_golden(slug, tier):
+    """Phase-level traces are tier-independent too (a phase tracer does
+    not demand per-op fidelity, so the vector tier must reproduce the
+    identical span boundaries)."""
     workload, backend_name = PROGRAMS[slug]
     tracer = Tracer(level="phase")
     opt = workload.options
     data = create(backend_name).prepare(workload).data
     if backend_name == "mta-engine":
         kw = {"streams_per_proc": int(opt.get("streams_per_proc", 100))}
+        if tier is not None:
+            kw["engine_kwargs"] = {"tier": tier}
         if workload.kind == "rank":
             from repro.lists.programs import simulate_mta_list_ranking
 
@@ -102,13 +119,15 @@ def test_paper_program_chrome_trace_golden(slug):
 
             simulate_mta_cc(data, p=workload.p, tracer=tracer, **kw)
     else:
+        kw = {} if tier is None else {"tier": tier}
         if workload.kind == "rank":
             from repro.lists.programs import simulate_smp_list_ranking
 
             simulate_smp_list_ranking(data, p=workload.p, rng=workload.seed,
-                                      tracer=tracer)
+                                      tracer=tracer, **kw)
         else:
             from repro.graphs.programs import simulate_smp_cc
 
-            simulate_smp_cc(data, p=workload.p, tracer=tracer)
-    _check_bytes(f"equiv_trace_{slug}.json", chrome_trace_json(tracer.events) + "\n")
+            simulate_smp_cc(data, p=workload.p, tracer=tracer, **kw)
+    _check_bytes(f"equiv_trace_{slug}.json", chrome_trace_json(tracer.events) + "\n",
+                 regen_write=tier is None)
