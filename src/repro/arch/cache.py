@@ -312,6 +312,46 @@ class CacheHierarchy:
         self._l1_resident.fill(-1)
         self._l2_resident.fill(-1)
 
+    # -- serializable-state contract (checkpoint/restore) ---------------------
+
+    STATE_VERSION = 1
+
+    def to_state(self) -> dict:
+        """Full warm state of both levels, picklable and geometry-tagged."""
+        return {
+            "version": CacheHierarchy.STATE_VERSION,
+            "l1": (self.l1.size_words, self.l1.line_words, self.l1.associativity),
+            "l2": (self.l2.size_words, self.l2.line_words, self.l2.associativity),
+            "l1_stats": (self.l1_stats.accesses, self.l1_stats.hits),
+            "l2_stats": (self.l2_stats.accesses, self.l2_stats.hits),
+            "l1_sets": [list(ways) for ways in self._l1_cache._sets],
+            "l2_sets": [list(ways) for ways in self._l2_cache._sets],
+            "l1_cache_stats": (self._l1_cache.stats.accesses, self._l1_cache.stats.hits),
+            "l2_cache_stats": (self._l2_cache.stats.accesses, self._l2_cache.stats.hits),
+            "l1_resident": self._l1_resident.copy(),
+            "l2_resident": self._l2_resident.copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CacheHierarchy":
+        """Rebuild a hierarchy from :meth:`to_state` output."""
+        from ..errors import CheckpointError
+
+        if state.get("version") != cls.STATE_VERSION:
+            raise CheckpointError(
+                f"cache state version {state.get('version')!r} != {cls.STATE_VERSION}"
+            )
+        h = cls(CacheConfig(*state["l1"]), CacheConfig(*state["l2"]))
+        h.l1_stats = CacheStats(*state["l1_stats"])
+        h.l2_stats = CacheStats(*state["l2_stats"])
+        h._l1_cache._sets = [list(ways) for ways in state["l1_sets"]]
+        h._l2_cache._sets = [list(ways) for ways in state["l2_sets"]]
+        h._l1_cache.stats = CacheStats(*state["l1_cache_stats"])
+        h._l2_cache.stats = CacheStats(*state["l2_cache_stats"])
+        h._l1_resident = np.asarray(state["l1_resident"], dtype=np.int64).copy()
+        h._l2_resident = np.asarray(state["l2_resident"], dtype=np.int64).copy()
+        return h
+
 
 def hierarchy_stats(
     l1: CacheConfig, l2: CacheConfig, word_addrs: np.ndarray

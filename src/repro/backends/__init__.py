@@ -69,6 +69,7 @@ def _register_builtins() -> None:
         machine="smp",
         hooks=HOOK_EVENTS,
         tiers=("interpreted", "vector"),
+        checkpoint=True,
     )
     register(
         "mta-engine",
@@ -79,6 +80,7 @@ def _register_builtins() -> None:
         machine="mta",
         hooks=HOOK_EVENTS,
         tiers=("interpreted", "vector"),
+        checkpoint=True,
     )
     # Register the built-in machine models (and, through the machine
     # registry's auto-registration, the mta-next engine backend).

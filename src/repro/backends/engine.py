@@ -33,6 +33,14 @@ Workload options consumed here (all optional):
 ``steps``, ``mem_latency``, ``lookahead``
     ``chase`` workload: instructions per chaser and engine latency
     parameters for the saturation curve.
+``checkpoint``
+    Dict enabling checkpoint/resume for the run: ``every`` (snapshot
+    period in steps/cycles), ``dir`` (artifact store root), ``resume``
+    (explicit artifact path/id — a stale one is an error), ``key``
+    (owning-job identity; defaults to a hash of the workload), and
+    ``fresh`` (truthy: ignore existing artifacts instead of
+    auto-resuming from the newest).  The sweep runner injects this from
+    its ``checkpoint=`` argument; see ``docs/SIMULATION.md``.
 
 Backend options: ``config`` — dict of :class:`~repro.core.smp_machine.SMPConfig`
 field overrides for the SMP engine; ``collect_phases`` is implicit
@@ -79,6 +87,7 @@ class SMPEngineBackend(Backend):
         opt = workload.options
         check, attach_summary = _resolve_check(check, workload)
         tier = _resolve_tier(workload, check)
+        session = _resolve_session(workload, self.name, check)
         if workload.kind == "rank":
             from ..lists.programs import simulate_smp_list_ranking
 
@@ -87,7 +96,7 @@ class SMPEngineBackend(Backend):
                 kw["s"] = int(opt["s"])
             sim = simulate_smp_list_ranking(
                 handle.data, p=workload.p, rng=workload.seed,
-                config=self.config, check=check, tier=tier, **kw,
+                config=self.config, check=check, tier=tier, session=session, **kw,
             )
         else:
             from ..graphs.programs import simulate_smp_cc
@@ -95,8 +104,9 @@ class SMPEngineBackend(Backend):
             sim = simulate_smp_cc(
                 handle.data, p=workload.p,
                 max_iter=int(opt.get("max_iter", 64)),
-                config=self.config, check=check, tier=tier,
+                config=self.config, check=check, tier=tier, session=session,
             )
+        _note_resume(session)
         summary = sim.summary
         summary.detail.update(handle.meta)
         summary.detail["backend"] = self.name
@@ -131,6 +141,7 @@ class MTAEngineBackend(Backend):
             return self._execute_chase(handle, check, attach_summary)
         engine_kwargs = dict(opt.get("engine_kwargs") or {})
         engine_kwargs.setdefault("tier", _resolve_tier(workload, check))
+        session = _resolve_session(workload, self.name, check)
         if workload.kind == "rank":
             from ..lists.programs import simulate_mta_list_ranking
 
@@ -143,6 +154,7 @@ class MTAEngineBackend(Backend):
                 engine_kwargs=engine_kwargs,
                 check=check,
                 engine=self.engine_factory,
+                session=session,
             )
         else:
             from ..graphs.programs import simulate_mta_cc
@@ -156,7 +168,9 @@ class MTAEngineBackend(Backend):
                 engine_kwargs=engine_kwargs,
                 check=check,
                 engine=self.engine_factory,
+                session=session,
             )
+        _note_resume(session)
         summary = sim.summary
         summary.detail.update(handle.meta)
         summary.detail["backend"] = self.name
@@ -185,6 +199,7 @@ class MTAEngineBackend(Backend):
                 yield isa.load_dep(100_000 + i)
 
         engine = self.engine_factory or MTAEngine
+        session = _resolve_session(workload, self.name, check)
         eng = engine(
             p=workload.p,
             streams_per_proc=int(opt.get("streams_per_proc", 128)),
@@ -192,10 +207,12 @@ class MTAEngineBackend(Backend):
             lookahead=int(opt.get("lookahead", 2)),
             check=check,
             tier=_resolve_tier(workload, check),
+            session=session,
         )
         for _ in range(chasers):
             eng.spawn(_chaser())
         report = eng.run(name="chase")
+        _note_resume(session)
         summary = RunSummary.from_report(report, machine=self.name)
         summary.name = "chase"
         summary.detail.update(handle.meta)
@@ -220,6 +237,80 @@ class ModelEngineBackend(MTAEngineBackend):
         self.name = name
         self.description = description
         self.engine_factory = engine_factory
+
+
+def _resolve_session(workload, backend_name: str, check=None):
+    """Build a :class:`~repro.sim.checkpoint.CheckpointSession` from the
+    workload's ``checkpoint`` option (None when the option is absent).
+
+    An explicit ``resume`` reference must load — a stale or missing
+    artifact raises :class:`~repro.errors.CheckpointError`.  Without
+    one, the newest artifact of this job auto-resumes; stale artifacts
+    are skipped with a warning (the run simply starts over).
+    """
+    spec = workload.option("checkpoint")
+    if not spec:
+        return None
+    if check is not None:
+        raise ConfigurationError(
+            "checkpointing is incompatible with concurrency analysis:"
+            " replayed runs re-execute without per-op hook events, so a"
+            " checker would see a partial stream"
+        )
+    import hashlib
+    import sys
+
+    from ..errors import CheckpointError
+    from ..sim.checkpoint import CheckpointSession, CheckpointStore, load_checkpoint
+
+    spec = dict(spec)
+    store = CheckpointStore(spec.get("dir"))
+    key = spec.get("key")
+    if not key:
+        from .base import canonical_json
+
+        canon = workload.canonical()
+        canon["options"] = {
+            k: v for k, v in canon["options"].items() if k != "checkpoint"
+        }
+        key = hashlib.sha256(
+            canonical_json({"workload": canon, "backend": backend_name}).encode()
+        ).hexdigest()
+    resume = None
+    ref = spec.get("resume")
+    if ref:
+        resume = load_checkpoint(store.resolve(ref))
+    elif not spec.get("fresh"):
+        newest = store.newest_for(key)
+        if newest is not None:
+            try:
+                resume = load_checkpoint(newest)
+            except CheckpointError as exc:
+                print(
+                    f"repro: ignoring stale checkpoint {newest.name}: {exc}",
+                    file=sys.stderr,
+                )
+    every = spec.get("every")
+    return CheckpointSession(
+        every=int(every) if every else None,
+        store=store,
+        job={"key": key},
+        resume=resume,
+        should_stop=spec.get("_stop"),
+    )
+
+
+def _note_resume(session) -> None:
+    """One stderr line when a run actually resumed (stdout records stay
+    byte-identical to uninterrupted runs)."""
+    if session is not None and session.resumed_from is not None:
+        import sys
+
+        print(
+            f"repro: resumed from checkpoint {session.resumed_from[:16]}"
+            f" ({session.replayed_runs} run(s) replayed)",
+            file=sys.stderr,
+        )
 
 
 def _resolve_check(check, workload):

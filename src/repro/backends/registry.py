@@ -36,6 +36,9 @@ class _Entry:
     #: Execution tiers the backend's runs may use (empty for analytic
     #: models, which compute in closed form and have no run loop).
     tiers: tuple = ()
+    #: True when the backend's runs can checkpoint/resume (the machine
+    #: model implements the serializable-state contract).
+    checkpoint: bool = False
 
 
 _REGISTRY: dict[str, _Entry] = {}
@@ -51,6 +54,7 @@ def register(
     machine: str = "",
     hooks: tuple = (),
     tiers: tuple = (),
+    checkpoint: bool = False,
     replace: bool = False,
 ) -> None:
     """Register ``factory`` under ``name``.
@@ -61,8 +65,9 @@ def register(
     model behind an engine backend, ``hooks`` lists the
     :class:`~repro.sim.hooks.HookBus` events its runs can deliver, and
     ``tiers`` the execution tiers its runs may use (the workload's
-    ``tier`` option); all three are informational (shown by ``repro
-    backends``).
+    ``tier`` option), and ``checkpoint`` whether its runs support
+    checkpoint/resume (the workload's ``checkpoint`` option); all are
+    informational (shown by ``repro backends``).
     """
     if not name:
         raise ConfigurationError("backend name must be non-empty")
@@ -79,6 +84,7 @@ def register(
         machine=machine,
         hooks=tuple(hooks),
         tiers=tuple(tiers),
+        checkpoint=bool(checkpoint),
     )
 
 
@@ -112,7 +118,7 @@ def names() -> list[str]:
 
 def describe() -> list[dict]:
     """One row per backend: name, level, kinds, machine, hooks, tiers,
-    description."""
+    checkpoint, description."""
     return [
         {
             "name": e.name,
@@ -121,6 +127,7 @@ def describe() -> list[dict]:
             "machine": e.machine,
             "hooks": list(e.hooks),
             "tiers": list(e.tiers),
+            "checkpoint": e.checkpoint,
             "description": e.description,
         }
         for e in (_REGISTRY[n] for n in names())

@@ -46,7 +46,14 @@ without writing Python:
 ``cache``
     Inspect the on-disk result cache; ``--prune`` evicts
     least-recently-used records down to ``--max-entries`` /
-    ``--max-bytes`` (or clears it, with no caps).
+    ``--max-bytes`` (or clears it, with no caps), and checkpoint
+    artifacts down to ``--max-checkpoints`` / ``--max-checkpoint-bytes``.
+``checkpoint``
+    Inspect checkpoint artifacts: ``ls`` lists them (headers only, no
+    payload decode), ``info <ref>`` dumps one header, ``rm <ref>``
+    deletes one.  ``repro run --checkpoint-every N`` writes them;
+    ``--resume`` restores an explicit artifact.  See
+    ``docs/SIMULATION.md``, "Checkpoint & resume".
 
 Every command accepts ``--help``.  Exit code 0 on success; workload or
 configuration errors print a message and return 2.
@@ -55,6 +62,7 @@ configuration errors print a message and return 2.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -168,6 +176,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("--json", action="store_true", help="print the full record as JSON")
     _add_cache_args(p_run)
+    _add_checkpoint_args(p_run)
+    p_run.add_argument(
+        "--resume",
+        default=None,
+        metavar="REF",
+        help="resume from an explicit checkpoint artifact (path or content"
+        " id); a stale artifact is an error",
+    )
 
     p_an = sub.add_parser(
         "analyze", help="concurrency analysis of a workload's op streams"
@@ -230,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write one RunSummary record per job as JSON Lines ('-' = stdout)",
     )
     _add_cache_args(p_sw)
+    _add_checkpoint_args(p_sw)
 
     p_sv = sub.add_parser(
         "serve", help="run the async experiment service (JSON over HTTP)"
@@ -265,6 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-max-bytes", type=int, default=None, help="LRU cap on cache bytes"
     )
     _add_cache_args(p_sv)
+    _add_checkpoint_args(p_sv)
 
     p_sub = sub.add_parser(
         "submit", help="submit a workload or sweep to a running service"
@@ -294,6 +312,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sub.add_argument("--label", default="", help="free-form label echoed in views")
     p_sub.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="ask the service to snapshot the execution every N steps/cycles",
+    )
+    p_sub.add_argument(
+        "--resume-from",
+        default=None,
+        metavar="REF",
+        help="ask the service to resume from a checkpoint artifact",
+    )
+    p_sub.add_argument(
         "--no-wait",
         action="store_true",
         help="return the job id immediately instead of polling to completion",
@@ -321,6 +352,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_ca.add_argument(
         "--max-bytes", type=int, default=None, help="keep at most N bytes of records"
     )
+    p_ca.add_argument(
+        "--max-checkpoints",
+        type=int,
+        default=None,
+        help="keep at most N checkpoint artifacts",
+    )
+    p_ca.add_argument(
+        "--max-checkpoint-bytes",
+        type=int,
+        default=None,
+        help="keep at most N bytes of checkpoint artifacts",
+    )
+
+    p_ck = sub.add_parser("checkpoint", help="inspect checkpoint artifacts")
+    ck_sub = p_ck.add_subparsers(dest="ck_command", required=True)
+    ck_ls = ck_sub.add_parser("ls", help="list artifacts (headers only)")
+    ck_info = ck_sub.add_parser("info", help="dump one artifact's header")
+    ck_info.add_argument("ref", help="artifact path or content-id prefix")
+    ck_rm = ck_sub.add_parser("rm", help="delete one artifact")
+    ck_rm.add_argument("ref", help="artifact path or content-id prefix")
+    for p in (ck_ls, ck_info, ck_rm):
+        p.add_argument(
+            "--dir",
+            default=None,
+            help="checkpoint store root (default: $REPRO_CHECKPOINT_DIR or"
+            " <cache root>/checkpoints)",
+        )
 
     return parser
 
@@ -332,6 +390,35 @@ def _add_cache_args(p: argparse.ArgumentParser) -> None:
         default=None,
         help="result-cache root (default: $REPRO_CACHE_DIR or .repro-cache)",
     )
+
+
+def _add_checkpoint_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="snapshot engine runs every N steps/cycles (enables"
+        " auto-resume from each job's newest artifact)",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="checkpoint store root (default: $REPRO_CHECKPOINT_DIR or"
+        " <cache root>/checkpoints)",
+    )
+
+
+def _checkpoint_spec(args) -> dict | None:
+    """The ``checkpoint=`` spec for run_jobs from CLI flags (or None)."""
+    spec: dict = {}
+    if getattr(args, "checkpoint_every", None) is not None:
+        spec["every"] = args.checkpoint_every
+    if getattr(args, "checkpoint_dir", None) is not None:
+        spec["dir"] = args.checkpoint_dir
+    if getattr(args, "resume", None) is not None:
+        spec["resume"] = args.resume
+    return spec or None
 
 
 def _cmd_info() -> int:
@@ -590,6 +677,8 @@ def _cmd_serve(args) -> int:
         cache=cache,
         cache_max_entries=args.cache_max_entries,
         cache_max_bytes=args.cache_max_bytes,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
     )
     return 0
 
@@ -625,6 +714,10 @@ def _submit_body(args) -> dict:
         body["timeout_s"] = args.timeout
     if args.label:
         body["label"] = args.label
+    if args.checkpoint_every is not None:
+        body["checkpoint"] = {"every": args.checkpoint_every}
+    if args.resume_from is not None:
+        body["resume_from"] = args.resume_from
     return body
 
 
@@ -668,14 +761,66 @@ def _cmd_cache(args) -> int:
     rows = cache.entries()
     total = sum(size for _, _, size in rows)
     print(f"cache at {cache.root}: {len(rows)} record(s), {total} bytes")
+    ckpts = cache.checkpoint_entries()
+    if ckpts:
+        print(
+            f"checkpoints at {cache.checkpoint_root()}: {len(ckpts)}"
+            f" artifact(s), {sum(s for _, _, s in ckpts)} bytes"
+        )
+    ck_caps = (args.max_checkpoints, args.max_checkpoint_bytes)
     if args.prune:
         max_entries, max_bytes = args.max_entries, args.max_bytes
-        if max_entries is None and max_bytes is None:
+        if max_entries is None and max_bytes is None and ck_caps == (None, None):
             max_entries = 0  # --prune with no caps clears the cache
         evicted, freed = cache.prune(max_entries=max_entries, max_bytes=max_bytes)
         print(f"pruned {evicted} record(s), freed {freed} bytes")
-    elif args.max_entries is not None or args.max_bytes is not None:
+        if ck_caps != (None, None):
+            evicted, freed = cache.prune_checkpoints(
+                max_entries=args.max_checkpoints,
+                max_bytes=args.max_checkpoint_bytes,
+            )
+            print(f"pruned {evicted} checkpoint artifact(s), freed {freed} bytes")
+    elif args.max_entries is not None or args.max_bytes is not None or ck_caps != (
+        None,
+        None,
+    ):
         print("(caps given without --prune: nothing evicted)")
+    return 0
+
+
+def _cmd_checkpoint(args) -> int:
+    import json
+
+    from .sim.checkpoint import CheckpointStore, read_header
+
+    store = CheckpointStore(args.dir)
+    if args.ck_command == "ls":
+        entries = store.entries()
+        if not entries:
+            print(f"no checkpoint artifacts under {store.root}")
+            return 0
+        print(
+            f"{'id':<16}  {'machine':<8}  {'tier':<11}  {'run':<18}"
+            f"  {'progress':>12}  {'job':<16}  size"
+        )
+        for path, header in entries:
+            prog = header.get("progress") or {}
+            at = prog.get("cycle", prog.get("steps", 0))
+            job = ((header.get("job") or {}).get("key") or "adhoc")[:16]
+            print(
+                f"{path.stem[:16]:<16}  {header.get('machine', '?'):<8}"
+                f"  {header.get('tier', '?'):<11}"
+                f"  {str(header.get('run_name', '?'))[:18]:<18}"
+                f"  {at:>12}  {job:<16}  {path.stat().st_size}"
+            )
+        return 0
+    if args.ck_command == "info":
+        path = store.resolve(args.ref)
+        header = dict(read_header(path), cid=path.stem, path=str(path))
+        print(json.dumps(header, indent=2, sort_keys=True))
+        return 0
+    path = store.rm(args.ref)  # "rm"
+    print(f"removed {path}")
     return 0
 
 
@@ -697,9 +842,11 @@ def _cmd_backends(args) -> int:
         machine = r["machine"] or "-"
         hooks = f"{len(r['hooks'])} hooks" if r["hooks"] else "-"
         tiers = ",".join(r.get("tiers", [])) or "-"
+        ckpt = "ckpt" if r.get("checkpoint") else "-"
         print(
             f"{r['name']:<{width}}  {r['level']:<6}  {kinds:<{kw}}"
-            f"  {machine:<{mw}}  {hooks:<8}  {tiers:<{tw}}  {r['description']}"
+            f"  {machine:<{mw}}  {hooks:<8}  {tiers:<{tw}}  {ckpt:<4}"
+            f"  {r['description']}"
         )
     return 0
 
@@ -715,7 +862,9 @@ def _cmd_run(args) -> int:
     options = _parse_kv(args.opt, "--opt")
     workload = Workload(args.workload, args.p, args.seed, params, options)
     job = Job(workload, args.backend)
-    [result] = run_jobs([job], workers=1, cache=_make_cache(args))
+    [result] = run_jobs(
+        [job], workers=1, cache=_make_cache(args), checkpoint=_checkpoint_spec(args)
+    )
     if args.json:
         print(result.jsonl(), end="")
         return 0
@@ -794,7 +943,9 @@ def _cmd_sweep(args) -> int:
 
     jobs = jobs_for(args.spec)
     cache = _make_cache(args)
-    results = run_jobs(jobs, workers=args.workers, cache=cache)
+    results = run_jobs(
+        jobs, workers=args.workers, cache=cache, checkpoint=_checkpoint_spec(args)
+    )
 
     columns: list[str] = []
     for job in jobs:
@@ -848,6 +999,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_sweep(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "checkpoint":
+            return _cmd_checkpoint(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "submit":
@@ -856,4 +1009,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # stdout reader went away (e.g. `repro checkpoint ls | head`);
+        # suppress the shutdown flush's second BrokenPipeError too
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     return 0

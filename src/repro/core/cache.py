@@ -103,11 +103,22 @@ class SweepCache:
 
     @staticmethod
     def key_for(workload_canonical: dict, backend: str, backend_options: dict) -> str:
-        """Cache key: workload description + backend + code version."""
+        """Cache key: workload description + backend + code version.
+
+        The workload's ``checkpoint`` option is excluded: how a run was
+        snapshotted (or resumed) never changes its result, so a resumed
+        job lands on the same key as an uninterrupted one — that is what
+        lets a resubmitted sweep reuse both cache entries and checkpoint
+        artifacts of a cancelled run.
+        """
+        workload = dict(workload_canonical)
+        options = dict(workload.get("options") or {})
+        options.pop("checkpoint", None)
+        workload["options"] = options
         return hashlib.sha256(
             canonical_json(
                 {
-                    "workload": workload_canonical,
+                    "workload": workload,
                     "backend": backend,
                     "backend_options": backend_options,
                     "code_version": code_version(),
@@ -204,6 +215,62 @@ class SweepCache:
                 os.unlink(path)
             except OSError:
                 continue  # lost a race with another process — already gone
+            evicted += 1
+            freed += size
+            total -= size
+        self.evictions += evicted
+        return (evicted, freed)
+
+    # -- checkpoint artifacts ----------------------------------------------------
+    #
+    # Checkpoint artifacts (repro.sim.checkpoint) live beside the rows,
+    # by default under <root>/checkpoints/<job>/<cid>.ckpt.  Pruning is
+    # file-level (mtime LRU, like the rows) so the cache layer never
+    # imports the simulator.
+
+    def checkpoint_root(self) -> Path:
+        """Where this cache's checkpoint artifacts live
+        (``$REPRO_CHECKPOINT_DIR`` wins, matching
+        :func:`repro.sim.checkpoint.default_checkpoint_root`)."""
+        env = os.environ.get("REPRO_CHECKPOINT_DIR")
+        return Path(env) if env else self.root / "checkpoints"
+
+    def checkpoint_entries(self) -> list[tuple[Path, float, int]]:
+        """Every checkpoint artifact as ``(path, mtime, size)``, oldest
+        first."""
+        rows = []
+        for path in self.checkpoint_root().glob("*/*.ckpt"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            rows.append((path, st.st_mtime, st.st_size))
+        rows.sort(key=lambda row: (row[1], row[0].name))
+        return rows
+
+    def checkpoint_size_bytes(self) -> int:
+        return sum(size for _, _, size in self.checkpoint_entries())
+
+    def prune_checkpoints(
+        self, max_entries: int | None = None, max_bytes: int | None = None
+    ) -> tuple[int, int]:
+        """Evict oldest checkpoint artifacts until the store fits the
+        caps; counts into ``evictions``.  Returns ``(evicted, freed)``.
+        """
+        if max_entries is None and max_bytes is None:
+            return (0, 0)
+        rows = self.checkpoint_entries()
+        total = sum(size for _, _, size in rows)
+        evicted = freed = 0
+        for path, _, size in rows:
+            over_count = max_entries is not None and len(rows) - evicted > max_entries
+            over_bytes = max_bytes is not None and total > max_bytes
+            if not over_count and not over_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
             evicted += 1
             freed += size
             total -= size

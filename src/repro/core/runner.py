@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
@@ -155,17 +156,53 @@ class JobResult:
         return canonical_json(self.record)
 
 
+# The serial loop's cancel hook, handed to _execute_payload out of band
+# (thread-local: the service runs several serial run_jobs concurrently in
+# executor threads).  Keeping the _execute_payload signature at exactly
+# one argument preserves the monkeypatch surface the test suites rely on,
+# and fakes that delegate to the real function inherit the hook.
+_serial_state = threading.local()
+
+
 def _execute_payload(payload: dict) -> dict:
-    """Run one job description; top-level so worker processes can pickle it."""
+    """Run one job description; top-level so worker processes can pickle it.
+
+    The serial loop's cancel hook (serial execution only — callables
+    don't cross the process pool) is handed to the backend as the
+    checkpoint spec's ``_stop`` hook: the engine polls it at snapshot
+    boundaries and pauses via :class:`~repro.errors.RunPaused` with the
+    final state persisted, which surfaces here as a cancellation.
+
+    The recorded workload always has the ``checkpoint`` option stripped,
+    so cached records from checkpointed, resumed, and plain runs are
+    byte-identical (their cache key already coincides — see
+    :meth:`~repro.core.cache.SweepCache.key_for`).
+    """
     from .. import backends  # noqa: F401  (registers the built-in backends)
     from ..backends import create
     from ..backends.base import Workload as _W
+    from ..errors import RunPaused
 
+    wl_dict = payload["workload"]
+    exec_wl = wl_dict
+    stop = getattr(_serial_state, "stop", None)
+    if stop is not None and (wl_dict.get("options") or {}).get("checkpoint"):
+        options = dict(wl_dict["options"])
+        options["checkpoint"] = dict(options["checkpoint"], _stop=stop)
+        exec_wl = dict(wl_dict, options=options)
     backend = create(payload["backend"], **payload["backend_options"])
-    workload = _W.from_dict(payload["workload"])
-    summary = backend.run(workload)
+    workload = _W.from_dict(exec_wl)
+    try:
+        summary = backend.run(workload)
+    except RunPaused:
+        # graceful drain: the in-flight state is already persisted
+        raise _CancelRequested() from None
+    record_wl = dict(wl_dict)
+    record_opts = dict(record_wl.get("options") or {})
+    record_opts.pop("checkpoint", None)
+    record_wl["options"] = record_opts
     record = {
-        "workload": payload["workload"],
+        "workload": record_wl,
         "backend": payload["backend"],
         "backend_options": payload["backend_options"],
         "summary": summary.to_dict(),
@@ -181,6 +218,7 @@ def run_jobs(
     cache: SweepCache | None | bool = None,
     progress: Callable[[int, int, Job, bool], None] | None = None,
     cancel: Callable[[], bool] | None = None,
+    checkpoint: Mapping[str, Any] | None = None,
 ) -> list[JobResult]:
     """Execute ``jobs``, returning results in input order.
 
@@ -203,6 +241,15 @@ def run_jobs(
         shut down cleanly (queued futures cancelled, nothing leaked)
         and :class:`SweepCancelled` is raised carrying the partial
         results, with unfinished jobs marked ``cancelled``.
+    checkpoint:
+        Optional checkpoint spec ``{"every": N, "dir": path, "resume":
+        ref}`` injected into each job's workload as the ``checkpoint``
+        option (keyed by the job's cache key, so a resubmitted sweep
+        resumes each job's newest artifact).  Cache keys and cached
+        records are unaffected — a resumed job is byte-identical to an
+        uninterrupted one.  With serial execution the ``cancel`` hook is
+        additionally polled *inside* runs at snapshot boundaries, so a
+        drain checkpoints the in-flight job instead of losing it.
     """
     jobs = list(jobs)
     if cache is True or cache is None:
@@ -211,6 +258,16 @@ def run_jobs(
         cache = None
     if workers is not None and workers < 0:
         raise ConfigurationError(f"workers must be >= 0, got {workers}")
+
+    def _payload(i: int) -> dict:
+        payload = jobs[i].payload()
+        if checkpoint is not None:
+            spec = {k: v for k, v in dict(checkpoint).items() if not k.startswith("_")}
+            spec.setdefault("key", jobs[i].key())
+            options = dict(payload["workload"]["options"])
+            options["checkpoint"] = spec
+            payload["workload"] = dict(payload["workload"], options=options)
+        return payload
 
     results: list[JobResult | None] = [None] * len(jobs)
     pending: list[int] = []
@@ -238,18 +295,22 @@ def run_jobs(
             progress(done, len(jobs), job, False)
 
     def _run_serial() -> None:
-        for i in pending:
-            if results[i] is not None:
-                continue
-            if cancel is not None and cancel():
-                raise _CancelRequested()
-            _finish(i, _execute_payload(jobs[i].payload()))
+        _serial_state.stop = cancel
+        try:
+            for i in pending:
+                if results[i] is not None:
+                    continue
+                if cancel is not None and cancel():
+                    raise _CancelRequested()
+                _finish(i, _execute_payload(_payload(i)))
+        finally:
+            _serial_state.stop = None
 
     try:
         if pending:
             if workers is not None and workers > 1:
                 try:
-                    _run_pool(jobs, pending, workers, _finish, cancel)
+                    _run_pool(_payload, pending, workers, _finish, cancel)
                 except (OSError, PermissionError):
                     # sandboxes without process spawning: fall back to serial
                     _run_serial()
@@ -269,17 +330,20 @@ def run_jobs(
     return [r for r in results if r is not None]
 
 
-def _run_pool(jobs, pending, workers, finish, cancel=None) -> None:
+def _run_pool(payload, pending, workers, finish, cancel=None) -> None:
     """Fan pending jobs across a process pool, honouring cancellation.
 
     On ``KeyboardInterrupt`` or a fired ``cancel`` hook the pool is
     shut down with ``cancel_futures=True`` — queued work never starts,
     in-flight work is awaited so no orphan worker processes remain —
-    and the exception propagates to :func:`run_jobs`.
+    and the exception propagates to :func:`run_jobs`.  The ``stop``
+    hook never crosses the pool boundary (callables don't pickle);
+    in-flight jobs keep their periodic snapshots, so a cancelled
+    parallel sweep still resumes from each job's newest artifact.
     """
     pool = ProcessPoolExecutor(max_workers=workers)
     try:
-        futures = {pool.submit(_execute_payload, jobs[i].payload()): i for i in pending}
+        futures = {pool.submit(_execute_payload, payload(i)): i for i in pending}
         remaining = set(futures)
         # Poll with a short timeout only when a cancel hook exists, so
         # cancellation stays responsive without busy-waiting otherwise.

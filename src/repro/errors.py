@@ -69,8 +69,43 @@ class WatchdogExceeded(SimulationError):
         rather than being lost.
     """
 
-    def __init__(self, message: str, *, budget=None, blocked=(), phases=()):
+    def __init__(self, message: str, *, budget=None, blocked=(), phases=(), checkpoint=None):
         super().__init__(message)
         self.budget = budget
         self.blocked = list(blocked)
         self.phases = list(phases)
+        #: Post-mortem kernel state dict (when the kernel was recording),
+        #: resumable via :meth:`repro.sim.kernel.SimKernel.resume` with a
+        #: larger budget.  ``None`` when the run was not checkpointable.
+        self.checkpoint = checkpoint
+        #: Path of the persisted post-mortem artifact, filled in by
+        #: :class:`repro.sim.checkpoint.CheckpointSession` when a store
+        #: is attached.
+        self.checkpoint_path = None
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be taken, stored, or restored.
+
+    Examples: a snapshot artifact whose header version or code digests do
+    not match the running code, a resume against a kernel whose workload
+    setup differs from the checkpointed one, a machine model that does not
+    implement the serializable-state contract.  Restore validation happens
+    *before* any state is touched, so a raised ``CheckpointError`` never
+    leaves a partially-restored kernel behind.
+    """
+
+
+class RunPaused(ReproError):
+    """A run was paused cooperatively at a scheduling boundary.
+
+    Raised by :class:`repro.sim.kernel.SimKernel` when a checkpoint sink
+    returns truthy (e.g. a service drain or sweep cancellation asked the
+    run to stop).  Carries the snapshot ``state`` taken at the pause
+    boundary and, when a store persisted it, the artifact ``path``.
+    """
+
+    def __init__(self, message: str, *, state=None, path=None):
+        super().__init__(message)
+        self.state = state
+        self.path = path

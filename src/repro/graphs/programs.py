@@ -89,6 +89,7 @@ def simulate_mta_cc(
     tracer=None,
     check=None,
     engine=None,
+    session=None,
 ) -> CCSim:
     """Execute the paper's Alg. 3 on the MTA cycle engine.
 
@@ -114,6 +115,10 @@ def simulate_mta_cc(
         Engine facade to construct instead of the stock
         :class:`~repro.sim.MTAEngine` (any registered interleaved
         machine's facade works — see :mod:`repro.sim.machines`).
+    session:
+        Optional :class:`repro.sim.checkpoint.CheckpointSession` shared
+        by every graft/shortcut engine phase (periodic snapshots /
+        resume).
     """
     n = g.n
     if n == 0:
@@ -135,6 +140,7 @@ def simulate_mta_cc(
     kw.setdefault("streams_per_proc", max(streams_per_proc, 1))
     kw.setdefault("tracer", tracer)
     kw.setdefault("check", check)
+    kw.setdefault("session", session)
     if kw["check"] is not None:
         kw["check"].set_address_space(space)
         # Concurrent grafts d[dv] = du (different winners racing on one
@@ -235,6 +241,7 @@ def simulate_smp_cc(
     tracer=None,
     check=None,
     tier: str = "auto",
+    session=None,
 ) -> CCSim:
     """Execute hook-and-shortcut connected components on the SMP cycle engine.
 
@@ -330,7 +337,7 @@ def simulate_smp_cc(
         check.allow_racy(
             a_flag.base, a_flag.end, "graft flag is a monotonic any-write-wins broadcast"
         )
-    eng = SMPEngine(p=p, config=config, tracer=tracer, check=check, tier=tier)
+    eng = SMPEngine(p=p, config=config, tracer=tracer, check=check, tier=tier, session=session)
     for proc in range(p):
         eng.attach(program(proc))
     report = eng.run("smp.sv-cc")

@@ -95,6 +95,7 @@ def simulate_mta_list_ranking(
     tracer=None,
     check=None,
     engine=None,
+    session=None,
 ) -> MTAListRankingSim:
     """Execute Alg. 1 on the MTA cycle engine and measure utilization.
 
@@ -122,6 +123,9 @@ def simulate_mta_list_ranking(
         Engine facade to construct instead of the stock
         :class:`~repro.sim.MTAEngine` (any registered interleaved
         machine's facade works — see :mod:`repro.sim.machines`).
+    session:
+        Optional :class:`repro.sim.checkpoint.CheckpointSession` shared
+        by all four engine phases (periodic snapshots / resume).
     """
     n = len(nxt)
     if n == 0:
@@ -157,6 +161,7 @@ def simulate_mta_list_ranking(
     kw.setdefault("streams_per_proc", max(streams_per_proc, 1))
     kw.setdefault("tracer", tracer)
     kw.setdefault("check", check)
+    kw.setdefault("session", session)
     if kw["check"] is not None:
         kw["check"].set_address_space(space)
 
@@ -314,6 +319,7 @@ def simulate_smp_list_ranking(
     tracer=None,
     check=None,
     tier: str = "auto",
+    session=None,
 ) -> MTAListRankingSim:
     """Execute the Helman–JáJá algorithm on the SMP cycle engine.
 
@@ -441,7 +447,7 @@ def simulate_smp_list_ranking(
 
     if check is not None:
         check.set_address_space(space)
-    eng = SMPEngine(p=p, config=config, tracer=tracer, check=check, tier=tier)
+    eng = SMPEngine(p=p, config=config, tracer=tracer, check=check, tier=tier, session=session)
     eng.set_counter(a_ctr.base + 0, 0)
     for proc in range(p):
         eng.attach(program(proc))

@@ -17,12 +17,18 @@ three forms:
     A named sweep from :func:`repro.workloads.jobs_for`.
 
 plus optional knobs: ``priority`` (higher runs sooner), ``timeout_s``
-(per-submission wall-clock budget), ``label`` (free-form, echoed back).
+(per-submission wall-clock budget), ``label`` (free-form, echoed back),
+``checkpoint`` (``{"every": N, "dir": path, "resume": ref}`` — enable
+periodic snapshots / resume for the execution), and ``resume_from``
+(shorthand for ``checkpoint.resume``: an artifact path or content id).
 
 Each submission coalesces on :func:`submission_key` — the sha-256 over
 the same per-job digests the on-disk result cache uses (workload +
 backend + backend options + code version).  Two submissions with equal
-keys describe byte-identical work, so the service runs it once.
+keys describe byte-identical work, so the service runs it once.  A
+``checkpoint`` spec folds into the key *only when present*: plain
+submissions keep their historical keys, and a resume submission never
+coalesces with (or is served by) a plain one.
 
 Errors cross the wire as ``{"error": {"code": ..., "message": ...}}``
 with a matching HTTP status; the codes are module constants so tests
@@ -115,10 +121,13 @@ class Submission:
     timeout_s: float | None = None
     label: str = ""
     spec: str | None = None
+    #: Checkpoint spec for the execution (``{"every", "dir", "resume"}``),
+    #: or None — the server may still apply its own defaults.
+    checkpoint: Mapping[str, Any] | None = None
 
     @property
     def key(self) -> str:
-        return submission_key(self.jobs)
+        return submission_key(self.jobs, self.checkpoint)
 
     def describe(self) -> dict:
         """The submission echo included in every job view."""
@@ -132,10 +141,15 @@ class Submission:
             out["timeout_s"] = self.timeout_s
         if self.label:
             out["label"] = self.label
+        if self.checkpoint is not None:
+            out["checkpoint"] = dict(self.checkpoint)
         return out
 
 
-def submission_key(jobs: tuple[Job, ...] | list[Job]) -> str:
+def submission_key(
+    jobs: tuple[Job, ...] | list[Job],
+    checkpoint: Mapping[str, Any] | None = None,
+) -> str:
     """Digest identifying the submission's work, cache-compatibly.
 
     Built from each job's :meth:`~repro.core.runner.Job.key` — the
@@ -143,10 +157,15 @@ def submission_key(jobs: tuple[Job, ...] | list[Job]) -> str:
     "same cache rows", which is what makes coalescing safe: attaching
     a duplicate submission to an in-flight execution returns the very
     bytes a fresh run would have produced.
+
+    A ``checkpoint`` spec is folded in only when present, so plain
+    submissions keep their historical keys while checkpointed or
+    resuming ones stand alone.
     """
-    return hashlib.sha256(
-        canonical_json([job.key() for job in jobs]).encode()
-    ).hexdigest()
+    payload: Any = [job.key() for job in jobs]
+    if checkpoint:
+        payload = {"jobs": payload, "checkpoint": dict(checkpoint)}
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 
 
 def _parse_one_job(body: Mapping[str, Any], where: str) -> Job:
@@ -224,6 +243,60 @@ def parse_submission(body: Any) -> Submission:
     if not isinstance(label, str):
         raise ProtocolError(ERR_BAD_REQUEST, "'label' must be a string")
 
+    checkpoint = _parse_checkpoint(body)
+    if checkpoint and checkpoint.get("resume") and len(jobs) != 1:
+        raise ProtocolError(
+            ERR_BAD_REQUEST,
+            "an explicit resume artifact requires a single-job submission"
+            " (batch jobs auto-resume from their own newest checkpoints)",
+        )
+
     return Submission(
-        jobs=jobs, priority=priority, timeout_s=timeout_s, label=label, spec=spec
+        jobs=jobs,
+        priority=priority,
+        timeout_s=timeout_s,
+        label=label,
+        spec=spec,
+        checkpoint=checkpoint,
     )
+
+
+def _parse_checkpoint(body: Mapping[str, Any]) -> dict | None:
+    """Validate the optional ``checkpoint`` object and the
+    ``resume_from`` shorthand into one spec dict (or None)."""
+    spec = body.get("checkpoint")
+    if spec is not None and not isinstance(spec, Mapping):
+        raise ProtocolError(ERR_BAD_REQUEST, "'checkpoint' must be an object")
+    out: dict[str, Any] = {}
+    if spec:
+        unknown = set(spec) - {"every", "dir", "resume", "fresh"}
+        if unknown:
+            raise ProtocolError(
+                ERR_BAD_REQUEST,
+                f"unknown checkpoint option(s): {', '.join(sorted(unknown))}",
+            )
+        every = spec.get("every")
+        if every is not None:
+            if not isinstance(every, int) or isinstance(every, bool) or every < 1:
+                raise ProtocolError(
+                    ERR_BAD_REQUEST, "'checkpoint.every' must be a positive integer"
+                )
+            out["every"] = every
+        for key in ("dir", "resume"):
+            if key in spec and spec[key] is not None:
+                if not isinstance(spec[key], str) or not spec[key]:
+                    raise ProtocolError(
+                        ERR_BAD_REQUEST,
+                        f"'checkpoint.{key}' must be a non-empty string",
+                    )
+                out[key] = spec[key]
+        if "fresh" in spec:
+            out["fresh"] = bool(spec["fresh"])
+    resume_from = body.get("resume_from")
+    if resume_from is not None:
+        if not isinstance(resume_from, str) or not resume_from:
+            raise ProtocolError(
+                ERR_BAD_REQUEST, "'resume_from' must be a non-empty string"
+            )
+        out["resume"] = resume_from
+    return out or None

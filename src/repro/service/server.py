@@ -162,6 +162,15 @@ class ExperimentService:
         the on-disk result cache executions read and write.
     cache_max_entries / cache_max_bytes:
         LRU caps applied to that cache (see :class:`SweepCache`).
+    checkpoint_every / checkpoint_dir:
+        Default checkpoint spec applied to every execution (a
+        submission's own ``checkpoint`` object overrides field by
+        field).  With a spec active, engine-backend jobs snapshot
+        periodically and auto-resume, and a graceful drain that has to
+        cancel an in-flight execution checkpoints it first (serial
+        ``job_workers``): the runner's cancel hook is polled at
+        snapshot boundaries, so the pause persists the final state
+        before :class:`SweepCancelled` unwinds.
     max_jobs_tracked:
         Completed-job records kept for ``GET /v1/jobs/{id}``; the
         oldest terminal records beyond this are forgotten.
@@ -177,6 +186,8 @@ class ExperimentService:
         cache: bool | str = True,
         cache_max_entries: int | None = None,
         cache_max_bytes: int | None = None,
+        checkpoint_every: int | None = None,
+        checkpoint_dir: str | None = None,
         max_jobs_tracked: int = 10_000,
     ):
         if dispatchers < 1:
@@ -194,6 +205,12 @@ class ExperimentService:
             "max_entries": cache_max_entries,
             "max_bytes": cache_max_bytes,
         }
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self._checkpoint_every = checkpoint_every
+        self._checkpoint_dir = checkpoint_dir
         self._max_jobs_tracked = max_jobs_tracked
         self._jobs: dict[str, JobRecord] = {}
         self._seq = 0
@@ -353,6 +370,17 @@ class ExperimentService:
         root = None if self._cache_conf is True else self._cache_conf
         return SweepCache(root, **self._cache_caps)
 
+    def _checkpoint_spec(self, record: JobRecord) -> dict | None:
+        """Server defaults merged under the submission's own spec."""
+        spec: dict = {}
+        if self._checkpoint_every is not None:
+            spec["every"] = self._checkpoint_every
+        if self._checkpoint_dir is not None:
+            spec["dir"] = self._checkpoint_dir
+        if record.submission.checkpoint:
+            spec.update(record.submission.checkpoint)
+        return spec or None
+
     def _run_sync(self, record: JobRecord) -> list:
         """Executor-thread body: the blocking runner call."""
         cache = self._make_cache()
@@ -362,6 +390,7 @@ class ExperimentService:
             workers=self._job_workers,
             cache=cache,
             cancel=record.cancel_event.is_set,
+            checkpoint=self._checkpoint_spec(record),
         )
 
     async def _execute(self, record: JobRecord) -> None:

@@ -11,9 +11,22 @@ watchdog, barriers, phases, and instrumentation (via the
 """
 
 from . import isa
+from .checkpoint import (
+    Checkpoint,
+    CheckpointSession,
+    CheckpointStore,
+    load_checkpoint,
+)
 from .fastpath import OpBlock, VectorProfile
 from .hooks import HOOK_EVENTS, CheckerHook, HookBus, TracerHook
-from .kernel import EVENT, INTERLEAVED, TIERS, MachineModel, SimKernel
+from .kernel import (
+    CHECKPOINT_STATE_VERSION,
+    EVENT,
+    INTERLEAVED,
+    TIERS,
+    MachineModel,
+    SimKernel,
+)
 from .machines import list_machines, machine_spec, register_machine
 from .mta_engine import MTAEngine, MTAMachine
 from .mta_next import MTANextMachine
@@ -23,6 +36,11 @@ from .thread import SimThread
 
 __all__ = [
     "isa",
+    "Checkpoint",
+    "CheckpointSession",
+    "CheckpointStore",
+    "CHECKPOINT_STATE_VERSION",
+    "load_checkpoint",
     "MTAEngine",
     "MTAMachine",
     "MTANextMachine",

@@ -40,6 +40,7 @@ a :class:`MachineModel` subclass, wrap it in an engine facade (or reuse
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
@@ -47,8 +48,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import (
+    CheckpointError,
     ConfigurationError,
     DeadlockError,
+    RunPaused,
     SimulationError,
     WatchdogExceeded,
 )
@@ -57,7 +60,19 @@ from .isa import BARRIER, COMPUTE, PHASE, RUN_BLOCK
 from .stats import PhaseSlice, SimReport
 from .thread import BLOCKED, DONE, READY, WAIT_BARRIER, SimThread
 
-__all__ = ["SimKernel", "MachineModel", "EVENT", "INTERLEAVED", "TIERS"]
+__all__ = [
+    "SimKernel",
+    "MachineModel",
+    "EVENT",
+    "INTERLEAVED",
+    "TIERS",
+    "CHECKPOINT_STATE_VERSION",
+]
+
+#: Version of the kernel-state dict produced by :meth:`SimKernel.snapshot`.
+#: Bumped whenever the snapshot layout changes, so stale on-disk
+#: checkpoints are rejected structurally instead of misrestoring.
+CHECKPOINT_STATE_VERSION = 1
 
 #: Scheduling disciplines a :class:`MachineModel` may declare.
 EVENT = "event"
@@ -170,6 +185,63 @@ class MachineModel:
         are sound for its memory model)."""
         return None
 
+    # -- serializable-state contract (checkpoint/restore) ----------------------
+
+    #: Version of the dict produced by :meth:`to_state`; bump on layout
+    #: changes so stale checkpoints are rejected instead of misrestored.
+    state_version = 1
+
+    @property
+    def checkpointable(self) -> bool:
+        """True when the machine implements :meth:`to_state`/:meth:`from_state`."""
+        return type(self).to_state is not MachineModel.to_state
+
+    def config_state(self) -> dict:
+        """Machine configuration folded into the checkpoint setup digest.
+
+        Geometry/latency knobs that must match exactly between the
+        checkpointed kernel and the one restoring (a checkpoint taken on
+        a machine with different parameters is a different simulation).
+        """
+        return {}
+
+    def to_state(self) -> dict:
+        """Serializable machine-owned run state.
+
+        Everything the machine mutates during a run that is not derivable
+        from the setup: full/empty words, fetch-add cells, bus/bank
+        timing, contention counters.  The default marks the machine as
+        *not* checkpointable — models opt in by overriding this together
+        with :meth:`from_state`.
+        """
+        raise CheckpointError(
+            f"machine {self.kind!r} does not implement the serializable-state "
+            "contract (to_state/from_state)"
+        )
+
+    def from_state(self, state: dict, kernel: "SimKernel") -> None:
+        """Restore :meth:`to_state` output (``kernel`` maps tids to threads)."""
+        raise CheckpointError(
+            f"machine {self.kind!r} does not implement the serializable-state "
+            "contract (to_state/from_state)"
+        )
+
+    def pack_thread_state(self, mstate):
+        """Picklable form of one thread's model-private ``mstate``."""
+        if mstate is None:
+            return None
+        raise CheckpointError(
+            f"machine {self.kind!r} does not serialize per-thread model state"
+        )
+
+    def unpack_thread_state(self, packed):
+        """Inverse of :meth:`pack_thread_state`."""
+        if packed is None:
+            return None
+        raise CheckpointError(
+            f"machine {self.kind!r} does not serialize per-thread model state"
+        )
+
 
 @dataclass
 class _Proc:
@@ -214,7 +286,14 @@ class SimKernel:
     """
 
     def __init__(
-        self, model: MachineModel, *, tracer=None, check=None, hooks=(), tier="auto"
+        self,
+        model: MachineModel,
+        *,
+        tracer=None,
+        check=None,
+        hooks=(),
+        tier="auto",
+        record=False,
     ):
         self.model = model
         self.p = model.p
@@ -261,6 +340,18 @@ class SimKernel:
         #: Fast-forward window accounting (not part of SimReport — the
         #: report must stay byte-identical across tiers).
         self._window_stats = {"windows": 0, "ops": 0}
+        # checkpoint/restore machinery: when recording, every generator
+        # resume is logged (tid order + non-None sent values) so restore
+        # can replay the run's Python-side effects exactly; the setup
+        # digest fingerprints the attached workload so a checkpoint can
+        # only be restored onto the same setup.
+        self._rec_tids: list | None = [] if record else None
+        self._rec_vals: list = []
+        self._setup_hash = hashlib.sha256(
+            repr((model.kind, model.scheduling, model.p, model.config_state())).encode()
+        )
+        self._resume_ctx: dict | None = None
+        self._run_name = None
         bus.attach_engine(model.kind, self.p)
 
     # -- setup ------------------------------------------------------------------
@@ -281,6 +372,7 @@ class SimKernel:
             t.mstate = self.model.thread_state()
             self.threads.append(t)
             self._live += 1
+            self._setup_hash.update(b"T%d" % idx)
             return t
         if proc is None:
             proc = self._next_proc
@@ -298,6 +390,7 @@ class SimKernel:
         pr.ready.append(t)
         pr.live += 1
         self._live += 1
+        self._setup_hash.update(b"T%d" % proc)
         return t
 
     def register_barrier(self, barrier_id: str, count: int) -> None:
@@ -305,16 +398,19 @@ class SimKernel:
         if count < 1:
             raise ConfigurationError("barrier count must be >= 1")
         self._barriers[barrier_id] = _Barrier(need=count)
+        self._setup_hash.update(f"B{barrier_id}:{count}".encode())
         self.bus.register_barrier(barrier_id, count)
 
     def set_counter(self, addr: int, value: int = 0) -> None:
         """Initialize a fetch-add cell (delegates to the model)."""
         self.model.init_counter(addr, value)
+        self._setup_hash.update(f"C{addr}:{value}".encode())
         self.bus.init_counter(addr)
 
     def set_full(self, addr: int, value=0) -> None:
         """Pre-set a full/empty word to Full (delegates to the model)."""
         self.model.init_full(addr, value)
+        self._setup_hash.update(f"F{addr}:{value!r}".encode())
         self.bus.init_full(addr)
 
     # -- scheduling helpers used by model handlers -------------------------------
@@ -324,6 +420,241 @@ class SimKernel:
         t.state = BLOCKED
         t.wake_at = when
         heapq.heappush(self.procs[t.proc].wake, (when, t.tid, t))
+
+    # -- checkpoint / restore -----------------------------------------------------
+
+    @property
+    def record(self) -> bool:
+        """True when the kernel logs generator resumes for checkpointing."""
+        return self._rec_tids is not None
+
+    @property
+    def setup_digest(self) -> str:
+        """Fingerprint of the attached workload (threads, barriers,
+        counters, full/empty words, machine config).  A checkpoint only
+        restores onto a kernel with the same digest."""
+        return self._setup_hash.hexdigest()
+
+    def resume_log(self) -> dict:
+        """The recorded resume log: the global order of generator resumes
+        (``tids``) plus the sparse non-None sent values (``vals``)."""
+        if self._rec_tids is None:
+            raise CheckpointError(
+                "kernel is not recording; construct it with record=True"
+            )
+        return {
+            "tids": np.asarray(self._rec_tids, dtype=np.int32),
+            "vals": list(self._rec_vals),
+        }
+
+    def snapshot(self, progress: dict) -> dict:
+        """Serializable state of the run at a scheduling boundary.
+
+        ``progress`` locates the boundary on the run's timeline
+        (``{"steps": n}`` for event machines, ``{"cycle": c,
+        "last_issue": i}`` for interleaved ones).  The snapshot carries
+        everything needed to continue byte-identically: per-thread
+        scheduling state, machine-owned memory/timing state, barrier and
+        phase bookkeeping, and the resume log that lets a fresh process
+        rebuild the (unpicklable) generators by replaying the workload.
+
+        Heap-shaped structures are *derived* on restore rather than
+        stored: every event-heap entry equals ``(t.time, t.tid)`` of a
+        READY thread, and every interleaved wake-heap entry equals
+        ``(t.wake_at, t.tid)`` of a BLOCKED thread, so only orders that
+        carry information (per-proc ready rotation, barrier arrival,
+        model FIFO queues) are serialized explicitly.
+        """
+        model = self.model
+        if self._rec_tids is None:
+            raise CheckpointError(
+                "cannot snapshot: kernel is not recording (record=True)"
+            )
+        if not model.checkpointable:
+            raise CheckpointError(
+                f"machine {model.kind!r} does not implement the "
+                "serializable-state contract (to_state/from_state)"
+            )
+        threads = []
+        for t in self.threads:
+            st = t.to_state()
+            st["mstate"] = model.pack_thread_state(t.mstate)
+            threads.append(st)
+        return {
+            "version": CHECKPOINT_STATE_VERSION,
+            "kind": model.kind,
+            "scheduling": model.scheduling,
+            "p": self.p,
+            "setup": self.setup_digest,
+            "machine_state_version": model.state_version,
+            "name": self._run_name,
+            "progress": dict(progress),
+            "threads": threads,
+            "procs": None
+            if self.event_mode
+            else [
+                {
+                    "ready": [t.tid for t in pr.ready],
+                    "issued": pr.issued,
+                    "live": pr.live,
+                }
+                for pr in self.procs
+            ],
+            "live": self._live,
+            "next_proc": self._next_proc,
+            "last_issue": self._last_issue,
+            "barriers": {
+                bid: {"need": b.need, "waiting": [w.tid for w in b.waiting]}
+                for bid, b in self._barriers.items()
+            },
+            "op_counts": dict(self._op_counts),
+            "phase_snaps": [(s[0], s[1], s[2], dict(s[3])) for s in self._phase_snaps],
+            "barrier_wait_per_proc": list(self.barrier_wait_per_proc),
+            "barrier_episodes": self.barrier_episodes,
+            "barrier_stats": {k: list(v) for k, v in self.barrier_stats.items()},
+            "window_stats": dict(self._window_stats),
+            "log": self.resume_log(),
+            "model": model.to_state(),
+        }
+
+    def replay_log(self, log: dict) -> list:
+        """Replay a resume log against freshly attached programs.
+
+        Re-runs every generator in the exact global order of the
+        original run — reproducing all Python-side effects (shared
+        array writes, local variables) without simulating any cycles —
+        and returns the last op each thread yielded (None once its
+        generator finished).  When the kernel is recording, the replayed
+        entries are appended to its own log so a later snapshot carries
+        the full history from cycle 0.
+        """
+        threads = self.threads
+        vals = dict(log["vals"])
+        rec = self._rec_tids
+        rec_vals = self._rec_vals
+        last_ops = [None] * len(threads)
+        for i, tid in enumerate(log["tids"]):
+            tid = int(tid)
+            t = threads[tid]
+            v = vals.get(i)
+            try:
+                last_ops[tid] = t.gen.send(v)
+            except StopIteration:
+                last_ops[tid] = None
+            if rec is not None:
+                rec.append(tid)
+                if v is not None:
+                    rec_vals.append((len(rec) - 1, v))
+        return last_ops
+
+    def resume(self, state: dict) -> None:
+        """Restore a :meth:`snapshot` onto this kernel.
+
+        Must be called after the workload attached its programs (the
+        same setup the checkpoint was taken from — enforced via the
+        setup digest) and before :meth:`run`; the next ``run()`` then
+        continues from the snapshot's boundary and produces a report and
+        event stream byte-identical to the uninterrupted run.  All
+        validation happens before any state is touched, so a raised
+        :class:`~repro.errors.CheckpointError` leaves the kernel intact.
+        """
+        model = self.model
+        if not isinstance(state, dict) or state.get("version") != CHECKPOINT_STATE_VERSION:
+            raise CheckpointError(
+                f"unsupported kernel-state version {state.get('version') if isinstance(state, dict) else state!r}"
+                f" (this kernel writes version {CHECKPOINT_STATE_VERSION})"
+            )
+        if state.get("kind") != model.kind or state.get("scheduling") != model.scheduling:
+            raise CheckpointError(
+                f"checkpoint was taken on machine {state.get('kind')!r}"
+                f" ({state.get('scheduling')!r}); this kernel runs"
+                f" {model.kind!r} ({model.scheduling!r})"
+            )
+        if state.get("p") != self.p:
+            raise CheckpointError(
+                f"checkpoint has p={state.get('p')} but this kernel has p={self.p}"
+            )
+        if state.get("machine_state_version") != model.state_version:
+            raise CheckpointError(
+                f"machine-state version {state.get('machine_state_version')!r} !="
+                f" {model.state_version} for {model.kind!r}"
+            )
+        if state.get("setup") != self.setup_digest:
+            raise CheckpointError(
+                "checkpoint does not match this kernel's workload setup "
+                "(programs, barriers, counters, or machine config differ); "
+                "nothing was restored"
+            )
+        if len(state["threads"]) != len(self.threads):
+            raise CheckpointError(
+                f"checkpoint has {len(state['threads'])} threads but"
+                f" {len(self.threads)} programs are attached"
+            )
+        if self._resume_ctx is not None:
+            raise CheckpointError("kernel already has a pending resume")
+
+        # Resuming implies recording: further checkpoints must carry the
+        # full history, and replay below re-records the replayed prefix.
+        self._rec_tids = []
+        self._rec_vals = []
+        last_ops = self.replay_log(state["log"])
+
+        threads = self.threads
+        for t, st in zip(threads, state["threads"]):
+            t.from_state(st)
+            t.mstate = model.unpack_thread_state(st["mstate"])
+            if st["in_block"]:
+                op = last_ops[t.tid]
+                ok = (
+                    op is not None
+                    and op[0] == RUN_BLOCK
+                    and op[1].n == st["block_len"]
+                    and 0 <= st["fbpos"] < op[1].n
+                )
+                if not ok:
+                    raise CheckpointError(
+                        f"cannot rebind tid {t.tid}'s active op block: replay"
+                        " did not end on a matching run_block"
+                    )
+                t.fblock = op[1]
+            else:
+                t.fblock = None
+        self._live = state["live"]
+        self._next_proc = state["next_proc"]
+        self._last_issue = state["last_issue"]
+        self._barriers = {
+            bid: _Barrier(need=b["need"], waiting=[threads[tid] for tid in b["waiting"]])
+            for bid, b in state["barriers"].items()
+        }
+        self._op_counts = dict(state["op_counts"])
+        self._phase_snaps = [(s[0], s[1], s[2], dict(s[3])) for s in state["phase_snaps"]]
+        self.barrier_wait_per_proc = list(state["barrier_wait_per_proc"])
+        self.barrier_episodes = state["barrier_episodes"]
+        self.barrier_stats = {k: list(v) for k, v in state["barrier_stats"].items()}
+        self._window_stats = dict(state["window_stats"])
+        if not self.event_mode:
+            for pi, (pr, ps) in enumerate(zip(self.procs, state["procs"])):
+                pr.issued = ps["issued"]
+                pr.live = ps["live"]
+                pr.ready = deque(threads[tid] for tid in ps["ready"])
+                pr.wake = [
+                    (t.wake_at, t.tid, t)
+                    for t in threads
+                    if t.proc == pi and t.state == BLOCKED
+                ]
+                heapq.heapify(pr.wake)
+        model.from_state(state["model"], self)
+        self._resume_ctx = {
+            "name": state["name"],
+            "progress": dict(state["progress"]),
+        }
+
+    def _emit_checkpoint(self, sink, progress: dict) -> None:
+        """Snapshot at a boundary and hand it to ``sink``; a truthy
+        return pauses the run (:class:`~repro.errors.RunPaused`)."""
+        state = self.snapshot(progress)
+        if sink(state):
+            raise RunPaused(f"run paused at {progress}", state=state)
 
     # -- instrumentation plumbing ------------------------------------------------
 
@@ -360,18 +691,30 @@ class SimKernel:
         budget: int | None = None,
         *,
         tier: str | None = None,
+        checkpoint_every: int | None = None,
+        checkpoint_sink=None,
     ) -> SimReport:
         """Run every thread to completion; return measurements.
 
         ``budget`` bounds the run (scheduling steps for event machines,
         cycles for interleaved ones); exceeding it raises
         :class:`~repro.errors.WatchdogExceeded` carrying the blocked
-        inventory and the phase slices closed at the abort point.
+        inventory and the phase slices closed at the abort point (plus a
+        resumable post-mortem checkpoint when the kernel is recording).
 
         ``tier`` overrides the kernel's configured execution tier for
         this run (see the constructor); both tiers produce
         byte-identical reports — the fast one merely skips the
         interpreter where nothing observable happens.
+
+        ``checkpoint_every`` takes a :meth:`snapshot` at the first
+        scheduling boundary at or past every multiple of that many
+        steps/cycles and hands it to ``checkpoint_sink``; a truthy sink
+        return pauses the run via :class:`~repro.errors.RunPaused`.
+        After :meth:`resume`, the run continues from the restored
+        boundary (the passed ``name`` is ignored in favour of the
+        checkpointed one, and ``on_run_start`` is not re-emitted, so the
+        combined event stream matches an uninterrupted run).
         """
         if budget is None:
             budget = self.model.default_budget
@@ -383,6 +726,22 @@ class SimKernel:
             tier = self.tier
         elif tier not in TIERS:
             raise ConfigurationError(f"unknown tier {tier!r}; expected one of {TIERS}")
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ConfigurationError("checkpoint_every must be >= 1")
+            if checkpoint_sink is None:
+                raise ConfigurationError(
+                    "checkpoint_every requires a checkpoint_sink"
+                )
+            if self._rec_tids is None:
+                raise CheckpointError(
+                    "checkpointing requires a recording kernel (record=True)"
+                )
+            if not self.model.checkpointable:
+                raise CheckpointError(
+                    f"machine {self.model.kind!r} does not implement the "
+                    "serializable-state contract (to_state/from_state)"
+                )
         bus = self.bus
         self._h_span = bus.listeners("on_op_span")
         self._h_sync = bus.listeners("on_sync")
@@ -410,14 +769,29 @@ class SimKernel:
             fast = profile is not None and not fidelity
         self.tier_used = "vector" if fast else "interpreted"
         self.tier_demoted = False
-        h_start = bus.listeners("on_run_start")
-        if h_start is not None:
-            for fn in h_start:
-                fn(name, self.p)
-        if self.event_mode:
-            report = self._run_event(name, budget, fast)
-        else:
-            report = self._run_interleaved(name, budget, fast)
+        ctx = self._resume_ctx
+        if ctx is not None:
+            # continuing a checkpointed run: keep its name and do not
+            # re-emit on_run_start — the original run already did, so
+            # prefix + continuation equals the uninterrupted event stream
+            name = ctx["name"]
+        self._run_name = name
+        if ctx is None:
+            h_start = bus.listeners("on_run_start")
+            if h_start is not None:
+                for fn in h_start:
+                    fn(name, self.p)
+        try:
+            if self.event_mode:
+                report = self._run_event(
+                    name, budget, fast, checkpoint_every, checkpoint_sink, ctx
+                )
+            else:
+                report = self._run_interleaved(
+                    name, budget, fast, checkpoint_every, checkpoint_sink, ctx
+                )
+        finally:
+            self._resume_ctx = None
         h_end = bus.listeners("end_run")
         if h_end is not None:
             for fn in h_end:
@@ -426,7 +800,15 @@ class SimKernel:
 
     # -- event discipline (one thread per processor, local time) ----------------
 
-    def _run_event(self, name: str, budget: int, fast: bool = False) -> SimReport:
+    def _run_event(
+        self,
+        name: str,
+        budget: int,
+        fast: bool = False,
+        ckpt_every: int | None = None,
+        ckpt_sink=None,
+        ctx: dict | None = None,
+    ) -> SimReport:
         model = self.model
         threads = self.threads
         p = self.p
@@ -437,18 +819,36 @@ class SimKernel:
         barriers = self._barriers
         barrier_wait = self.barrier_wait_per_proc
         op_counts = self._op_counts
-        snaps = self._phase_snaps = [(0.0, name, self._issued_total(), dict(op_counts))]
+        if ctx is None:
+            snaps = self._phase_snaps = [
+                (0.0, name, self._issued_total(), dict(op_counts))
+            ]
+            steps = 0
+        else:  # resumed: phase snaps were restored, continue the count
+            snaps = self._phase_snaps
+            steps = ctx["progress"]["steps"]
         bus = self.bus
         ver = bus.version
         h_op = bus.listeners("on_op")
         h_phase = bus.listeners("on_phase")
         h_span = self._h_span
         h_release = self._h_release
+        rec = self._rec_tids
+        rec_append = rec.append if rec is not None else None
+        rec_vals = self._rec_vals
         heappush, heappop = heapq.heappush, heapq.heappop
-        heap: list[tuple[float, int]] = [(0.0, i) for i in range(p)]
+        # The heap is fully derivable: it holds exactly one (t.time, tid)
+        # entry per READY thread — identical to the historical
+        # [(0.0, i) for i in range(p)] on a fresh start, and exactly the
+        # restored schedule after a resume.
+        heap: list[tuple[float, int]] = [
+            (t.time, t.tid) for t in threads if t.state == READY
+        ]
         heapq.heapify(heap)
-        last_mark = 0.0
-        steps = 0
+        last_mark = snaps[-1][0]
+        next_ckpt = (
+            (steps // ckpt_every + 1) * ckpt_every if ckpt_every is not None else None
+        )
 
         # One pass of the inner loop is one scheduling step — identical
         # whether the thread was re-popped from the heap (interpreted)
@@ -457,6 +857,9 @@ class SimKernel:
         # return it immediately, so the fast tier skips the heap churn;
         # the `(time, idx)` tie-break reproduces the heap order exactly).
         while heap:
+            if next_ckpt is not None and steps >= next_ckpt:
+                self._emit_checkpoint(ckpt_sink, {"steps": steps})
+                next_ckpt = (steps // ckpt_every + 1) * ckpt_every
             time, idx = heappop(heap)
             t = threads[idx]
             inline = True
@@ -464,7 +867,16 @@ class SimKernel:
                 inline = False
                 steps += 1
                 if steps > budget:
-                    self._abort_watchdog(budget, f"exceeded max_ops={budget}", time)
+                    # the aborted step was never executed: the popped
+                    # thread is still READY at `time`, so the snapshot's
+                    # derived heap re-includes it and a resume with a
+                    # larger budget re-attempts exactly this step
+                    self._abort_watchdog(
+                        budget,
+                        f"exceeded max_ops={budget}",
+                        time,
+                        progress={"steps": steps - 1},
+                    )
                 if bus.version != ver:
                     ver = bus.version
                     h_op, h_phase = self._refresh_listeners()
@@ -481,12 +893,21 @@ class SimKernel:
                     if t.fbpos == blk.n:
                         t.fblock = None
                 else:
+                    sent = t.pending_value
                     try:
-                        op = t.gen.send(t.pending_value)
+                        op = t.gen.send(sent)
                     except StopIteration:
+                        if rec_append is not None:  # replay must re-run the tail
+                            rec_append(idx)
+                            if sent is not None:
+                                rec_vals.append((len(rec) - 1, sent))
                         t.state = DONE
                         break
                     t.pending_value = None
+                    if rec_append is not None:
+                        rec_append(idx)
+                        if sent is not None:
+                            rec_vals.append((len(rec) - 1, sent))
                 tag = op[0]
                 if tag == PHASE:  # zero-cost marker: no slot, no time
                     if h_phase is not None:
@@ -595,7 +1016,15 @@ class SimKernel:
 
     # -- interleaved discipline (streams, one issue per proc per cycle) ---------
 
-    def _run_interleaved(self, name: str, budget: int, fast: bool = False) -> SimReport:
+    def _run_interleaved(
+        self,
+        name: str,
+        budget: int,
+        fast: bool = False,
+        ckpt_every: int | None = None,
+        ckpt_sink=None,
+        ctx: dict | None = None,
+    ) -> SimReport:
         model = self.model
         procs = self.procs
         dispatch = model.handlers(self)
@@ -603,23 +1032,48 @@ class SimKernel:
         dispatch[BARRIER] = None  # kernel-owned; keep models honest
         lookahead = model.lookahead
         op_counts = self._op_counts
-        snaps = self._phase_snaps = [(0, name, self._issued_total(), dict(op_counts))]
+        if ctx is None:
+            snaps = self._phase_snaps = [
+                (0, name, self._issued_total(), dict(op_counts))
+            ]
+            cycle = 0
+            last_issue = -1
+        else:  # resumed: phase snaps were restored, continue the clock
+            snaps = self._phase_snaps
+            cycle = ctx["progress"]["cycle"]
+            last_issue = ctx["progress"]["last_issue"]
         bus = self.bus
         ver = bus.version
         h_op = bus.listeners("on_op")
         h_phase = bus.listeners("on_phase")
+        rec = self._rec_tids
+        rec_append = rec.append if rec is not None else None
+        rec_vals = self._rec_vals
         heappop = heapq.heappop
-        cycle = 0
-        last_issue = -1
+        next_ckpt = (
+            (cycle // ckpt_every + 1) * ckpt_every if ckpt_every is not None else None
+        )
         if fast:
             from .fastpath import try_ld_window
         else:
             try_ld_window = None
 
         while self._live > 0:
+            if next_ckpt is not None and cycle >= next_ckpt:
+                self._emit_checkpoint(
+                    ckpt_sink, {"cycle": cycle, "last_issue": last_issue}
+                )
+                next_ckpt = (cycle // ckpt_every + 1) * ckpt_every
             if cycle > budget:
                 self._last_issue = last_issue
-                self._abort_watchdog(budget, f"exceeded max_cycles={budget}", cycle)
+                # cycle was never executed: a resume with a larger
+                # budget re-enters the loop at exactly this cycle
+                self._abort_watchdog(
+                    budget,
+                    f"exceeded max_cycles={budget}",
+                    cycle,
+                    progress={"cycle": cycle, "last_issue": last_issue},
+                )
             if bus.version != ver:  # a hook attached mid-run
                 ver = bus.version
                 h_op, h_phase = self._refresh_listeners()
@@ -666,14 +1120,23 @@ class SimKernel:
                     if t.fbpos == blk.n:
                         t.fblock = None
                 else:
+                    sent = t.pending_value
                     try:
-                        op = t.gen.send(t.pending_value)
+                        op = t.gen.send(sent)
                     except StopIteration:
+                        if rec_append is not None:  # replay must re-run the tail
+                            rec_append(t.tid)
+                            if sent is not None:
+                                rec_vals.append((len(rec) - 1, sent))
                         t.state = DONE
                         proc.live -= 1
                         self._live -= 1
                         continue
                     t.pending_value = None
+                    if rec_append is not None:
+                        rec_append(t.tid)
+                        if sent is not None:
+                            rec_vals.append((len(rec) - 1, sent))
                     while True:  # zero-cost pseudo-ops: no slot, no cycle
                         tag0 = op[0]
                         if tag0 == PHASE:
@@ -696,11 +1159,15 @@ class SimKernel:
                         try:
                             op = t.gen.send(None)
                         except StopIteration:
+                            if rec_append is not None:
+                                rec_append(t.tid)
                             t.state = DONE
                             proc.live -= 1
                             self._live -= 1
                             op = None
                             break
+                        if rec_append is not None:
+                            rec_append(t.tid)
                     if op is None:
                         continue
                 tag = op[0]
@@ -826,14 +1293,28 @@ class SimKernel:
             f"{len(stuck)} threads blocked with no wake source ({inventory} …)"
         )
 
-    def _abort_watchdog(self, budget: int, message: str, now) -> None:
+    def _abort_watchdog(self, budget: int, message: str, now, progress=None) -> None:
         """Watchdog trip: close the open phase slice at the abort point
-        and raise with the blocked inventory attached."""
+        and raise with the blocked inventory attached — plus, when the
+        kernel is recording on a checkpointable machine, a post-mortem
+        snapshot so the run can be resumed with a larger budget instead
+        of rerun from cycle 0."""
+        ckpt = None
+        if (
+            progress is not None
+            and self._rec_tids is not None
+            and self.model.checkpointable
+        ):
+            try:
+                ckpt = self.snapshot(progress)
+            except CheckpointError:  # pragma: no cover - diagnostic best-effort
+                ckpt = None
         raise WatchdogExceeded(
             message,
             budget=budget,
             blocked=self._blocked_rows(),
             phases=self._close_slices(now),
+            checkpoint=ckpt,
         )
 
     # -- phases -----------------------------------------------------------------

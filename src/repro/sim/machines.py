@@ -53,6 +53,7 @@ def register_machine(
     kinds: tuple = ("rank", "cc", "chase"),
     engine_backend: bool = True,
     tiers: tuple = ("interpreted",),
+    checkpoint: bool = True,
     replace: bool = False,
 ) -> MachineSpec:
     """Register the machine ``name`` backed by the ``engine`` facade.
@@ -69,7 +70,10 @@ def register_machine(
     machine model publishes a
     :meth:`~repro.sim.kernel.MachineModel.vector_profile` (otherwise an
     explicit ``tier="vector"`` request fails at run time, which the
-    listing should not advertise).
+    listing should not advertise).  ``checkpoint`` declares whether the
+    machine model implements the serializable-state contract
+    (:meth:`~repro.sim.kernel.MachineModel.to_state`); defaults to True
+    since models derived from the built-ins inherit it.
     """
     if not name:
         raise ConfigurationError("machine name must be non-empty")
@@ -101,6 +105,7 @@ def register_machine(
             machine=name,
             hooks=HOOK_EVENTS,
             tiers=tiers,
+            checkpoint=checkpoint,
             replace=replace,
         )
     spec = MachineSpec(

@@ -346,6 +346,61 @@ class MTAMachine(MachineModel):
             SYNC_STORE_FULL: h_sync_store,
         }
 
+    # -- serializable-state contract --------------------------------------------
+
+    state_version = 1
+
+    def config_state(self) -> dict:
+        return {
+            "streams_per_proc": self.streams_per_proc,
+            "mem_latency": self.mem_latency,
+            "lookahead": self.lookahead,
+            "max_outstanding": self.max_outstanding,
+            "barrier_latency": self.barrier_latency,
+            "clock_hz": self.clock_hz,
+            "n_banks": self.n_banks,
+        }
+
+    def to_state(self) -> dict:
+        return {
+            "bank_next_free": dict(self._bank_next_free),
+            "bank_contention_stalls": self.bank_contention_stalls,
+            "full": dict(self._full),
+            "wait_full": {a: [w.tid for w in q] for a, q in self._wait_full.items() if q},
+            "wait_empty": {a: [w.tid for w in q] for a, q in self._wait_empty.items() if q},
+            "fa_values": dict(self.fa_values),
+            "fa_next_free": dict(self._fa_next_free),
+            "fa_serialization_stalls": self.fa_serialization_stalls,
+            "fa_sites": {a: list(v) for a, v in self._fa_sites.items()},
+            "fe_wait_hist": dict(self._fe_wait_hist),
+            "fe_wait_cycles": self.fe_wait_cycles,
+        }
+
+    def from_state(self, state: dict, kernel: SimKernel) -> None:
+        # in-place updates: handlers close over these dicts by reference
+        threads = kernel.threads
+        self._bank_next_free.clear()
+        self._bank_next_free.update(state["bank_next_free"])
+        self.bank_contention_stalls = state["bank_contention_stalls"]
+        self._full.clear()
+        self._full.update(state["full"])
+        self._wait_full.clear()
+        for a, tids in state["wait_full"].items():
+            self._wait_full[a] = deque(threads[tid] for tid in tids)
+        self._wait_empty.clear()
+        for a, tids in state["wait_empty"].items():
+            self._wait_empty[a] = deque(threads[tid] for tid in tids)
+        self.fa_values.clear()
+        self.fa_values.update(state["fa_values"])
+        self._fa_next_free.clear()
+        self._fa_next_free.update(state["fa_next_free"])
+        self.fa_serialization_stalls = state["fa_serialization_stalls"]
+        self._fa_sites.clear()
+        self._fa_sites.update({a: list(v) for a, v in state["fa_sites"].items()})
+        self._fe_wait_hist.clear()
+        self._fe_wait_hist.update(state["fe_wait_hist"])
+        self.fe_wait_cycles = state["fe_wait_cycles"]
+
     # -- diagnosis / reporting --------------------------------------------------
 
     def blocked_rows(self) -> list:
@@ -429,14 +484,29 @@ class MTAEngine:
     machine_class = MTAMachine
 
     def __init__(
-        self, p: int = 1, *, tracer=None, check=None, hooks=(), tier="auto", **params
+        self,
+        p: int = 1,
+        *,
+        tracer=None,
+        check=None,
+        hooks=(),
+        tier="auto",
+        session=None,
+        record: bool = False,
+        **params,
     ) -> None:
         # Only caller-supplied parameters reach the machine, so a
         # subclass machine's own defaults (mta-next's latency, stream
         # budget…) apply; unknown parameters raise from its constructor.
         self.model = self.machine_class(p, **params)
+        self.session = session
         self.kernel = SimKernel(
-            self.model, tracer=tracer, check=check, hooks=hooks, tier=tier
+            self.model,
+            tracer=tracer,
+            check=check,
+            hooks=hooks,
+            tier=tier,
+            record=record or session is not None,
         )
 
     # -- setup -----------------------------------------------------------------
@@ -459,6 +529,11 @@ class MTAEngine:
 
     # -- run --------------------------------------------------------------------
 
+    def resume(self, state: dict) -> None:
+        """Restore a kernel snapshot (spawn the same programs first);
+        the next :meth:`run` continues from the checkpointed boundary."""
+        self.kernel.resume(state)
+
     def run(
         self,
         name: str = "phase",
@@ -466,15 +541,26 @@ class MTAEngine:
         *,
         budget: int | None = None,
         tier: str | None = None,
+        checkpoint_every: int | None = None,
+        checkpoint_sink=None,
     ):
         """Execute until every spawned thread finishes; return measurements.
 
         ``max_cycles`` is the historical name for the kernel ``budget``
         (cycles); ``budget`` wins when both are given.  ``tier``
         overrides the engine's configured execution tier for this run.
+        ``checkpoint_every``/``checkpoint_sink`` pass through to
+        :meth:`SimKernel.run` (ignored when a session manages the run).
         """
+        budget = budget if budget is not None else max_cycles
+        if self.session is not None:
+            return self.session.run(self.kernel, name, budget=budget, tier=tier)
         return self.kernel.run(
-            name, budget=budget if budget is not None else max_cycles, tier=tier
+            name,
+            budget=budget,
+            tier=tier,
+            checkpoint_every=checkpoint_every,
+            checkpoint_sink=checkpoint_sink,
         )
 
     # -- public state the historical engine exposed -----------------------------

@@ -157,6 +157,41 @@ class SMPMachine(MachineModel):
             FETCH_ADD: h_fetch_add,
         }
 
+    # -- serializable-state contract ------------------------------------------
+
+    state_version = 1
+
+    def config_state(self) -> dict:
+        import dataclasses
+
+        return dataclasses.asdict(self.config)
+
+    def to_state(self) -> dict:
+        return {
+            "bus_free": self._bus_free,
+            "bus_busy_cycles": self._bus_busy_cycles,
+            "fa_values": dict(self.fa_values),
+            "fa_next_free": dict(self._fa_next_free),
+            "fa_sites": {a: list(v) for a, v in self._fa_sites.items()},
+        }
+
+    def from_state(self, state: dict, kernel: SimKernel) -> None:
+        # in-place updates: handlers close over these dicts by reference
+        self._bus_free = state["bus_free"]
+        self._bus_busy_cycles = state["bus_busy_cycles"]
+        self.fa_values.clear()
+        self.fa_values.update(state["fa_values"])
+        self._fa_next_free.clear()
+        self._fa_next_free.update(state["fa_next_free"])
+        self._fa_sites.clear()
+        self._fa_sites.update({a: list(v) for a, v in state["fa_sites"].items()})
+
+    def pack_thread_state(self, mstate):
+        return None if mstate is None else mstate.to_state()
+
+    def unpack_thread_state(self, packed):
+        return None if packed is None else CacheHierarchy.from_state(packed)
+
     def report_detail(self, kernel: SimKernel) -> dict:
         l1 = [t.mstate.l1_stats for t in kernel.threads]
         l2 = [t.mstate.l2_stats for t in kernel.threads]
@@ -193,6 +228,13 @@ class SMPEngine:
         barrier releases, and parked-processor inventories.
     hooks:
         Additional :class:`~repro.sim.hooks.HookBus` subscribers.
+    session:
+        Optional :class:`repro.sim.checkpoint.CheckpointSession`; runs
+        then go through the session (periodic snapshots, resume,
+        graceful pause — see ``docs/SIMULATION.md``).
+    record:
+        Record the generator-resume log so :meth:`SimKernel.snapshot`
+        works even without a session (implied by ``session``).
     """
 
     def __init__(
@@ -203,10 +245,18 @@ class SMPEngine:
         check=None,
         hooks=(),
         tier: str = "auto",
+        session=None,
+        record: bool = False,
     ) -> None:
         self.model = SMPMachine(p, config)
+        self.session = session
         self.kernel = SimKernel(
-            self.model, tracer=tracer, check=check, hooks=hooks, tier=tier
+            self.model,
+            tracer=tracer,
+            check=check,
+            hooks=hooks,
+            tier=tier,
+            record=record or session is not None,
         )
 
     @property
@@ -238,6 +288,11 @@ class SMPEngine:
         """
         self.kernel.register_barrier(barrier_id, count)
 
+    def resume(self, state: dict) -> None:
+        """Restore a kernel snapshot (attach the same programs first);
+        the next :meth:`run` continues from the checkpointed boundary."""
+        self.kernel.resume(state)
+
     def run(
         self,
         name: str = "phase",
@@ -245,13 +300,24 @@ class SMPEngine:
         *,
         budget: int | None = None,
         tier: str | None = None,
+        checkpoint_every: int | None = None,
+        checkpoint_sink=None,
     ):
         """Run all processors to completion; return measurements.
 
         ``max_ops`` is the historical name for the kernel ``budget``
         (scheduling steps); ``budget`` wins when both are given.
         ``tier`` overrides the engine's configured execution tier.
+        ``checkpoint_every``/``checkpoint_sink`` pass through to
+        :meth:`SimKernel.run` (ignored when a session manages the run).
         """
+        budget = budget if budget is not None else max_ops
+        if self.session is not None:
+            return self.session.run(self.kernel, name, budget=budget, tier=tier)
         return self.kernel.run(
-            name, budget=budget if budget is not None else max_ops, tier=tier
+            name,
+            budget=budget,
+            tier=tier,
+            checkpoint_every=checkpoint_every,
+            checkpoint_sink=checkpoint_sink,
         )

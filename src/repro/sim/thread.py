@@ -64,6 +64,57 @@ class SimThread:
     #: Next unexecuted position within :attr:`fblock`.
     fbpos: int = 0
 
+    #: Version of the serialized form produced by :meth:`to_state`.
+    STATE_VERSION = 1
+
+    def to_state(self) -> dict:
+        """Serializable scheduling state (excludes the live generator).
+
+        The generator itself cannot be pickled; checkpoint restore
+        rebuilds it by re-running the workload and replaying the
+        kernel's resume log, then re-attaches this state on top.  The
+        active :attr:`fblock` is likewise rebound during replay (the
+        block object is recovered from the last ``("VR", block)`` op the
+        generator yielded); only its length is recorded here so the
+        rebind can be validated.
+        """
+        return {
+            "version": SimThread.STATE_VERSION,
+            "tid": self.tid,
+            "proc": self.proc,
+            "state": self.state,
+            "wake_at": self.wake_at,
+            "pending_value": self.pending_value,
+            "compute_remaining": self.compute_remaining,
+            "outstanding": list(self.outstanding),
+            "lookahead_credit": self.lookahead_credit,
+            "issued": self.issued,
+            "wait_since": self.wait_since,
+            "time": self.time,
+            "wait_key": self.wait_key,
+            "in_block": self.fblock is not None,
+            "block_len": None if self.fblock is None else self.fblock.n,
+            "fbpos": self.fbpos,
+        }
+
+    def from_state(self, state: dict) -> None:
+        """Restore the scheduling fields captured by :meth:`to_state`.
+
+        Leaves :attr:`gen`, :attr:`mstate`, and :attr:`fblock` alone —
+        those are rebuilt by the kernel's restore path.
+        """
+        self.state = state["state"]
+        self.wake_at = state["wake_at"]
+        self.pending_value = state["pending_value"]
+        self.compute_remaining = state["compute_remaining"]
+        self.outstanding = deque(state["outstanding"])
+        self.lookahead_credit = state["lookahead_credit"]
+        self.issued = state["issued"]
+        self.wait_since = state["wait_since"]
+        self.time = state["time"]
+        self.wait_key = state["wait_key"]
+        self.fbpos = state["fbpos"]
+
     def drain_completed(self, now: int) -> None:
         """Drop outstanding memory ops that have completed by cycle ``now``."""
         out = self.outstanding
