@@ -81,6 +81,7 @@ def _register_builtins() -> None:
         hooks=HOOK_EVENTS,
         tiers=("interpreted", "vector"),
         checkpoint=True,
+        shardable=True,
     )
     # Register the built-in machine models (and, through the machine
     # registry's auto-registration, the mta-next engine backend).

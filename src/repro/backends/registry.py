@@ -39,6 +39,9 @@ class _Entry:
     #: True when the backend's runs can checkpoint/resume (the machine
     #: model implements the serializable-state contract).
     checkpoint: bool = False
+    #: True when the backend accepts the ``shards`` workload option and
+    #: runs through the sharded runtime (:mod:`repro.sim.shard`).
+    shardable: bool = False
 
 
 _REGISTRY: dict[str, _Entry] = {}
@@ -55,6 +58,7 @@ def register(
     hooks: tuple = (),
     tiers: tuple = (),
     checkpoint: bool = False,
+    shardable: bool = False,
     replace: bool = False,
 ) -> None:
     """Register ``factory`` under ``name``.
@@ -63,11 +67,13 @@ def register(
     an existing name raises unless ``replace=True`` (so typos fail loud
     but examples can re-run).  ``machine`` names the simulation machine
     model behind an engine backend, ``hooks`` lists the
-    :class:`~repro.sim.hooks.HookBus` events its runs can deliver, and
+    :class:`~repro.sim.hooks.HookBus` events its runs can deliver,
     ``tiers`` the execution tiers its runs may use (the workload's
-    ``tier`` option), and ``checkpoint`` whether its runs support
-    checkpoint/resume (the workload's ``checkpoint`` option); all are
-    informational (shown by ``repro backends``).
+    ``tier`` option), ``checkpoint`` whether its runs support
+    checkpoint/resume (the workload's ``checkpoint`` option), and
+    ``shardable`` whether they accept the ``shards`` workload option
+    (the multi-process sharded runtime); all are informational (shown
+    by ``repro backends``).
     """
     if not name:
         raise ConfigurationError("backend name must be non-empty")
@@ -85,6 +91,7 @@ def register(
         hooks=tuple(hooks),
         tiers=tuple(tiers),
         checkpoint=bool(checkpoint),
+        shardable=bool(shardable),
     )
 
 
@@ -118,7 +125,7 @@ def names() -> list[str]:
 
 def describe() -> list[dict]:
     """One row per backend: name, level, kinds, machine, hooks, tiers,
-    checkpoint, description."""
+    checkpoint, shardable, description."""
     return [
         {
             "name": e.name,
@@ -128,6 +135,7 @@ def describe() -> list[dict]:
             "hooks": list(e.hooks),
             "tiers": list(e.tiers),
             "checkpoint": e.checkpoint,
+            "shardable": e.shardable,
             "description": e.description,
         }
         for e in (_REGISTRY[n] for n in names())

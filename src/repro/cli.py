@@ -161,6 +161,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--p", type=int, default=8, help="processors")
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="partition the run across K shard workers (shardable engine"
+        " backends only; deterministic for a fixed K — see docs/SHARDING.md)",
+    )
+    p_run.add_argument(
         "--param",
         action="append",
         default=[],
@@ -409,10 +417,19 @@ def _add_checkpoint_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _positive(flag: str, value):
+    """Reject non-positive count flags with a structured CLI error."""
+    if value is not None and value < 1:
+        from .errors import ConfigurationError
+
+        raise ConfigurationError(f"{flag} must be >= 1, got {value}")
+    return value
+
+
 def _checkpoint_spec(args) -> dict | None:
     """The ``checkpoint=`` spec for run_jobs from CLI flags (or None)."""
     spec: dict = {}
-    if getattr(args, "checkpoint_every", None) is not None:
+    if _positive("--checkpoint-every", getattr(args, "checkpoint_every", None)) is not None:
         spec["every"] = args.checkpoint_every
     if getattr(args, "checkpoint_dir", None) is not None:
         spec["dir"] = args.checkpoint_dir
@@ -714,7 +731,7 @@ def _submit_body(args) -> dict:
         body["timeout_s"] = args.timeout
     if args.label:
         body["label"] = args.label
-    if args.checkpoint_every is not None:
+    if _positive("--checkpoint-every", args.checkpoint_every) is not None:
         body["checkpoint"] = {"every": args.checkpoint_every}
     if args.resume_from is not None:
         body["resume_from"] = args.resume_from
@@ -843,10 +860,11 @@ def _cmd_backends(args) -> int:
         hooks = f"{len(r['hooks'])} hooks" if r["hooks"] else "-"
         tiers = ",".join(r.get("tiers", [])) or "-"
         ckpt = "ckpt" if r.get("checkpoint") else "-"
+        shard = "shard" if r.get("shardable") else "-"
         print(
             f"{r['name']:<{width}}  {r['level']:<6}  {kinds:<{kw}}"
             f"  {machine:<{mw}}  {hooks:<8}  {tiers:<{tw}}  {ckpt:<4}"
-            f"  {r['description']}"
+            f"  {shard:<5}  {r['description']}"
         )
     return 0
 
@@ -860,6 +878,8 @@ def _cmd_run(args) -> int:
         key = "leaves" if args.workload == "tree" else "n"
         params.setdefault(key, args.n)
     options = _parse_kv(args.opt, "--opt")
+    if _positive("--shards", args.shards) is not None:
+        options.setdefault("shards", args.shards)
     workload = Workload(args.workload, args.p, args.seed, params, options)
     job = Job(workload, args.backend)
     [result] = run_jobs(
@@ -942,6 +962,7 @@ def _cmd_sweep(args) -> int:
     from .workloads import jobs_for
 
     jobs = jobs_for(args.spec)
+    _positive("--workers", args.workers)
     cache = _make_cache(args)
     results = run_jobs(
         jobs, workers=args.workers, cache=cache, checkpoint=_checkpoint_spec(args)

@@ -30,6 +30,7 @@ from .kernel import (
 from .machines import list_machines, machine_spec, register_machine
 from .mta_engine import MTAEngine, MTAMachine
 from .mta_next import MTANextMachine
+from .shard import PartitionPlan, ShardResult, run_sharded, sharded_machine
 from .smp_engine import SMPEngine, SMPMachine
 from .stats import PhaseSlice, SimReport, combine_reports
 from .thread import SimThread
@@ -64,4 +65,8 @@ __all__ = [
     "SimReport",
     "combine_reports",
     "SimThread",
+    "PartitionPlan",
+    "ShardResult",
+    "run_sharded",
+    "sharded_machine",
 ]

@@ -1,0 +1,37 @@
+"""Deterministic multi-process sharded simulation.
+
+An owner-computes :class:`~repro.sim.shard.partition.PartitionPlan`
+splits the address space and processors into contiguous partitions;
+each worker (thread or process) runs a full
+:class:`~repro.sim.kernel.SimKernel` over its share, and all
+cross-partition traffic travels as cycle-stamped messages over an
+explicit channel, drained in deterministic order at conservative
+time-window boundaries.  Merged reports (and optional hook-event
+streams) are byte-identical at any shard and worker count; ``shards=1``
+degenerates to the plain unsharded kernel.  See ``docs/SHARDING.md``.
+"""
+
+from .channel import ChannelClosed, Endpoint, loopback_pair, msg_sort_key, pipe_pair
+from .coordinator import ShardResult, load_manifest, run_sharded
+from .eventlog import ShardEventLog
+from .machine import ShardMixin, sharded_machine
+from .partition import PartitionPlan, assign_workers
+from .worker import ShardWorker, WorkerContext
+
+__all__ = [
+    "PartitionPlan",
+    "assign_workers",
+    "Endpoint",
+    "ChannelClosed",
+    "loopback_pair",
+    "pipe_pair",
+    "msg_sort_key",
+    "ShardMixin",
+    "sharded_machine",
+    "ShardEventLog",
+    "ShardWorker",
+    "WorkerContext",
+    "ShardResult",
+    "run_sharded",
+    "load_manifest",
+]

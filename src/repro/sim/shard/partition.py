@@ -1,0 +1,165 @@
+"""Owner-computes partitioning of the address space and the processors.
+
+A :class:`PartitionPlan` splits a simulation into ``k`` *partitions*,
+each owning a contiguous range of word addresses and a contiguous range
+of processors.  Partition count is a **semantic** parameter: it decides
+which operations are remote (cross-partition) and therefore pay the
+remote-access latency and travel over the message channel.  How many
+*worker* processes execute those partitions is a purely **executional**
+parameter (:func:`assign_workers`): any grouping of whole contiguous
+partitions onto workers produces byte-identical results, because every
+cross-partition message is stamped ``(arrival_cycle, src_partition,
+seq)`` and drained in that order regardless of which process hosts the
+two endpoints.
+
+Rules (see ``docs/SHARDING.md``):
+
+* Addresses ``[0, n_words)`` split into ``k`` contiguous ranges of
+  near-equal size, or at explicit ``addr_bounds`` a workload supplies
+  (e.g. per-partition arenas holding a vertex slice plus its own
+  scheduling counters, so self-scheduling stays partition-local).
+* Addresses at or past the partitioned span belong to the last
+  partition (programs may touch scratch addresses beyond the declared
+  space; they are remote for everyone else, like any owned word).
+* Processors ``[0, p)`` split contiguously as well; every partition
+  owns at least one processor, so ``k <= p``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from ...errors import ConfigurationError
+
+__all__ = ["PartitionPlan", "assign_workers"]
+
+
+def _split_bounds(n: int, k: int) -> list[int]:
+    """``k`` near-equal contiguous ranges over ``[0, n)`` as k+1 bounds."""
+    return [(n * i) // k for i in range(k + 1)]
+
+
+class PartitionPlan:
+    """Contiguous owner-computes split of addresses and processors.
+
+    Parameters
+    ----------
+    n_words:
+        Extent of the partitioned address span (an
+        :class:`~repro.arch.memory.AddressSpace`'s ``size``, or any
+        upper bound on the workload's addresses).
+    p:
+        Total simulated processors across all partitions.
+    k:
+        Partition count (``1 <= k <= p``; ``k <= n_words``).
+    addr_bounds:
+        Optional explicit address boundaries (``k + 1`` non-decreasing
+        ints starting at 0); default near-equal split of ``n_words``.
+    proc_bounds:
+        Optional explicit processor boundaries (``k + 1`` strictly
+        increasing ints from 0 to ``p``); default near-equal split.
+    """
+
+    def __init__(self, n_words: int, p: int, k: int, *,
+                 addr_bounds=None, proc_bounds=None):
+        n_words = int(n_words)
+        p = int(p)
+        k = int(k)
+        if k < 1:
+            raise ConfigurationError(f"partition count must be >= 1, got {k}")
+        if p < k:
+            raise ConfigurationError(
+                f"every partition needs a processor: k={k} > p={p}"
+            )
+        if n_words < k:
+            raise ConfigurationError(
+                f"cannot split {n_words} words into {k} partitions"
+            )
+        if addr_bounds is None:
+            addr_bounds = _split_bounds(n_words, k)
+        else:
+            addr_bounds = [int(b) for b in addr_bounds]
+            if len(addr_bounds) != k + 1:
+                raise ConfigurationError(
+                    f"addr_bounds needs {k + 1} entries, got {len(addr_bounds)}"
+                )
+            if addr_bounds[0] != 0:
+                raise ConfigurationError("addr_bounds must start at 0")
+            if any(b > c for b, c in zip(addr_bounds, addr_bounds[1:])):
+                raise ConfigurationError("addr_bounds must be non-decreasing")
+        if proc_bounds is None:
+            proc_bounds = _split_bounds(p, k)
+        else:
+            proc_bounds = [int(b) for b in proc_bounds]
+            if len(proc_bounds) != k + 1:
+                raise ConfigurationError(
+                    f"proc_bounds needs {k + 1} entries, got {len(proc_bounds)}"
+                )
+            if proc_bounds[0] != 0 or proc_bounds[-1] != p:
+                raise ConfigurationError("proc_bounds must span [0, p]")
+        if any(b >= c for b, c in zip(proc_bounds, proc_bounds[1:])):
+            raise ConfigurationError(
+                "proc_bounds must be strictly increasing (every partition "
+                "owns at least one processor)"
+            )
+        self.n_words = n_words
+        self.p = p
+        self.k = k
+        self.addr_bounds = tuple(addr_bounds)
+        self.proc_bounds = tuple(proc_bounds)
+        # interior boundaries for bisect-based owner lookup
+        self._addr_cuts = list(self.addr_bounds[1:-1])
+        self._proc_cuts = list(self.proc_bounds[1:-1])
+
+    # -- lookups ---------------------------------------------------------------
+
+    def owner_of(self, addr: int) -> int:
+        """Partition owning word ``addr`` (past-the-end words: last)."""
+        if addr < 0:
+            raise ConfigurationError(f"negative address {addr}")
+        return bisect_right(self._addr_cuts, addr)
+
+    def partition_of_proc(self, proc: int) -> int:
+        """Partition owning processor ``proc``."""
+        if not 0 <= proc < self.p:
+            raise ConfigurationError(f"proc {proc} out of range [0, {self.p})")
+        return bisect_right(self._proc_cuts, proc)
+
+    def addr_range(self, part: int) -> tuple[int, int]:
+        """``[lo, hi)`` address range of partition ``part`` (last is open-ended)."""
+        return self.addr_bounds[part], self.addr_bounds[part + 1]
+
+    def proc_range(self, part: int) -> tuple[int, int]:
+        """``[lo, hi)`` processor range of partition ``part``."""
+        return self.proc_bounds[part], self.proc_bounds[part + 1]
+
+    # -- identity --------------------------------------------------------------
+
+    def signature(self) -> tuple:
+        """Hashable identity folded into worker setup digests: a plan
+        mismatch between checkpoint and restore must be detected."""
+        return ("plan", self.n_words, self.p, self.k,
+                self.addr_bounds, self.proc_bounds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PartitionPlan(k={self.k}, p={self.p}, n_words={self.n_words})"
+        )
+
+
+def assign_workers(k: int, workers: int) -> list[tuple[int, int]]:
+    """Group ``k`` partitions onto ``workers`` processes, contiguously.
+
+    Returns ``workers`` ranges ``(lo, hi)`` covering ``[0, k)``.  The
+    grouping never affects results — only which process hosts which
+    partitions — so near-equal contiguous blocks are always used.
+    """
+    workers = int(workers)
+    if workers < 1:
+        raise ConfigurationError(f"worker count must be >= 1, got {workers}")
+    if workers > k:
+        raise ConfigurationError(
+            f"more workers than partitions: {workers} > {k}"
+        )
+    bounds = _split_bounds(k, workers)
+    return [(bounds[i], bounds[i + 1]) for i in range(workers)]

@@ -1,0 +1,136 @@
+"""The sharded runtime's equivalence contract (docs/SHARDING.md).
+
+1. ``shards=1`` is byte-identical to the plain unsharded kernel.
+2. For a fixed partition count ``k``, results are independent of the
+   worker count and of the executor (``inline`` vs ``mp``), including
+   optional hook-event streams.
+3. With ``remote_latency == mem_latency`` and partition-local stateful
+   references, any ``k`` is byte-identical to the unsharded kernel.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError, DeadlockError
+from repro.sim import MTAEngine, SMPEngine
+from repro.sim.mta_next import MTANextEngine
+from repro.sim.shard import PartitionPlan, ShardEventLog, run_sharded
+
+from .shard_helpers import (
+    N_WORDS,
+    P,
+    EngCtx,
+    build_cross,
+    build_deadlock,
+    build_local,
+    build_values,
+    canon,
+    run_unsharded,
+)
+
+
+def shard(builder, k, W, R, **kw):
+    plan = PartitionPlan(N_WORDS, P, k)
+    return run_sharded(plan, workers=W, builder=builder,
+                       params={"streams_per_proc": 16},
+                       remote_latency=R, name="smoke",
+                       budget=10_000_000, **kw)
+
+
+class TestEquivalenceContract:
+    def test_shards_1_matches_unsharded(self):
+        ref = run_unsharded(build_cross)
+        res = shard(build_cross, 1, 1, 100)
+        assert canon(res.report) == canon(ref)
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_worker_count_invariance(self, k):
+        base = shard(build_cross, k, 1, 100)
+        for W in sorted({2, k}):
+            res = shard(build_cross, k, W, 100)
+            # W=1 traffic is worker-local loopback; W>=2 routes through
+            # the coordinator — the reports must not see the difference
+            assert res.detail["msgs_routed"] > 0
+            assert canon(res.report) == canon(base.report), (k, W)
+
+    def test_value_words_are_worker_invariant(self):
+        base = shard(build_values, 4, 1, 100)
+        assert base.values[201] == base.values[1200] + 1
+        for W in (2, 4):
+            res = shard(build_values, 4, W, 100)
+            assert canon(res.report) == canon(base.report), W
+            assert res.values == base.values
+
+    @pytest.mark.parametrize("k,W", [(1, 1), (2, 2), (4, 4)])
+    def test_mp_executor_matches_inline(self, k, W):
+        a = shard(build_cross, k, W, 100, collect_events=True)
+        b = shard(build_cross, k, W, 100, executor="mp",
+                  collect_events=True)
+        assert canon(a.report) == canon(b.report)
+        assert a.events == b.events and a.events
+
+    def test_event_streams_are_worker_invariant(self):
+        e1 = shard(build_cross, 4, 1, 100, collect_events=True)
+        e4 = shard(build_cross, 4, 4, 100, collect_events=True)
+        assert e1.events == e4.events
+
+    @pytest.mark.parametrize("k,W", [(1, 1), (2, 1), (2, 2), (4, 4)])
+    def test_local_refs_match_unsharded_at_any_k(self, k, W):
+        log = ShardEventLog()
+        ref = run_unsharded(build_local, hooks=(log,))
+        res = shard(build_local, k, W, None, collect_events=True)
+        assert canon(res.report) == canon(ref)
+        assert res.events == log.canonical()
+
+    def test_remote_latency_changes_timing_but_not_values(self):
+        fast = shard(build_cross, 2, 1, 100)
+        slow = shard(build_cross, 2, 1, 400)
+        assert slow.report.cycles > fast.report.cycles
+        assert fast.values == slow.values
+
+    def test_deadlock_is_detected_not_hung(self):
+        with pytest.raises(DeadlockError):
+            shard(build_deadlock, 2, 2, 100)
+
+
+class TestEngineFacade:
+    def facade_run(self, builder, k, W, R, executor="inline"):
+        plan = PartitionPlan(N_WORDS, P, k)
+        eng = MTAEngine(P, streams_per_proc=16, shards=plan,
+                        shard_workers=W, shard_executor=executor,
+                        remote_latency=R)
+        builder(EngCtx(eng))
+        return eng, eng.run("smoke", 10_000_000)
+
+    @pytest.mark.parametrize("k,W", [(1, 1), (2, 2), (4, 2)])
+    def test_facade_local_matches_unsharded(self, k, W):
+        ref = run_unsharded(build_local)
+        eng, rep = self.facade_run(build_local, k, W, None)
+        assert canon(rep) == canon(ref)
+        assert eng.shards == k
+        assert eng.shard_detail["rounds"] >= 0
+
+    def test_facade_cross_worker_invariance_and_mp(self):
+        base = self.facade_run(build_cross, 4, 1, 100)[1]
+        for W, ex in ((4, "inline"), (4, "mp")):
+            rep = self.facade_run(build_cross, 4, W, 100, ex)[1]
+            assert canon(rep) == canon(base), (W, ex)
+
+    def test_shards_accepts_plain_int(self):
+        eng = MTAEngine(P, streams_per_proc=16, shards=2,
+                        shard_words=N_WORDS)
+        build_local(EngCtx(eng))
+        assert eng.run("smoke", 10_000_000).cycles > 0
+
+    def test_mta_next_sharded_drops_bank_queueing(self):
+        eng = MTANextEngine(P, shards=2, shard_words=N_WORDS)
+        assert eng.n_banks == 0
+
+    def test_guards(self):
+        with pytest.raises(ConfigurationError):
+            MTAEngine(P, shards=2, record=True)
+        with pytest.raises(ConfigurationError):
+            MTAEngine(P, remote_latency=50)  # needs shards
+        with pytest.raises(ConfigurationError):
+            SMPEngine(P, shards=2)  # SMP timing is globally coupled
+        with pytest.raises(ConfigurationError):
+            MTANextEngine(P, shards=2, n_banks=64)

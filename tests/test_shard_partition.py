@@ -1,0 +1,102 @@
+"""Unit tests for the owner-computes partition plan (repro.sim.shard)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.shard import PartitionPlan, assign_workers
+
+
+class TestPartitionPlan:
+    def test_even_split_owns_every_address(self):
+        plan = PartitionPlan(100, 4, 4)
+        assert plan.addr_bounds == (0, 25, 50, 75, 100)
+        assert plan.proc_bounds == (0, 1, 2, 3, 4)
+        for addr in range(100):
+            j = plan.owner_of(addr)
+            lo, hi = plan.addr_range(j)
+            assert lo <= addr < hi
+
+    def test_uneven_split_is_contiguous_and_total(self):
+        plan = PartitionPlan(10, 5, 3)
+        assert plan.addr_bounds[0] == 0
+        assert plan.addr_bounds[-1] == 10
+        owners = [plan.owner_of(a) for a in range(10)]
+        assert owners == sorted(owners)
+        assert set(owners) == {0, 1, 2}
+
+    def test_past_the_end_addresses_belong_to_last_partition(self):
+        plan = PartitionPlan(100, 4, 4)
+        assert plan.owner_of(100) == 3
+        assert plan.owner_of(10_000) == 3
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionPlan(100, 4, 2).owner_of(-1)
+
+    def test_partition_of_proc(self):
+        plan = PartitionPlan(100, 8, 4)
+        assert [plan.partition_of_proc(p) for p in range(8)] == [
+            0, 0, 1, 1, 2, 2, 3, 3]
+        with pytest.raises(ConfigurationError):
+            plan.partition_of_proc(8)
+        with pytest.raises(ConfigurationError):
+            plan.partition_of_proc(-1)
+
+    def test_explicit_bounds(self):
+        plan = PartitionPlan(100, 4, 2, addr_bounds=[0, 10, 100],
+                             proc_bounds=[0, 3, 4])
+        assert plan.owner_of(9) == 0
+        assert plan.owner_of(10) == 1
+        assert plan.proc_range(0) == (0, 3)
+        assert plan.addr_range(1) == (10, 100)
+
+    def test_empty_address_range_is_allowed(self):
+        # arenas may be empty; the partition still owns its processors
+        plan = PartitionPlan(100, 4, 2, addr_bounds=[0, 0, 100])
+        assert plan.owner_of(0) == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_words=100, p=4, k=0),
+            dict(n_words=100, p=2, k=3),  # k > p
+            dict(n_words=2, p=4, k=3),  # n_words < k
+            dict(n_words=100, p=4, k=2, addr_bounds=[0, 100]),  # wrong len
+            dict(n_words=100, p=4, k=2, addr_bounds=[5, 50, 100]),  # not 0
+            dict(n_words=100, p=4, k=2, addr_bounds=[0, 60, 50]),  # decreasing
+            dict(n_words=100, p=4, k=2, proc_bounds=[0, 4]),  # wrong len
+            dict(n_words=100, p=4, k=2, proc_bounds=[0, 2, 3]),  # not [0, p]
+            dict(n_words=100, p=4, k=2, proc_bounds=[0, 0, 4]),  # empty part
+        ],
+    )
+    def test_invalid_plans_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PartitionPlan(**kwargs)
+
+    def test_signature_identity(self):
+        a = PartitionPlan(100, 4, 2)
+        b = PartitionPlan(100, 4, 2)
+        c = PartitionPlan(100, 4, 2, addr_bounds=[0, 10, 100])
+        assert a.signature() == b.signature()
+        assert a.signature() != c.signature()
+
+
+class TestAssignWorkers:
+    def test_one_worker_takes_all(self):
+        assert assign_workers(4, 1) == [(0, 4)]
+
+    def test_equal_split(self):
+        assert assign_workers(4, 2) == [(0, 2), (2, 4)]
+        assert assign_workers(4, 4) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_uneven_split_covers_all_partitions(self):
+        ranges = assign_workers(5, 3)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 5
+        assert all(lo < hi for lo, hi in ranges)
+        assert all(a[1] == b[0] for a, b in zip(ranges, ranges[1:]))
+
+    def test_invalid_counts(self):
+        with pytest.raises(ConfigurationError):
+            assign_workers(4, 0)
+        with pytest.raises(ConfigurationError):
+            assign_workers(2, 3)

@@ -126,3 +126,14 @@ class TestWarmRerunExecutesNothing:
         [cold] = run_jobs([_job()], cache=cache)
         on_disk = json.loads(cache._path(cold.key).read_text(encoding="utf-8"))
         assert on_disk == cold.record
+
+    def test_key_depends_on_shard_count(self):
+        a = Workload("cc", 4, 0, {"n": 64, "m": 192, "graph": "random"})
+        b = Workload("cc", 4, 0,
+                     {"n": 64, "m": 192, "graph": "random"},
+                     options={"shards": 2})
+        c = Workload("cc", 4, 0,
+                     {"n": 64, "m": 192, "graph": "random"},
+                     options={"shards": 4})
+        keys = {Job(w, "mta-engine").key() for w in (a, b, c)}
+        assert len(keys) == 3
