@@ -128,7 +128,7 @@ def test_contiguity_measured_monotone(locality_table, benchmark):
 
     pts = sorted(once(benchmark, series))
     fracs = [f for _, f in pts]
-    assert all(b <= a + 0.02 for a, b in zip(fracs, fracs[1:]))
+    assert all(b <= a + 0.02 for a, b in zip(fracs, fracs[1:], strict=False))
 
 
 def test_bigger_l2_helps_random_lists(locality_table, benchmark):
@@ -138,6 +138,6 @@ def test_bigger_l2_helps_random_lists(locality_table, benchmark):
 
     pts = once(benchmark, series)
     times = [t for _, t in pts]
-    assert all(b <= a + 1e-9 for a, b in zip(times, times[1:]))
+    assert all(b <= a + 1e-9 for a, b in zip(times, times[1:], strict=False))
     # an L2 bigger than the working set removes the memory-latency term
     assert times[-1] < 0.5 * times[0]

@@ -94,7 +94,7 @@ def test_utilization_monotone_in_streams(curves, benchmark):
             x="streams", y="utilization", group_by="sweep"
         )["streams"],
     )
-    assert all(b >= a - 0.02 for a, b in zip(ys, ys[1:]))
+    assert all(b >= a - 0.02 for a, b in zip(ys, ys[1:], strict=False))
 
 
 def test_saturation_knee_matches_paper_claim(curves, benchmark):

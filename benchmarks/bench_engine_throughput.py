@@ -96,7 +96,7 @@ def _run_mta_ranking(n_ops: int, tier: str) -> dict:
     p, streams, rounds = 4, 64, 4
     per = max(8, n_ops // (p * streams))
     chunk = max(1, per // rounds - 1)
-    eng = MTAEngine(
+    eng = MTAEngine(  # allow_direct_engine: this bench measures kernel dispatch itself
         p=p, streams_per_proc=streams, mem_latency=20, lookahead=2, tier=tier
     )
     for k in range(p * streams):
@@ -120,7 +120,7 @@ def _run_mta_ranking(n_ops: int, tier: str) -> dict:
 
 def _run_mta(workload: str, n_ops: int) -> dict:
     streams = 64
-    eng = MTAEngine(p=4, streams_per_proc=streams, mem_latency=20, lookahead=2,
+    eng = MTAEngine(p=4, streams_per_proc=streams, mem_latency=20, lookahead=2,  # allow_direct_engine: this bench measures kernel dispatch itself
                     tier="interpreted")
     per = max(1, n_ops // (4 * streams))
     if workload == "mixed":
@@ -141,7 +141,7 @@ def _run_mta(workload: str, n_ops: int) -> dict:
 
 def _run_smp(workload: str, n_ops: int) -> dict:
     p = 4
-    eng = SMPEngine(p=p, tier="interpreted")
+    eng = SMPEngine(p=p, tier="interpreted")  # allow_direct_engine: this bench measures kernel dispatch itself
     per = max(1, n_ops // p)
     if workload == "mixed":
         eng.set_counter(7, 0)

@@ -78,7 +78,7 @@ def test_fig2_ratio(fig2_table, benchmark):
             for m in spec.edge_counts
         ]
 
-    for m, r in zip(spec.edge_counts, once(benchmark, ratios)):
+    for m, r in zip(spec.edge_counts, once(benchmark, ratios), strict=False):
         assert 2.5 < r < 12.0, f"m={m}: MTA/SMP ratio {r:.2f}"
 
 
@@ -132,7 +132,7 @@ def test_fig2_parallel_beats_sequential(fig2_table, benchmark):
             out.append((seq / smp, seq / mta))
         return out
 
-    for m, (s_smp, s_mta) in zip(spec.edge_counts, once(benchmark, speedups)):
+    for m, (s_smp, s_mta) in zip(spec.edge_counts, once(benchmark, speedups), strict=False):
         assert s_smp > 1.0, f"m={m}: SMP speedup {s_smp:.2f}"
         assert s_mta > 5.0, f"m={m}: MTA speedup {s_mta:.2f}"
 

@@ -89,10 +89,10 @@ def test_table1_summary_matches_report(benchmark):
     def deltas():
         out = []
         nxt = random_list(4000, 3)
-        sim = simulate_mta_list_ranking(nxt, p=2, streams_per_proc=50)
+        sim = simulate_mta_list_ranking(nxt, p=2, streams_per_proc=50)  # allow_direct_engine: compares summary against the raw report
         out.append(abs(sim.summary.utilization - sim.report.utilization))
         g = random_graph(1500, 6000, rng=3)
-        sim = simulate_mta_cc(g, p=2, streams_per_proc=50)
+        sim = simulate_mta_cc(g, p=2, streams_per_proc=50)  # allow_direct_engine: compares summary against the raw report
         out.append(abs(sim.summary.utilization - sim.report.utilization))
         return out
 

@@ -84,7 +84,7 @@ def mta_latency_sweep() -> None:
         )
         for lat in latencies
     ]
-    for lat, res in zip(latencies, run_jobs(jobs, cache=False)):
+    for lat, res in zip(latencies, run_jobs(jobs, cache=False), strict=False):
         cfg = replace(CRAY_MTA2, mem_latency_cycles=float(lat))
         print(
             f"{lat:>8} {cfg.saturating_streams:>15.0f}"
@@ -108,7 +108,7 @@ def mta_streams_sweep() -> None:
         )
         for streams in stream_counts
     ]
-    for streams, res in zip(stream_counts, run_jobs(jobs, cache=False)):
+    for streams, res in zip(stream_counts, run_jobs(jobs, cache=False), strict=False):
         print(f"{streams:>8} {res.seconds * 1e3:>8.2f}ms {res.utilization:>6.1%}")
     print("-> performance is 'a function of parallelism' only while the"
           " hardware can hold enough of it\n")
@@ -130,7 +130,7 @@ def smp_big_cache() -> None:
         )
         for mb in sizes_mb
     ]
-    for mb, res in zip(sizes_mb, run_jobs(jobs, cache=False)):
+    for mb, res in zip(sizes_mb, run_jobs(jobs, cache=False), strict=False):
         print(f"  L2 = {mb:>3} MB: {res.seconds * 1e3:>8.2f} ms")
     print("-> a cache big enough to swallow the working set rescues the SMP —"
           " the paper's point that its performance is a locality property,\n"

@@ -67,7 +67,7 @@ def spanning_forest_demo(n: int = 1 << 15, k: int = 6) -> None:
 
     # forest edges reference the input edge list
     eu, ev = g.u[sf.edge_ids], g.v[sf.edge_ids]
-    print(f"  first forest edges: {list(zip(eu[:4].tolist(), ev[:4].tolist()))} ...")
+    print(f"  first forest edges: {list(zip(eu[:4].tolist(), ev[:4].tolist(), strict=False))} ...")
     t = MTAMachine(p=8).run([s.redistributed(8) for s in sf.cc.steps]).seconds
     print(f"  simulated MTA time (p=8): {t * 1e3:.2f} ms\n")
 

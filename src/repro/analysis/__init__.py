@@ -5,6 +5,11 @@ a dynamic happens-before race detector (vector clocks with sync edges
 from barriers, full/empty-bit pairs, and fetch-add serialization) and
 a lint pass (deadlock / barrier-mismatch / sync-initialization /
 address-bounds / phase-hygiene diagnosis).  See ``docs/ANALYSIS.md``.
+
+A third, static pass (:mod:`repro.analysis.static`, ``repro lint``)
+checks the repo's *own* source against its invariants — determinism,
+state contracts, hook/engine discipline, program-generator shape — and
+reports through the same :class:`Finding` machinery.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from .checker import ConcurrencyChecker
 from .driver import analyze_suite, analyze_workload
 from .findings import AnalysisReport, Finding, dump_jsonl, load_jsonl
 from .races import RaceDetector
+from .static import collect_state_baseline, lint_repo
 from .vclock import VClock
 
 __all__ = [
@@ -23,6 +29,8 @@ __all__ = [
     "VClock",
     "analyze_suite",
     "analyze_workload",
+    "collect_state_baseline",
     "dump_jsonl",
+    "lint_repo",
     "load_jsonl",
 ]

@@ -15,6 +15,9 @@ from typing import Any, Dict, Iterable, List, Optional
 SEVERITIES = ("error", "warning")
 
 #: Known check identifiers (the ``check`` field of a finding).
+#: The first block is the dynamic concurrency analyzer's; the
+#: ``nondet-``/``state-``/``engine-``/``hook-``/``hot-``/``gen-``
+#: blocks belong to the static linter (:mod:`repro.analysis.static`).
 CHECKS = (
     "race",  # unordered conflicting accesses to a shared address
     "deadlock",  # threads blocked forever on full/empty words or barriers
@@ -25,6 +28,25 @@ CHECKS = (
     "phase-hygiene",  # unbalanced / oddly interleaved phase markers
     "barrier-unused",  # registered barrier that no thread ever reached
     "watchdog",  # run aborted by the cycle budget / simulation error
+    # -- static: determinism lint -----------------------------------------
+    "nondet-call",  # wall clock / unseeded RNG / uuid / urandom / hash()
+    "nondet-env",  # os.environ / os.getenv read in a determinism-critical path
+    "nondet-set-iter",  # iteration order taken from a set/frozenset
+    "nondet-id-order",  # id() values leaking into keys or ordering
+    # -- static: serializable-state contract ------------------------------
+    "state-missing-pair",  # to_state without a matching from_state
+    "state-attr-missing",  # run-state attribute not covered by a to_state key
+    "state-key-unknown",  # from_state reads a key to_state never writes
+    "state-version-stale",  # key set changed but the version constant did not
+    "state-baseline-missing",  # contract class absent from the committed baseline
+    # -- static: hook/engine discipline -----------------------------------
+    "engine-direct-construct",  # machine/engine built outside the runner seam
+    "hook-event-unknown",  # HookBus event name outside the declared set
+    "hot-loop-import",  # instrumentation import inside the kernel hot core
+    # -- static: program-generator shape ----------------------------------
+    "gen-barrier-balance",  # barrier yield in only one branch of a loop body
+    "gen-op-arity",  # raw op tuple with the wrong operand count
+    "gen-runblock-shape",  # run_block containing non-straight-line ops
 )
 
 
@@ -45,6 +67,9 @@ class Finding:
     thread: Optional[int] = None
     op_index: Optional[int] = None
     address: Optional[int] = None
+    #: Source location (static-analysis findings; None for dynamic ones).
+    file: Optional[str] = None
+    line: Optional[int] = None
     witness: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -63,6 +88,8 @@ class Finding:
             "thread": self.thread,
             "op_index": self.op_index,
             "address": self.address,
+            "file": self.file,
+            "line": self.line,
             "witness": self.witness,
         }
 
@@ -77,6 +104,8 @@ class Finding:
             thread=data.get("thread"),
             op_index=data.get("op_index"),
             address=data.get("address"),
+            file=data.get("file"),
+            line=data.get("line"),
             witness=dict(data.get("witness") or {}),
         )
 
@@ -86,6 +115,8 @@ class Finding:
             self.check,
             self.program,
             self.run,
+            self.file or "",
+            self.line if self.line is not None else -1,
             self.address if self.address is not None else -1,
             self.thread if self.thread is not None else -1,
             self.op_index if self.op_index is not None else -1,
@@ -103,7 +134,8 @@ class Finding:
             loc.append(f"addr={self.address}")
         where = f" [{', '.join(loc)}]" if loc else ""
         prog = f" ({self.program})" if self.program else ""
-        return f"{self.severity.upper()} {self.check}{prog}{where}: {self.message}"
+        src = f"{self.file}:{self.line}: " if self.file else ""
+        return f"{src}{self.severity.upper()} {self.check}{prog}{where}: {self.message}"
 
 
 @dataclass

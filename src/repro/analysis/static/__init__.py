@@ -1,0 +1,54 @@
+"""Static analysis of the repo's own invariants (`repro lint`).
+
+A stdlib-``ast`` linter sitting beside the dynamic concurrency checker
+and sharing its :class:`~repro.analysis.findings.Finding` machinery.
+Four rule families:
+
+* determinism lint (:mod:`.determinism`) — nondeterminism sources in
+  the determinism-critical packages; ``# allow_nondet: <reason>``.
+* state-contract checker (:mod:`.state_contract`) —
+  ``to_state``/``from_state`` symmetry and version bumps against the
+  committed baseline; ``# nostate: <reason>``.
+* hook/engine discipline (:mod:`.discipline`) — benchmarks go through
+  the runner, hook events stay in the declared set, the kernel hot core
+  imports no instrumentation; ``# allow_direct_engine:`` /
+  ``# allow_hook:``.
+* program-generator shape (:mod:`.progshape`) — balanced barriers,
+  opcode arities, straight-line ``run_block``; ``# allow_shape:``.
+"""
+
+from .base import SUPPRESSION_MARKERS, ModuleContext, Rule
+from .determinism import DETERMINISM_PACKAGES, DETERMINISM_RULES
+from .discipline import BANNED_CONSTRUCTORS, DISCIPLINE_RULES, HOT_LOOP_MODULES
+from .lint import (
+    STATE_BASELINE_PATH,
+    collect_state_baseline,
+    default_rules,
+    lint_modules,
+    lint_repo,
+    repo_root,
+)
+from .progshape import OP_ARITY, PLAIN_TAGS, SHAPE_RULES
+from .state_contract import StateContractRule, extract_contracts
+
+__all__ = [
+    "SUPPRESSION_MARKERS",
+    "ModuleContext",
+    "Rule",
+    "DETERMINISM_PACKAGES",
+    "DETERMINISM_RULES",
+    "BANNED_CONSTRUCTORS",
+    "DISCIPLINE_RULES",
+    "HOT_LOOP_MODULES",
+    "STATE_BASELINE_PATH",
+    "collect_state_baseline",
+    "default_rules",
+    "lint_modules",
+    "lint_repo",
+    "repo_root",
+    "OP_ARITY",
+    "PLAIN_TAGS",
+    "SHAPE_RULES",
+    "StateContractRule",
+    "extract_contracts",
+]

@@ -1,0 +1,154 @@
+"""Shared plumbing for the static rules: module contexts and suppressions.
+
+Every rule works on a :class:`ModuleContext` — one parsed source file
+plus its repo-relative path, dotted module name, and the suppression
+comments found in it.  Rules yield :class:`~repro.analysis.findings.Finding`
+records (the same machinery the dynamic concurrency analyzer uses), and
+the driver applies suppressions the way the dynamic checker applies
+``allow_racy``: a suppressed finding disappears from the default report,
+is counted in ``stats``, and resurfaces under ``--strict``.
+
+Suppression comments are one-per-line markers with a mandatory reason::
+
+    t0 = time.perf_counter()   # allow_nondet: wall-clock only feeds the log line
+    self.gen: Generator        # nostate: rebuilt by checkpoint replay
+    eng = MTAEngine(p=4)       # allow_direct_engine: this bench measures dispatch
+    yield maybe_barrier()      # allow_shape: uniform shared-flag decision
+    def on_custom(self): ...   # allow_hook: adapter method, not a bus event
+
+A marker suppresses findings of its family on the same physical line
+(the line the finding points at).  A marker without a reason is itself
+reported — silent suppressions are how invariants rot.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..findings import Finding
+
+#: marker -> the rule family it suppresses (see Rule.family).
+SUPPRESSION_MARKERS = {
+    "allow_nondet": "determinism",
+    "nostate": "state",
+    "allow_direct_engine": "discipline",
+    "allow_hook": "discipline",
+    "allow_shape": "shape",
+}
+
+_MARKER_RE = re.compile(
+    r"#\s*(" + "|".join(SUPPRESSION_MARKERS) + r")\s*:?\s*(.*)$"
+)
+
+
+@dataclass
+class ModuleContext:
+    """One source file as seen by every rule."""
+
+    #: Repo-relative path with forward slashes (stable across hosts).
+    path: str
+    #: Dotted module name (``repro.sim.kernel``, ``benchmarks.bench_msf``).
+    module: str
+    source: str
+    tree: ast.Module
+    #: line number -> (marker, reason)
+    suppressions: Dict[int, Tuple[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, module: str, source: str) -> "ModuleContext":
+        tree = ast.parse(source, filename=path)
+        suppressions: Dict[int, Tuple[str, str]] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            if "#" not in line:
+                continue
+            m = _MARKER_RE.search(line)
+            if m:
+                suppressions[lineno] = (m.group(1), m.group(2).strip())
+        return cls(path, module, source, tree, suppressions)
+
+    def in_package(self, *packages: str) -> bool:
+        """True when the module lives in (or is) one of ``packages``."""
+        return any(
+            self.module == pkg or self.module.startswith(pkg + ".")
+            for pkg in packages
+        )
+
+    def suppression_at(self, line: int, family: str) -> Optional[str]:
+        """The reason string if ``line`` carries this family's marker.
+
+        A marker with no reason does not suppress (returns None) — the
+        underlying finding surfaces, which is how reasonless markers
+        get "reported".
+        """
+        entry = self.suppressions.get(line)
+        if entry is None:
+            return None
+        marker, reason = entry
+        if SUPPRESSION_MARKERS[marker] != family:
+            return None
+        return reason or None
+
+
+class Rule:
+    """One static rule: a stable id, a family, and an AST pass."""
+
+    #: Stable rule id; also the ``check`` field of every finding it emits.
+    id: str = ""
+    #: Suppression family (key space of :data:`SUPPRESSION_MARKERS` values).
+    family: str = ""
+    severity: str = "error"
+
+    def check_ids(self) -> Tuple[str, ...]:
+        """Check ids this rule can emit (umbrella rules override)."""
+        return (self.id,)
+
+    def applies(self, ctx: ModuleContext) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        message: str,
+        *,
+        severity: Optional[str] = None,
+        witness: Optional[dict] = None,
+    ) -> Finding:
+        return Finding(
+            check=self.id,
+            severity=severity or self.severity,
+            message=message,
+            file=ctx.path,
+            line=getattr(node, "lineno", None),
+            witness=witness or {},
+        )
+
+
+def walk_scoped(node: ast.AST) -> Iterator[ast.AST]:
+    """Like ``ast.walk`` but does not descend into nested function/class
+    definitions — for per-scope passes."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """``foo`` for ``foo(...)``, ``mod.attr`` for ``mod.attr(...)`` (one
+    level), else None."""
+    fn = node.func
+    if isinstance(fn, ast.Name):
+        return fn.id
+    if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name):
+        return f"{fn.value.id}.{fn.attr}"
+    return None

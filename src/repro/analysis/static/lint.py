@@ -1,0 +1,212 @@
+"""Driver for the static rules: file discovery, suppression, reporting.
+
+``lint_repo()`` walks the repo's own sources (``src/repro`` plus the
+top-level ``benchmarks/`` directory), runs every rule against each
+parsed module, applies the family suppression markers the way the
+dynamic checker applies ``allow_racy`` (suppressed findings move to
+``stats`` unless ``strict``), and returns the same
+:class:`~repro.analysis.findings.AnalysisReport` the dynamic analyzer
+produces — so ``repro analyze --jsonl`` and ``repro lint --jsonl``
+share one output schema by construction.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ...errors import ConfigurationError
+from ..findings import AnalysisReport, Finding
+from .base import ModuleContext, Rule
+from .determinism import DETERMINISM_RULES
+from .discipline import DISCIPLINE_RULES
+from .progshape import SHAPE_RULES
+from .state_contract import StateContractRule, dump_baseline, load_baseline
+
+#: Repo-relative path of the committed state-contract baseline.
+STATE_BASELINE_PATH = os.path.join("tests", "golden", "state_contracts.json")
+
+
+def repo_root() -> str:
+    """The repository root, located from the installed package (src layout)."""
+    import repro
+
+    pkg_dir = os.path.dirname(os.path.abspath(repro.__file__))  # .../src/repro
+    return os.path.dirname(os.path.dirname(pkg_dir))
+
+
+def default_rules(
+    state_baseline: Optional[Dict[str, dict]] = None,
+) -> Tuple[Rule, ...]:
+    """Fresh rule instances (the state rule accumulates per-run state)."""
+    return (
+        *DETERMINISM_RULES,
+        StateContractRule(baseline=state_baseline),
+        *DISCIPLINE_RULES,
+        *SHAPE_RULES,
+    )
+
+
+def _module_name(root: str, path: str) -> Optional[str]:
+    """Dotted module name for ``path``, or None if it is not lintable."""
+    rel = os.path.relpath(os.path.abspath(path), root).replace(os.sep, "/")
+    if not rel.endswith(".py"):
+        return None
+    stem = rel[: -len(".py")]
+    if stem.startswith("src/"):
+        stem = stem[len("src/") :]
+    parts = stem.split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    if not parts or parts[0] not in ("repro", "benchmarks"):
+        return None
+    return ".".join(parts)
+
+
+def iter_source_files(root: str, paths: Sequence[str] = ()) -> List[str]:
+    """Lintable files under ``paths`` (default: src/repro + benchmarks)."""
+    if not paths:
+        paths = [os.path.join(root, "src", "repro"), os.path.join(root, "benchmarks")]
+    else:
+        for p in paths:
+            if not os.path.exists(p):
+                raise ConfigurationError(f"lint path does not exist: {p}")
+            if not os.path.isdir(p) and not p.endswith(".py"):
+                raise ConfigurationError(f"lint path is not a directory or .py file: {p}")
+    files: List[str] = []
+    for p in paths:
+        if os.path.isdir(p):
+            for dirpath, dirnames, filenames in os.walk(p):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                for fn in sorted(filenames):
+                    if fn.endswith(".py"):
+                        files.append(os.path.join(dirpath, fn))
+        elif p.endswith(".py"):
+            files.append(p)
+    return files
+
+
+def parse_modules(root: str, files: Iterable[str]) -> List[ModuleContext]:
+    contexts: List[ModuleContext] = []
+    for path in files:
+        module = _module_name(root, path)
+        if module is None:
+            continue
+        rel = os.path.relpath(os.path.abspath(path), root).replace(os.sep, "/")
+        with open(path, "r", encoding="utf-8") as f:
+            source = f.read()
+        contexts.append(ModuleContext.parse(rel, module, source))
+    return contexts
+
+
+def lint_modules(
+    contexts: Iterable[ModuleContext],
+    rules: Sequence[Rule],
+    *,
+    strict: bool = False,
+    checks: Optional[Sequence[str]] = None,
+) -> AnalysisReport:
+    """Run ``rules`` over ``contexts`` and assemble one report.
+
+    ``checks`` optionally restricts the report to specific rule ids or
+    family names.  Suppression mirrors the dynamic checker's
+    ``allow_racy``: a finding on a line carrying its family's marker
+    (with a reason) is counted in ``stats``, not reported.  Under
+    ``strict`` the suppressed findings surface as *warnings* — full
+    visibility without failing the gate on accepted, annotated sites —
+    so ``repro lint --strict`` still exits 0 on a clean tree.
+    """
+    wanted = set(checks) if checks else None
+    if wanted is not None:
+        valid: set = set()
+        for rule in rules:
+            valid.add(rule.family)
+            valid.update(rule.check_ids())
+        unknown = sorted(wanted - valid)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown rule(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(sorted(valid))}"
+            )
+    findings: List[Finding] = []
+    suppressed = 0
+    reasons: List[str] = []
+    n_files = 0
+    for ctx in contexts:
+        n_files += 1
+        for rule in rules:
+            if not rule.applies(ctx):
+                continue
+            for f in rule.run(ctx):
+                if wanted is not None and not (
+                    f.check in wanted or rule.family in wanted
+                ):
+                    continue
+                if f.line is not None:
+                    reason = ctx.suppression_at(f.line, rule.family)
+                    if reason is not None:
+                        suppressed += 1
+                        if reason not in reasons:
+                            reasons.append(reason)
+                        if not strict:
+                            continue
+                        f.severity = "warning"
+                        f.witness = dict(f.witness, suppressed=reason)
+                findings.append(f)
+    findings.sort(key=lambda f: f.sort_key())
+    unique: List[Finding] = []
+    seen: set = set()
+    for f in findings:
+        sig = repr(f.to_dict())
+        if sig not in seen:
+            seen.add(sig)
+            unique.append(f)
+    return AnalysisReport(
+        findings=unique,
+        stats={
+            "files": n_files,
+            "strict": strict,
+            "suppressed_findings": suppressed,
+            "suppression_reasons": reasons,
+            "rules": sorted(r.id for r in rules),
+        },
+    )
+
+
+def lint_repo(
+    paths: Sequence[str] = (),
+    *,
+    strict: bool = False,
+    checks: Optional[Sequence[str]] = None,
+    state_baseline_path: Optional[str] = None,
+    root: Optional[str] = None,
+) -> AnalysisReport:
+    """Lint the repo (or just ``paths``) and return the report.
+
+    The state-contract baseline is read from ``state_baseline_path``
+    (default ``tests/golden/state_contracts.json`` under the repo root);
+    a missing baseline disables only the baseline-dependent checks.
+    """
+    root = root or repo_root()
+    if state_baseline_path is None:
+        state_baseline_path = os.path.join(root, STATE_BASELINE_PATH)
+    baseline = None
+    if os.path.exists(state_baseline_path):
+        baseline = load_baseline(state_baseline_path)
+    rules = default_rules(state_baseline=baseline)
+    contexts = parse_modules(root, iter_source_files(root, paths))
+    return lint_modules(contexts, rules, strict=strict, checks=checks)
+
+
+def collect_state_baseline(
+    paths: Sequence[str] = (), *, root: Optional[str] = None
+) -> str:
+    """Serialized state-contract baseline for the current tree."""
+    root = root or repo_root()
+    state_rule = StateContractRule(baseline=None)
+    for ctx in parse_modules(root, iter_source_files(root, paths)):
+        if state_rule.applies(ctx):
+            for _ in state_rule.run(ctx):
+                pass
+    return dump_baseline(state_rule.observed)

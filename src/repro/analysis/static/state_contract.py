@@ -1,0 +1,478 @@
+"""Serializable-state contract checker (``to_state``/``from_state``).
+
+Checkpoint/restore (PR 7) rests on hand-maintained symmetry: every
+piece of run state a class mutates must be written by ``to_state``,
+read back by ``from_state``, and guarded by a version constant that is
+bumped whenever the layout changes.  Nothing enforced that symmetry —
+a field added to ``__init__`` but forgotten in ``to_state`` only
+surfaces as a subtly wrong resumed run.  This pass rebuilds each
+contract from the AST and cross-checks it:
+
+* **run-state attributes** — attributes the class mutates after
+  ``__init__`` (plus every dataclass field / ``__slots__`` entry) must
+  map to a ``to_state`` key (name match with leading underscores
+  stripped, so ``self._bus_free`` ↔ ``"bus_free"``).  Intentionally
+  unserialized fields carry ``# nostate: <reason>`` (e.g. a live
+  generator rebuilt by checkpoint replay).
+* **pairing** — a ``to_state`` without a ``from_state`` in the same
+  class is always wrong.
+* **key symmetry** — ``from_state`` reading a key ``to_state`` never
+  writes is a guaranteed ``KeyError`` at restore time.
+* **versioning** — against the committed baseline
+  (``tests/golden/state_contracts.json``): if the key set changed but
+  the class's ``STATE_VERSION``/``state_version`` constant did not,
+  stale checkpoints would restore into the new layout.
+
+One root cause produces correlated symptoms (a dropped key is
+simultaneously an uncovered attribute, an unknown ``from_state`` read,
+and a baseline drift), so the checker reports only the
+highest-priority symptom group per class.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..findings import Finding
+from .base import ModuleContext, Rule
+
+#: Methods that mutate their receiver in place.
+_MUTATORS = {
+    "append",
+    "appendleft",
+    "add",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popleft",
+    "remove",
+    "setdefault",
+    "update",
+    "fill",
+}
+
+#: Keys that are contract metadata, not state.
+_META_KEYS = {"version"}
+
+_VERSION_NAMES = ("STATE_VERSION", "state_version")
+
+
+@dataclass
+class StateContract:
+    """One class's serialization contract, reconstructed from the AST."""
+
+    qualname: str  # module.Class
+    class_name: str
+    lineno: int
+    version: Optional[int] = None
+    version_line: Optional[int] = None
+    #: attr name -> line of its declaration / first assignment
+    attrs: Dict[str, int] = field(default_factory=dict)
+    to_state_keys: Set[str] = field(default_factory=set)
+    from_state_keys: Set[str] = field(default_factory=set)
+    to_state_line: int = 0
+    from_state_line: Optional[int] = None
+    #: ``to_state`` delegates to ``super().to_state()`` — the literal key
+    #: set is a lower bound, so cross-method key symmetry can't be checked.
+    open_contract: bool = False
+
+    def baseline_entry(self) -> dict:
+        return {
+            "version": self.version,
+            "keys": sorted(self.to_state_keys),
+        }
+
+
+def _is_raise_only(fn: ast.FunctionDef) -> bool:
+    body = [
+        stmt
+        for stmt in fn.body
+        if not (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        )
+    ]
+    return all(isinstance(stmt, (ast.Raise, ast.Import, ast.ImportFrom)) for stmt in body)
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for dec in cls.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", "")
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _dict_keys_written(fn: ast.FunctionDef) -> Set[str]:
+    """String keys in dict literals plus constant subscript stores."""
+    keys: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Dict):
+            for k in node.keys:
+                if isinstance(k, ast.Constant) and isinstance(k.value, str):
+                    keys.add(k.value)
+        elif isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Store):
+            s = node.slice
+            if isinstance(s, ast.Constant) and isinstance(s.value, str):
+                keys.add(s.value)
+        elif isinstance(node, ast.Call):
+            # dict(**, key=value) keyword keys
+            fname = node.func
+            if isinstance(fname, ast.Name) and fname.id == "dict":
+                for kw in node.keywords:
+                    if kw.arg:
+                        keys.add(kw.arg)
+    return keys
+
+
+def _keys_read(fn: ast.FunctionDef) -> Set[str]:
+    """Constant subscript loads and ``.get("k")`` calls on any name."""
+    keys: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Load):
+            s = node.slice
+            if isinstance(s, ast.Constant) and isinstance(s.value, str):
+                keys.add(s.value)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            keys.add(node.args[0].value)
+    return keys
+
+
+def _calls_super(fn: ast.FunctionDef, method: str) -> bool:
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == method
+            and isinstance(node.func.value, ast.Call)
+            and isinstance(node.func.value.func, ast.Name)
+            and node.func.value.func.id == "super"
+        ):
+            return True
+    return False
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _mutated_attrs(cls: ast.ClassDef) -> Set[str]:
+    """Attributes mutated outside ``__init__`` — the class's run state.
+
+    Tracks direct forms (``self.x = / += …``, ``self.x[k] = …``,
+    ``self.x.append(…)``) and one level of local aliasing
+    (``full = self._full`` … ``full[addr] = t``), which is how the
+    machine models' handler factories mutate their dicts.
+    """
+    mutated: Set[str] = set()
+    for item in cls.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if item.name == "__init__":
+            continue
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(item):
+            if isinstance(node, ast.Assign):
+                attr = _self_attr(node.value)
+                if attr is not None:
+                    for t in node.targets:
+                        if isinstance(t, ast.Name):
+                            aliases[t.id] = attr
+                for t in node.targets:
+                    attr = _self_attr(t)
+                    if attr is not None:
+                        mutated.add(attr)
+                    elif isinstance(t, ast.Subscript):
+                        base = t.value
+                        attr = _self_attr(base)
+                        if attr is not None:
+                            mutated.add(attr)
+                        elif isinstance(base, ast.Name) and base.id in aliases:
+                            mutated.add(aliases[base.id])
+            elif isinstance(node, ast.AugAssign):
+                attr = _self_attr(node.target)
+                if attr is not None:
+                    mutated.add(attr)
+                elif isinstance(node.target, ast.Subscript):
+                    base = node.target.value
+                    attr = _self_attr(base)
+                    if attr is not None:
+                        mutated.add(attr)
+                    elif isinstance(base, ast.Name) and base.id in aliases:
+                        mutated.add(aliases[base.id])
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in _MUTATORS:
+                    base = node.func.value
+                    attr = _self_attr(base)
+                    if attr is not None:
+                        mutated.add(attr)
+                    elif isinstance(base, ast.Name) and base.id in aliases:
+                        mutated.add(aliases[base.id])
+    return mutated
+
+
+def extract_contracts(ctx: ModuleContext) -> List[Tuple[StateContract, ast.ClassDef]]:
+    """Every class in ``ctx`` that defines a real ``to_state``."""
+    out: List[Tuple[StateContract, ast.ClassDef]] = []
+    for cls in ast.walk(ctx.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        methods = {
+            item.name: item
+            for item in cls.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        to_state = methods.get("to_state")
+        if to_state is None or _is_raise_only(to_state):
+            continue
+        contract = StateContract(
+            qualname=f"{ctx.module}.{cls.name}",
+            class_name=cls.name,
+            lineno=cls.lineno,
+            to_state_line=to_state.lineno,
+        )
+        contract.to_state_keys = _dict_keys_written(to_state) - _META_KEYS
+        contract.open_contract = _calls_super(to_state, "to_state")
+        from_state = methods.get("from_state")
+        if from_state is not None and not _is_raise_only(from_state):
+            contract.from_state_line = from_state.lineno
+            contract.from_state_keys = _keys_read(from_state) - _META_KEYS
+        # version constant (own class body only; inheritance is invisible
+        # to a per-file pass, so absent means "unversioned here")
+        for item in cls.body:
+            if isinstance(item, ast.Assign):
+                for t in item.targets:
+                    if isinstance(t, ast.Name) and t.id in _VERSION_NAMES:
+                        if isinstance(item.value, ast.Constant) and isinstance(
+                            item.value.value, int
+                        ):
+                            contract.version = item.value.value
+                            contract.version_line = item.lineno
+        # attributes: dataclass fields / __slots__ / __init__ assignments,
+        # filtered down to real run state for plain classes
+        is_dc = _is_dataclass(cls)
+        if is_dc:
+            for item in cls.body:
+                if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                    ann = ast.dump(item.annotation) if item.annotation else ""
+                    if "ClassVar" in ann:
+                        continue
+                    contract.attrs[item.target.id] = item.lineno
+        for item in cls.body:
+            if isinstance(item, ast.Assign):
+                for t in item.targets:
+                    if isinstance(t, ast.Name) and t.id == "__slots__":
+                        if isinstance(item.value, (ast.Tuple, ast.List)):
+                            for elt in item.value.elts:
+                                if isinstance(elt, ast.Constant) and isinstance(
+                                    elt.value, str
+                                ):
+                                    contract.attrs[elt.value] = item.lineno
+        init = methods.get("__init__")
+        if init is not None and not is_dc:
+            assigned: Dict[str, int] = {}
+            for node in ast.walk(init):
+                targets = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, ast.AnnAssign):
+                    targets = [node.target]
+                for t in targets:
+                    attr = _self_attr(t)
+                    if attr is not None and attr not in assigned:
+                        assigned[attr] = t.lineno
+            mutated = _mutated_attrs(cls)
+            for attr, lineno in assigned.items():
+                if attr in mutated:
+                    contract.attrs[attr] = lineno
+        out.append((contract, cls))
+    return out
+
+
+def _covered(attr: str, keys: Set[str]) -> bool:
+    stripped = attr.lstrip("_")
+    return attr in keys or stripped in keys
+
+
+def load_baseline(path) -> Dict[str, dict]:
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def dump_baseline(contracts: Dict[str, dict]) -> str:
+    return json.dumps(contracts, indent=2, sort_keys=True) + "\n"
+
+
+class StateContractRule(Rule):
+    """All contract symptoms, collapsed to one group per class."""
+
+    id = "state-contract"  # umbrella; findings carry the specific ids below
+    family = "state"
+
+    def check_ids(self):
+        return (
+            "state-missing-pair",
+            "state-attr-missing",
+            "state-key-unknown",
+            "state-version-stale",
+            "state-baseline-missing",
+        )
+
+    def __init__(self, baseline: Optional[Dict[str, dict]] = None) -> None:
+        self.baseline = baseline
+        #: filled by the driver for ``--write-state-baseline``
+        self.observed: Dict[str, dict] = {}
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("repro")
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for contract, cls in extract_contracts(ctx):
+            self.observed[contract.qualname] = contract.baseline_entry()
+            yield from self._check(ctx, contract, cls)
+
+    def _check(
+        self, ctx: ModuleContext, c: StateContract, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        groups: List[List[Finding]] = []
+
+        def make(check: str, line: int, message: str, **witness) -> Finding:
+            return Finding(
+                check=check,
+                severity="warning" if check == "state-baseline-missing" else "error",
+                message=message,
+                file=ctx.path,
+                line=line,
+                witness=dict(witness, **{"class": c.qualname}),
+            )
+
+        if c.from_state_line is None:
+            groups.append(
+                [
+                    make(
+                        "state-missing-pair",
+                        c.to_state_line,
+                        f"{c.class_name}.to_state has no matching from_state; "
+                        f"checkpoints of this class can never be restored",
+                    )
+                ]
+            )
+
+        attr_findings = []
+        for attr in sorted(c.attrs):
+            if _covered(attr, c.to_state_keys):
+                continue
+            line = c.attrs[attr]
+            reason = ctx.suppression_at(line, "state")
+            if reason is not None:
+                attr_findings.append((attr, line, reason))
+                continue
+            attr_findings.append((attr, line, None))
+        real = [
+            make(
+                "state-attr-missing",
+                line,
+                f"{c.class_name}.{attr} is run state (mutated after __init__) "
+                f"but to_state writes no matching key; checkpoints silently "
+                f"drop it",
+                attr=attr,
+            )
+            for attr, line, reason in attr_findings
+            if reason is None
+        ]
+        # annotated attrs are yielded too — the driver's generic marker
+        # suppression moves them to stats — but they stay out of the
+        # priority collapse so a fully-annotated class still reports its
+        # lower-priority symptoms (e.g. a stale version constant)
+        annotated = [
+            make(
+                "state-attr-missing",
+                line,
+                f"{c.class_name}.{attr} not serialized (annotated: {reason})",
+                attr=attr,
+            )
+            for attr, line, reason in attr_findings
+            if reason is not None
+        ]
+        if real:
+            groups.append(real)
+
+        if not c.open_contract and c.from_state_line is not None:
+            unknown = sorted(c.from_state_keys - c.to_state_keys)
+            if unknown:
+                groups.append(
+                    [
+                        make(
+                            "state-key-unknown",
+                            c.from_state_line,
+                            f"{c.class_name}.from_state reads key(s) "
+                            f"{', '.join(map(repr, unknown))} that to_state never "
+                            f"writes — KeyError at restore time",
+                            keys=unknown,
+                        )
+                    ]
+                )
+
+        if self.baseline is not None:
+            entry = self.baseline.get(c.qualname)
+            if entry is None:
+                groups.append(
+                    [
+                        make(
+                            "state-baseline-missing",
+                            c.to_state_line,
+                            f"{c.qualname} is not in the committed state-contract "
+                            f"baseline; regenerate it with "
+                            f"`repro lint --write-state-baseline`",
+                        )
+                    ]
+                )
+            elif (
+                sorted(c.to_state_keys) != entry.get("keys")
+                and c.version is not None
+                and c.version == entry.get("version")
+            ):
+                added = sorted(c.to_state_keys - set(entry.get("keys", ())))
+                removed = sorted(set(entry.get("keys", ())) - c.to_state_keys)
+                groups.append(
+                    [
+                        make(
+                            "state-version-stale",
+                            c.version_line or c.to_state_line,
+                            f"{c.class_name}.to_state key set changed "
+                            f"(+{added} -{removed}) but the version constant is "
+                            f"still {c.version}; bump it so stale checkpoints are "
+                            f"rejected, then refresh the baseline",
+                            added=added,
+                            removed=removed,
+                            version=c.version,
+                        )
+                    ]
+                )
+
+        # one symptom group per class: the priority order above means a
+        # dropped key reports as the uncovered attribute, not as three
+        # cascading findings
+        yield from annotated
+        if groups:
+            yield from groups[0]

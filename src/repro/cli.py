@@ -30,6 +30,11 @@ without writing Python:
     the happens-before race detector and lint pass; print findings (or
     ``--jsonl``) and exit 1 when errors are found.  See
     ``docs/ANALYSIS.md``.
+``lint``
+    Static analysis of the repo's own sources against its invariants
+    (determinism, state contracts, hook/engine discipline, generator
+    shape); same output schema and flags as ``analyze`` (``--jsonl``,
+    ``--strict``), exit 1 on errors.  Must pass before every PR.
 ``sweep``
     Execute a named figure/table sweep across every grid point, with a
     process pool (``--workers N``) and the on-disk result cache; cache
@@ -236,6 +241,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_an.add_argument(
         "--max-findings", type=int, default=200, help="cap on reported findings"
+    )
+
+    p_li = sub.add_parser(
+        "lint", help="static analysis of the repo's own sources"
+    )
+    p_li.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: src/repro + benchmarks)",
+    )
+    p_li.add_argument(
+        "--rule",
+        action="append",
+        default=[],
+        metavar="ID",
+        help="restrict to a rule id or family (determinism, state,"
+        " discipline, shape); repeatable",
+    )
+    p_li.add_argument(
+        "--strict",
+        action="store_true",
+        help="surface annotation-suppressed findings as warnings",
+    )
+    p_li.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="PATH",
+        help="write findings as JSON Lines ('-' = stdout)",
+    )
+    p_li.add_argument(
+        "--state-baseline",
+        default=None,
+        metavar="PATH",
+        help="state-contract baseline to compare against"
+        " (default tests/golden/state_contracts.json)",
+    )
+    p_li.add_argument(
+        "--write-state-baseline",
+        action="store_true",
+        help="regenerate the state-contract baseline from the current tree"
+        " and exit",
     )
 
     p_sw = sub.add_parser("sweep", help="run a named figure/table sweep")
@@ -530,7 +577,7 @@ def _cmd_fig1(args) -> int:
 
     sizes = [args.max_n >> 2, args.max_n >> 1, args.max_n]
     series: dict[str, tuple[list, list]] = {}
-    for label, make in (("ord", ordered_list), ("rand", lambda n: random_list(n, 0))):
+    for label in ("ord", "rand"):
         for machine in ("smp", "mta"):
             series[f"{machine}-{label}"] = ([], [])
     for n in sizes:
@@ -957,6 +1004,52 @@ def _cmd_analyze(args) -> int:
     return 1 if errors else 0
 
 
+def _cmd_lint(args) -> int:
+    import os as _os
+
+    from .analysis import dump_jsonl
+    from .analysis.static import (
+        STATE_BASELINE_PATH,
+        collect_state_baseline,
+        lint_repo,
+        repo_root,
+    )
+
+    if args.write_state_baseline:
+        path = args.state_baseline or _os.path.join(repo_root(), STATE_BASELINE_PATH)
+        text = collect_state_baseline(args.paths)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+        print(f"wrote state-contract baseline: {path}")
+        return 0
+
+    report = lint_repo(
+        args.paths,
+        strict=args.strict,
+        checks=args.rule or None,
+        state_baseline_path=args.state_baseline,
+    )
+    if args.jsonl is not None:
+        text = dump_jsonl(report.findings)
+        if args.jsonl == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.jsonl, "w", encoding="utf-8") as f:
+                f.write(text)
+
+    s = report.stats
+    status = "clean" if report.ok() else f"{len(report.errors)} error(s)"
+    if report.warnings:
+        status += f", {len(report.warnings)} warning(s)"
+    suppressed = s.get("suppressed_findings", 0)
+    note = f", {suppressed} annotated finding(s) suppressed" if suppressed else ""
+    print(f"lint: {status}{note}  [{s.get('files', 0)} file(s)]")
+    if args.jsonl != "-":
+        for f in report.findings:
+            print(f"  {f.render()}")
+    return 1 if report.errors else 0
+
+
 def _cmd_sweep(args) -> int:
     from .core.runner import run_jobs, write_jsonl
     from .workloads import jobs_for
@@ -1016,6 +1109,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "analyze":
             return _cmd_analyze(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
         if args.command == "cache":

@@ -61,7 +61,7 @@ def code_version() -> str:
 
 def default_cache_root() -> Path:
     """``$REPRO_CACHE_DIR`` or ``.repro-cache`` in the working directory."""
-    env = os.environ.get("REPRO_CACHE_DIR")
+    env = os.environ.get("REPRO_CACHE_DIR")  # allow_nondet: cache location only, never results
     return Path(env) if env else Path(".repro-cache")
 
 
@@ -232,7 +232,7 @@ class SweepCache:
         """Where this cache's checkpoint artifacts live
         (``$REPRO_CHECKPOINT_DIR`` wins, matching
         :func:`repro.sim.checkpoint.default_checkpoint_root`)."""
-        env = os.environ.get("REPRO_CHECKPOINT_DIR")
+        env = os.environ.get("REPRO_CHECKPOINT_DIR")  # allow_nondet: artifact location only, never results
         return Path(env) if env else self.root / "checkpoints"
 
     def checkpoint_entries(self) -> list[tuple[Path, float, int]]:

@@ -150,11 +150,11 @@ class ResultTable:
             for i, h in enumerate(header)
         ]
         lines = [
-            "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "  ".join(h.ljust(w) for h, w in zip(header, widths, strict=False)),
             "  ".join("-" * w for w in widths),
         ]
         for row in body:
-            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths, strict=False)))
         return "\n".join(lines)
 
     def __len__(self) -> int:

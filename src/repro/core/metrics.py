@@ -50,7 +50,7 @@ def ratio_series(a: Sequence[float], b: Sequence[float]) -> list[float]:
         raise ConfigurationError("series must have equal length")
     if any(y <= 0 for y in b):
         raise ConfigurationError("denominator series must be positive")
-    return [x / y for x, y in zip(a, b)]
+    return [x / y for x, y in zip(a, b, strict=False)]
 
 
 def crossover(xs: Sequence[float], a: Sequence[float], b: Sequence[float]) -> float | None:
@@ -87,7 +87,7 @@ def scaling_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
     ly = [math.log(y) for y in ys]
     mx = sum(lx) / len(lx)
     my = sum(ly) / len(ly)
-    num = sum((a - mx) * (b - my) for a, b in zip(lx, ly))
+    num = sum((a - mx) * (b - my) for a, b in zip(lx, ly, strict=False))
     den = sum((a - mx) ** 2 for a in lx)
     if den == 0:
         raise ConfigurationError("x values must not all be equal")

@@ -84,9 +84,9 @@ def ascii_plot(
     y_span = (y_hi - y_lo) or 1.0
 
     grid = [[" "] * width for _ in range(height)]
-    for idx, (name, (xs, ys)) in enumerate(pts.items()):
+    for idx, (_name, (xs, ys)) in enumerate(pts.items()):
         marker = _MARKERS[idx % len(_MARKERS)]
-        for x, y in zip(xs, ys):
+        for x, y in zip(xs, ys, strict=False):
             col = int(round((x - x_lo) / x_span * (width - 1)))
             row = int(round((y - y_lo) / y_span * (height - 1)))
             grid[height - 1 - row][col] = marker

@@ -319,7 +319,7 @@ def run_jobs(
     except (KeyboardInterrupt, _CancelRequested) as exc:
         partial = [
             r if r is not None else JobResult(job=job, record={}, cancelled=True)
-            for job, r in zip(jobs, results)
+            for job, r in zip(jobs, results, strict=False)
         ]
         reason = "interrupted" if isinstance(exc, KeyboardInterrupt) else "cancelled"
         raise SweepCancelled(

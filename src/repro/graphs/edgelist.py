@@ -138,7 +138,7 @@ class EdgeList:
             return x
 
         comps = self.n
-        for a, b in zip(self.u.tolist(), self.v.tolist()):
+        for a, b in zip(self.u.tolist(), self.v.tolist(), strict=False):
             ra, rb = find(a), find(b)
             if ra != rb:
                 parent[ra] = rb

@@ -48,7 +48,7 @@ def cc_union_find(g: EdgeList) -> CCRun:
 
     u_list = g.u.tolist()
     v_list = g.v.tolist()
-    for a, b in zip(u_list, v_list):
+    for a, b in zip(u_list, v_list, strict=False):
         # find(a) with path halving
         while parent[a] != a:
             parent[a] = parent[parent[a]]

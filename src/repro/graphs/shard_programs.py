@@ -210,7 +210,7 @@ def accumulate_shard_detail(acc: dict, detail: dict) -> dict:
     for key in ("rounds", "msgs_routed", "msgs_sent", "msgs_processed",
                 "checkpoints"):
         acc[key] += detail[key]
-    for tot, s in zip(acc["per_shard"], detail["per_shard"]):
+    for tot, s in zip(acc["per_shard"], detail["per_shard"], strict=False):
         tot["cycles"] += s["cycles"]
         tot["msgs_sent"] += s["msgs_sent"]
         tot["msgs_processed"] += s["msgs_processed"]

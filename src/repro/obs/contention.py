@@ -146,7 +146,7 @@ class ContentionProfile:
                 if len(mine) < len(theirs):
                     mine = mine + [0] * (len(theirs) - len(mine))
                 setattr(
-                    self, attr, [a + b for a, b in zip(mine, theirs + [0] * len(mine))]
+                    self, attr, [a + b for a, b in zip(mine, theirs + [0] * len(mine), strict=False)]
                 )
         self.bank_stalls += other.bank_stalls
         self.bus_busy_cycles += other.bus_busy_cycles

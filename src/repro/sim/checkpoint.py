@@ -107,7 +107,7 @@ def component_digests(machine_module: str) -> dict:
 
 def default_checkpoint_root() -> Path:
     """``$REPRO_CHECKPOINT_DIR``, or ``<cache root>/checkpoints``."""
-    env = os.environ.get("REPRO_CHECKPOINT_DIR")
+    env = os.environ.get("REPRO_CHECKPOINT_DIR")  # allow_nondet: artifact location only, never results
     if env:
         return Path(env)
     from ..core.cache import default_cache_root
@@ -384,12 +384,12 @@ class CheckpointSession:
 
     def run(self, kernel, name: str, *, budget=None, tier=None):
         """Execute (or replay, or resume) run ``name`` on ``kernel``."""
-        if id(kernel) in self._kernels:
+        if id(kernel) in self._kernels:  # allow_nondet: same-process identity guard, never persisted
             raise CheckpointError(
                 "a checkpoint session allows one run per kernel; build a"
                 " fresh engine for each phase"
             )
-        self._kernels[id(kernel)] = kernel
+        self._kernels[id(kernel)] = kernel  # allow_nondet: same-process identity guard, never persisted
         idx = self._next_run
         self._next_run += 1
         res = self.resume

@@ -267,7 +267,7 @@ def try_ld_window(kernel, cycle, budget):
     stats["windows"] += 1
     total_ops = 0
     op_tag = LOAD_DEP
-    for proc, plan, sched in zip(kernel.procs, plans, schedules):
+    for proc, plan, sched in zip(kernel.procs, plans, schedules, strict=False):
         if plan is None:
             continue
         streams, _arrivals, _rounds = plan
@@ -305,9 +305,9 @@ def try_ld_window(kernel, cycle, budget):
         if executed:
             # streams that issued left the ready deque (issues follow
             # rotation order, so the untouched ones are a suffix) …
-            issued_set = {id(streams[i]) for i in range(len(streams)) if counts[i]}
-            keep_ready = [t for t in proc.ready if id(t) not in issued_set]
-            keep_wake = [e for e in proc.wake if id(e[2]) not in issued_set]
+            issued_set = {id(streams[i]) for i in range(len(streams)) if counts[i]}  # allow_nondet: same-process membership test only
+            keep_ready = [t for t in proc.ready if id(t) not in issued_set]  # allow_nondet: same-process membership test only
+            keep_wake = [e for e in proc.wake if id(e[2]) not in issued_set]  # allow_nondet: same-process membership test only
             proc.ready.clear()
             proc.ready.extend(keep_ready)
             # … and re-park in the wake heap; the scalar loop drains

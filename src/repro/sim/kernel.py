@@ -627,7 +627,7 @@ class SimKernel:
         last_ops = self.replay_log(state["log"])
 
         threads = self.threads
-        for t, st in zip(threads, state["threads"]):
+        for t, st in zip(threads, state["threads"], strict=False):
             t.from_state(st)
             t.mstate = model.unpack_thread_state(st["mstate"])
             if st["in_block"]:
@@ -660,7 +660,7 @@ class SimKernel:
         self.barrier_stats = {k: list(v) for k, v in state["barrier_stats"].items()}
         self._window_stats = dict(state["window_stats"])
         if not self.event_mode:
-            for pi, (pr, ps) in enumerate(zip(self.procs, state["procs"])):
+            for pi, (pr, ps) in enumerate(zip(self.procs, state["procs"], strict=False)):
                 pr.issued = ps["issued"]
                 pr.live = ps["live"]
                 pr.ready = deque(threads[tid] for tid in ps["ready"])
@@ -1418,7 +1418,7 @@ class SimKernel:
         final = (total, None, self._issued_total(), dict(self._op_counts))
         snaps = self._phase_snaps + [final]
         slices = []
-        for (t0, label, i0, oc0), (t1, _, i1, oc1) in zip(snaps, snaps[1:]):
+        for (t0, label, i0, oc0), (t1, _, i1, oc1) in zip(snaps, snaps[1:], strict=False):
             t0 = min(max(t0, 0.0), total)
             t1 = min(max(t1, 0.0), total)
             if t1 == t0 and i1 == i0 and len(snaps) > 2:

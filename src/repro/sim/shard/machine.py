@@ -146,7 +146,7 @@ class ShardMixin:
         # engine-owned value store (GV/PV words)
         self.values: dict[int, object] = {}
         # outgoing messages staged for the next exchange round
-        self.outbox: list[tuple] = []
+        self.outbox: list[tuple] = []  # nostate: to_state rejects undrained outboxes
         # incoming messages not yet due: heap of (sort_key, msg)
         self._pending: list = []
         # per-source-partition sequence numbers for outgoing stamps
@@ -155,16 +155,16 @@ class ShardMixin:
         self._rid = 0
         self._waiting_reply: dict[int, tuple] = {}
         # coordinator-mediated barriers (plan.k > 1 only)
-        self.gbar_needs: dict[str, int] = {}
+        self.gbar_needs: dict[str, int] = {}  # nostate: re-registered at setup on restore
         self._gbar_waiting: dict[str, list] = {}
         self._gbar_local_max: dict[str, int] = {}
-        self._gbar_arrivals: list[tuple] = []  # (bid, cycle) staged per round
+        self._gbar_arrivals: list[tuple] = []  # nostate: staged per round; empty at snapshot
         # shard traffic counters (never in SimReport.detail — surfaced
         # via ShardResult/RunSummary.detail["shard"] instead)
         self.msgs_sent = 0
         self.msgs_processed = 0
         # bound by handlers(); lets _post pull the service point forward
-        self._kernel = None
+        self._kernel = None  # nostate: rebound when handlers() is called
 
     # -- kernel protocol overrides ----------------------------------------------
 

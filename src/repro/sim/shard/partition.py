@@ -85,7 +85,7 @@ class PartitionPlan:
                 )
             if addr_bounds[0] != 0:
                 raise ConfigurationError("addr_bounds must start at 0")
-            if any(b > c for b, c in zip(addr_bounds, addr_bounds[1:])):
+            if any(b > c for b, c in zip(addr_bounds, addr_bounds[1:], strict=False)):
                 raise ConfigurationError("addr_bounds must be non-decreasing")
         if proc_bounds is None:
             proc_bounds = _split_bounds(p, k)
@@ -97,7 +97,7 @@ class PartitionPlan:
                 )
             if proc_bounds[0] != 0 or proc_bounds[-1] != p:
                 raise ConfigurationError("proc_bounds must span [0, p]")
-        if any(b >= c for b, c in zip(proc_bounds, proc_bounds[1:])):
+        if any(b >= c for b, c in zip(proc_bounds, proc_bounds[1:], strict=False)):
             raise ConfigurationError(
                 "proc_bounds must be strictly increasing (every partition "
                 "owns at least one processor)"

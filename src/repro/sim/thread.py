@@ -29,7 +29,7 @@ class SimThread:
     """
 
     tid: int
-    gen: Generator
+    gen: Generator  # nostate: live generator; checkpoint replay rebuilds it
     proc: int
     state: str = READY
     #: Cycle at which a BLOCKED thread becomes ready again.
@@ -55,13 +55,13 @@ class SimThread:
     wait_key: object = None
     #: Machine-model-private per-thread state (e.g. the SMP's per-
     #: processor cache hierarchy); opaque to the kernel.
-    mstate: object = None
+    mstate: object = None  # nostate: serialized by the owning machine model
     #: Active :class:`~repro.sim.fastpath.OpBlock` being expanded (a
     #: ``VR`` pseudo-op's precompiled straight-line run), or None.  The
     #: kernel pulls the next op from ``fblock.ops[fbpos]`` before
     #: resuming the generator; the fast tier batch-executes the same
     #: block, so both tiers consume it op for op.
-    fblock: object = None
+    fblock: object = None  # nostate: snapshot keeps fbpos; replay rebuilds the block
     #: Next unexecuted position within :attr:`fblock`.
     fbpos: int = 0
 

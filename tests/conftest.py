@@ -18,7 +18,7 @@ def nx_cc_labels(g):
 
     G = nx.Graph()
     G.add_nodes_from(range(g.n))
-    G.add_edges_from(zip(g.u.tolist(), g.v.tolist()))
+    G.add_edges_from(zip(g.u.tolist(), g.v.tolist(), strict=False))
     labels = np.empty(g.n, dtype=np.int64)
     for comp in nx.connected_components(G):
         root = min(comp)

@@ -1,0 +1,13 @@
+"""Seeded violation for the engine-discipline rule.
+
+Parsed by the static-lint tests under the module name
+``benchmarks.lint_seeded`` (never imported); the direct engine
+construction below is the regression case for the rule that replaced
+the PR 2 runtime source grep."""
+
+from repro.sim import MTAEngine
+
+
+def test_direct():
+    eng = MTAEngine(p=2)  # -> engine-direct-construct
+    return eng

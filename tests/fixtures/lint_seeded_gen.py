@@ -1,0 +1,20 @@
+"""Seeded violations for the program-generator shape rules.
+
+Parsed by the static-lint tests under the module name
+``repro.graphs.lint_seeded`` (never imported)."""
+
+from repro.sim import isa
+
+
+def walker(a_x, n):
+    for i in range(n):
+        if i % 2:
+            yield ("B", "sweep")  # -> gen-barrier-balance (true branch only)
+        yield ("FA", a_x.addr(i))  # -> gen-op-arity (FA takes 3 elements)
+        yield isa.load(a_x.addr(i))
+
+
+def blocked(a_x):
+    yield isa.run_block(
+        [isa.load(a_x.addr(0)), isa.barrier("end")]  # -> gen-runblock-shape
+    )

@@ -1,0 +1,10 @@
+"""Seeded violation for the hot-loop-import rule.
+
+Parsed by the static-lint tests under the module name
+``repro.sim.kernel`` (never imported)."""
+
+from repro.obs import Tracer  # -> hot-loop-import
+
+
+def run(tracer=Tracer):
+    return tracer

@@ -1,0 +1,44 @@
+"""Seeded violations for the determinism / state / hook rule families.
+
+Parsed by the static-lint tests under the module name
+``repro.sim.lint_seeded`` (this file is never imported); every
+construct below exists to make exactly one rule fire at a known line.
+"""
+
+import os
+import time
+
+
+def unseeded_now():
+    t = time.time()  # -> nondet-call
+    cfg = os.environ.get("REPRO_SEEDED")  # -> nondet-env
+    seen = {1, 2, 3}
+    order = list(seen)  # -> nondet-set-iter
+    key = id(order)  # -> nondet-id-order
+    return t, cfg, order, key
+
+
+class Snapshotted:
+    """to_state with no from_state -> state-missing-pair (exactly one
+    finding: the pairing symptom outranks the uncovered ``counter``)."""
+
+    STATE_VERSION = 1
+
+    def __init__(self):
+        self.counter = 0
+
+    def tick(self):
+        self.counter += 1
+
+    def to_state(self):
+        return {"version": self.STATE_VERSION, "counter": self.counter}
+
+
+class SeededHook:
+    """Public method outside HOOK_EVENTS -> hook-event-unknown."""
+
+    def on_op(self, tid, op):
+        pass
+
+    def on_warp(self, tid):  # -> hook-event-unknown (typo'd event)
+        pass

@@ -1,5 +1,6 @@
 """Public API surface and error-hierarchy tests."""
 
+import dataclasses
 import inspect
 
 import pytest
@@ -54,9 +55,9 @@ class TestPublicAPI:
         assert repro.__version__ == "1.0.0"
 
     def test_machine_configs_are_frozen(self):
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             repro.SUN_E4500.clock_hz = 1.0
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             repro.CRAY_MTA2.clock_hz = 1.0
 
     def test_quickstart_from_docstring_runs(self):

@@ -62,37 +62,7 @@ def test_benchmark_suite_collects():
     assert "error" not in proc.stdout.lower()
 
 
-BANNED_CONSTRUCTORS = (
-    "SMPMachine(",
-    "MTAMachine(",
-    "ClusterMachine(",
-    "SMPEngine(",
-    "MTAEngine(",
-)
-
-# bench_table1_utilization compares an engine's summary against its raw
-# report — an internals check that legitimately calls simulate_* itself.
-SIMULATE_ALLOWED = {"bench_table1_utilization"}
-
-# bench_engine_throughput measures the simulation kernel's interpreter
-# dispatch loop itself (host ops/second over synthetic instruction
-# streams); constructing the engines directly is the measurement.
-CONSTRUCT_ALLOWED = {"bench_engine_throughput"}
-
-
-@pytest.mark.parametrize("name", BENCH_MODULES)
-def test_benchmarks_go_through_the_runner(name):
-    """ISSUE acceptance gate: every benchmark routes execution through
-    the sweep runner — zero direct machine/engine construction."""
-    source = (BENCH_DIR / f"{name}.py").read_text(encoding="utf-8")
-    if name not in CONSTRUCT_ALLOWED:
-        for pattern in BANNED_CONSTRUCTORS:
-            assert pattern not in source, (
-                f"{name} constructs {pattern[:-1]} directly; submit a Job to"
-                " repro.core.run_jobs instead"
-            )
-    if name not in SIMULATE_ALLOWED:
-        assert "simulate_" not in source, (
-            f"{name} calls a simulate_* entry point directly; use the"
-            " engine backends via the sweep runner"
-        )
+# The "benchmarks go through the runner" gate that used to live here as
+# a source grep is now the static linter's engine-direct-construct rule
+# (repro.analysis.static.discipline), exercised in tests/test_static_lint.py
+# and enforced repo-wide by `repro lint` in CI.

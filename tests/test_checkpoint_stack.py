@@ -239,7 +239,7 @@ def test_cancelled_sweep_resumes_without_recomputing(tmp_path, capsys):
     assert again[0].cached
     assert not again[1].cached
     assert "resumed from checkpoint" in capsys.readouterr().err
-    for b, a in zip(baseline, again):
+    for b, a in zip(baseline, again, strict=False):
         assert a.record == b.record
         assert a.key == b.key
 

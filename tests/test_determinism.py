@@ -81,7 +81,7 @@ class TestBitIdentical:
         sim1, _ = RUNNERS[workload]()
         sim2, _ = RUNNERS[workload]()
         assert len(sim1.phase_reports) == len(sim2.phase_reports)
-        for a, b in zip(sim1.phase_reports, sim2.phase_reports):
+        for a, b in zip(sim1.phase_reports, sim2.phase_reports, strict=False):
             assert a.name == b.name
             assert a.cycles == b.cycles
             assert np.array_equal(a.issued, b.issued)

@@ -26,7 +26,7 @@ def nx_msf_weight(g, w):
 
     G = nx.Graph()
     G.add_nodes_from(range(g.n))
-    for i, (a, b) in enumerate(zip(g.u.tolist(), g.v.tolist())):
+    for i, (a, b) in enumerate(zip(g.u.tolist(), g.v.tolist(), strict=False)):
         G.add_edge(a, b, weight=float(w[i]))
     return sum(d["weight"] for _, _, d in nx.minimum_spanning_edges(G, data=True))
 
@@ -99,7 +99,7 @@ class TestMSFCorrectness:
         run = minimum_spanning_forest(g, w)
         comps = run.stats["components_history"]
         # each round the number of live components drops by >= 2x until done
-        for a, b in zip(comps, comps[1:]):
+        for a, b in zip(comps, comps[1:], strict=False):
             assert b <= a
 
 

@@ -19,7 +19,7 @@ def nx_depths(g, src):
 
     G = nx.Graph()
     G.add_nodes_from(range(g.n))
-    G.add_edges_from(zip(g.u.tolist(), g.v.tolist()))
+    G.add_edges_from(zip(g.u.tolist(), g.v.tolist(), strict=False))
     d = np.full(g.n, -1, np.int64)
     for v, dist in nx.single_source_shortest_path_length(G, src).items():
         d[v] = dist

@@ -101,7 +101,7 @@ class TestRunJobs:
         results = run_jobs(_tiny_jobs(count=2), cache=False)
         lines = write_jsonl(results).splitlines()
         assert len(lines) == 2
-        for line, r in zip(lines, results):
+        for line, r in zip(lines, results, strict=False):
             assert json.loads(line) == r.record
 
 

@@ -93,7 +93,7 @@ class TestAssignWorkers:
         ranges = assign_workers(5, 3)
         assert ranges[0][0] == 0 and ranges[-1][1] == 5
         assert all(lo < hi for lo, hi in ranges)
-        assert all(a[1] == b[0] for a, b in zip(ranges, ranges[1:]))
+        assert all(a[1] == b[0] for a, b in zip(ranges, ranges[1:], strict=False))
 
     def test_invalid_counts(self):
         with pytest.raises(ConfigurationError):

@@ -83,7 +83,7 @@ class TestSVSMP:
         hist = run.stats["m_history"]
         assert hist[0] == 1200
         assert hist[-1] == 0
-        assert all(a >= b for a, b in zip(hist, hist[1:]))
+        assert all(a >= b for a, b in zip(hist, hist[1:], strict=False))
 
     def test_three_barriers_per_iteration(self):
         run = sv_smp(random_graph(100, 250, rng=1))

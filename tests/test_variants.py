@@ -55,7 +55,7 @@ class TestRandomMating:
     def test_edges_contract_monotonically(self):
         run = random_mating(random_graph(200, 800, rng=0), rng=3)
         hist = run.stats["m_history"]
-        assert all(a >= b for a, b in zip(hist, hist[1:]))
+        assert all(a >= b for a, b in zip(hist, hist[1:], strict=False))
         assert hist[-1] == 0
 
     def test_rounds_are_logarithmic_in_expectation(self):
