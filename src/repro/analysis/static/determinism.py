@@ -26,6 +26,7 @@ DETERMINISM_PACKAGES = (
     "repro.graphs",
     "repro.lists",
     "repro.obs",
+    "repro.xval",
 )
 
 #: RNG constructors that are deterministic *when explicitly seeded*.

@@ -38,6 +38,7 @@ def _register_builtins() -> None:
     from ..sim.machines import ensure_builtin_machines
     from .analytic import make_cluster_model, make_mta_model, make_smp_model
     from .engine import make_mta_engine, make_smp_engine
+    from .xval import make_cost_xval
 
     register(
         "smp-model",
@@ -70,6 +71,7 @@ def _register_builtins() -> None:
         hooks=HOOK_EVENTS,
         tiers=("interpreted", "vector"),
         checkpoint=True,
+        xval=True,
     )
     register(
         "mta-engine",
@@ -82,6 +84,15 @@ def _register_builtins() -> None:
         tiers=("interpreted", "vector"),
         checkpoint=True,
         shardable=True,
+        xval=True,
+    )
+    register(
+        "cost-xval",
+        make_cost_xval,
+        level="xval",
+        kinds=("rank", "cc", "chase"),
+        description="Model-vs-engine per-phase divergence (repro.xval)",
+        xval=True,
     )
     # Register the built-in machine models (and, through the machine
     # registry's auto-registration, the mta-next engine backend).

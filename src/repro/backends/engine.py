@@ -123,6 +123,7 @@ class SMPEngineBackend(Backend):
                 handle.data, p=workload.p,
                 max_iter=int(opt.get("max_iter", 64)),
                 config=self.config, check=check, tier=tier, session=session,
+                variant=opt.get("variant"),
             )
         _note_resume(session)
         summary = sim.summary

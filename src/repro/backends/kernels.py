@@ -75,6 +75,22 @@ def _rank_mta_walks(nxt, p, seed, opt):
     )
 
 
+def _rank_branch_avoiding(nxt, p, seed, opt):
+    from ..lists.branch_avoiding import rank_branch_avoiding
+
+    kw = {}
+    if opt.get("s") is not None:
+        kw["s"] = int(opt["s"])
+    return rank_branch_avoiding(
+        nxt,
+        p,
+        rng=opt.get("rng", seed),
+        collect_traces=bool(opt.get("collect_traces", False)),
+        schedule=opt.get("schedule", "dynamic"),
+        **kw,
+    )
+
+
 def _rank_compaction(nxt, p, seed, opt):
     from ..lists.compaction import rank_by_compaction
 
@@ -97,6 +113,7 @@ _RANK.update(
         "sequential": _rank_sequential,
         "wyllie": _rank_wyllie,
         "helman-jaja": _rank_helman_jaja,
+        "helman-jaja-branch-avoiding": _rank_branch_avoiding,
         "mta-walks": _rank_mta_walks,
         "compaction": _rank_compaction,
         "independent-set": _rank_independent_set,
@@ -134,6 +151,12 @@ def _cc_sv_smp(g, p, seed, opt):
     return sv_smp(g, p=p, max_iter=opt.get("max_iter"))
 
 
+def _cc_sv_smp_branch_avoiding(g, p, seed, opt):
+    from ..graphs.variants import sv_smp_branch_avoiding
+
+    return sv_smp_branch_avoiding(g, p=p, max_iter=opt.get("max_iter"))
+
+
 def _cc_awerbuch_shiloach(g, p, seed, opt):
     from ..graphs.variants import awerbuch_shiloach
 
@@ -159,6 +182,7 @@ _CC.update(
         "sv-pram": _cc_sv_pram,
         "sv-mta": _cc_sv_mta,
         "sv-smp": _cc_sv_smp,
+        "sv-smp-branch-avoiding": _cc_sv_smp_branch_avoiding,
         "awerbuch-shiloach": _cc_awerbuch_shiloach,
         "random-mating": _cc_random_mating,
         "hybrid": _cc_hybrid,

@@ -42,6 +42,10 @@ class _Entry:
     #: True when the backend accepts the ``shards`` workload option and
     #: runs through the sharded runtime (:mod:`repro.sim.shard`).
     shardable: bool = False
+    #: True when the backend participates in model-vs-engine
+    #: cross-validation (:mod:`repro.xval`) — either as a stack with an
+    #: analytic counterpart or as the pairing backend itself.
+    xval: bool = False
 
 
 _REGISTRY: dict[str, _Entry] = {}
@@ -59,6 +63,7 @@ def register(
     tiers: tuple = (),
     checkpoint: bool = False,
     shardable: bool = False,
+    xval: bool = False,
     replace: bool = False,
 ) -> None:
     """Register ``factory`` under ``name``.
@@ -70,10 +75,12 @@ def register(
     :class:`~repro.sim.hooks.HookBus` events its runs can deliver,
     ``tiers`` the execution tiers its runs may use (the workload's
     ``tier`` option), ``checkpoint`` whether its runs support
-    checkpoint/resume (the workload's ``checkpoint`` option), and
+    checkpoint/resume (the workload's ``checkpoint`` option),
     ``shardable`` whether they accept the ``shards`` workload option
-    (the multi-process sharded runtime); all are informational (shown
-    by ``repro backends``).
+    (the multi-process sharded runtime), and ``xval`` whether the
+    backend participates in model-vs-engine cross-validation
+    (:mod:`repro.xval`); all are informational (shown by ``repro
+    backends``).
     """
     if not name:
         raise ConfigurationError("backend name must be non-empty")
@@ -92,6 +99,7 @@ def register(
         tiers=tuple(tiers),
         checkpoint=bool(checkpoint),
         shardable=bool(shardable),
+        xval=bool(xval),
     )
 
 
@@ -125,7 +133,7 @@ def names() -> list[str]:
 
 def describe() -> list[dict]:
     """One row per backend: name, level, kinds, machine, hooks, tiers,
-    checkpoint, shardable, description."""
+    checkpoint, shardable, xval, description."""
     return [
         {
             "name": e.name,
@@ -136,6 +144,7 @@ def describe() -> list[dict]:
             "tiers": list(e.tiers),
             "checkpoint": e.checkpoint,
             "shardable": e.shardable,
+            "xval": e.xval,
             "description": e.description,
         }
         for e in (_REGISTRY[n] for n in names())

@@ -24,6 +24,13 @@ without writing Python:
     Run one declarative workload on one backend through the sweep
     runner: ``repro run --workload rank --backend smp-model --n 65536
     --p 8``.
+``xval``
+    Cross-validate an analytic machine model against the matching
+    cycle engine on one workload: both stacks run the identical input,
+    their per-phase cycles pair under one prediction contract, and the
+    divergence report (worst offenders, branch-cost attribution)
+    prints as a table or deterministic JSONL.  See ``docs/MODELS.md``,
+    "The prediction contract".
 ``analyze``
     Concurrency-correctness analysis: run a workload (or every
     registered paper program with ``--all``) on a cycle engine under
@@ -197,6 +204,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume from an explicit checkpoint artifact (path or content"
         " id); a stale artifact is an error",
     )
+
+    p_xv = sub.add_parser(
+        "xval", help="cross-validate an analytic model against a cycle engine"
+    )
+    p_xv.add_argument(
+        "--workload",
+        default="cc",
+        help="workload kind (pairs with an analytic counterpart: cc)",
+    )
+    p_xv.add_argument(
+        "--machine",
+        default="smp",
+        help="machine family both stacks model (smp or mta)",
+    )
+    p_xv.add_argument("--n", type=int, default=192, help="vertices")
+    p_xv.add_argument("--m", type=int, default=None, help="edges (default 2n)")
+    p_xv.add_argument("--p", type=int, default=4, help="processors")
+    p_xv.add_argument("--seed", type=int, default=1)
+    p_xv.add_argument(
+        "--variant",
+        default=None,
+        choices=("branchy", "branch-avoiding"),
+        help="SMP kernel variant (default: branchy on the SMP)",
+    )
+    p_xv.add_argument(
+        "--penalty",
+        type=float,
+        default=None,
+        help="SMP mispredict penalty in cycles, applied to both stacks"
+        " (default 4)",
+    )
+    p_xv.add_argument("--max-iter", type=int, default=64)
+    p_xv.add_argument(
+        "--top",
+        type=int,
+        default=3,
+        help="list the K worst phases by relative error (0 disables)",
+    )
+    p_xv.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="PATH",
+        help="write the report as deterministic JSON Lines ('-' = stdout)",
+    )
+    p_xv.add_argument("--json", action="store_true", help="full report as JSON")
+    _add_cache_args(p_xv)
 
     p_an = sub.add_parser(
         "analyze", help="concurrency analysis of a workload's op streams"
@@ -908,11 +961,49 @@ def _cmd_backends(args) -> int:
         tiers = ",".join(r.get("tiers", [])) or "-"
         ckpt = "ckpt" if r.get("checkpoint") else "-"
         shard = "shard" if r.get("shardable") else "-"
+        xval = "xval" if r.get("xval") else "-"
         print(
             f"{r['name']:<{width}}  {r['level']:<6}  {kinds:<{kw}}"
             f"  {machine:<{mw}}  {hooks:<8}  {tiers:<{tw}}  {ckpt:<4}"
-            f"  {shard:<5}  {r['description']}"
+            f"  {shard:<5}  {xval:<4}  {r['description']}"
         )
+    return 0
+
+
+def _cmd_xval(args) -> int:
+    import json
+
+    from .backends import Workload
+    from .core.runner import Job, run_jobs
+    from .xval import DivergenceReport
+
+    options = {"machine": args.machine, "max_iter": args.max_iter}
+    if args.variant is not None:
+        options["variant"] = args.variant
+    if args.penalty is not None:
+        options["penalty"] = args.penalty
+    m = args.m if args.m is not None else 2 * args.n
+    workload = Workload(
+        args.workload,
+        args.p,
+        args.seed,
+        {"graph": "random", "n": args.n, "m": m},
+        options,
+    )
+    job = Job(workload, "cost-xval")
+    [result] = run_jobs([job], workers=1, cache=_make_cache(args))
+    report = DivergenceReport.from_dict(result.detail["xval"])
+    if args.jsonl is not None:
+        text = report.jsonl()
+        if args.jsonl == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.jsonl, "w", encoding="utf-8") as f:
+                f.write(text)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    elif args.jsonl != "-":
+        print(report.table(args.top))
     return 0
 
 
@@ -1105,6 +1196,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "backends":
             return _cmd_backends(args)
+        if args.command == "xval":
+            return _cmd_xval(args)
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "analyze":

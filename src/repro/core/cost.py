@@ -40,7 +40,25 @@ __all__ = [
     "CostTriplet",
     "summarize",
     "merge_steps",
+    "bernoulli_mispredicts",
 ]
+
+
+def bernoulli_mispredicts(taken, total):
+    """Expected mispredicts of a one-bit predictor on a Bernoulli branch.
+
+    A last-outcome (one-bit) predictor mispredicts whenever consecutive
+    outcomes differ; for independent outcomes taken with probability
+    ``q = taken/total`` that happens at rate ``2q(1-q)`` per branch.
+    Accepts scalars or arrays; returns ``total``-shaped expected counts
+    (zero wherever ``total`` is zero).
+    """
+    taken = np.asarray(taken, dtype=float)
+    total = np.asarray(total, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        q = np.where(total > 0, taken / np.maximum(total, 1.0), 0.0)
+    out = 2.0 * q * (1.0 - q) * total
+    return float(out) if out.ndim == 0 else out
 
 
 def _as_per_proc(value, p: int) -> np.ndarray:
@@ -113,6 +131,18 @@ class StepCost:
         Number of atomic updates all directed at a *single* memory
         location (e.g. an ``int_fetch_add`` shared loop counter).  The
         memory system serializes these at one per cycle.
+    branches:
+        Per-processor count of *data-dependent* conditional branches —
+        the graft tests and walk-exit tests whose outcome the hardware
+        cannot know ahead of time.  Loop-bound branches with predictable
+        outcomes are deliberately not counted.
+    mispredicts:
+        Per-processor expected mispredict count for those branches under
+        a one-bit (last-outcome) predictor; usually computed with
+        :func:`bernoulli_mispredicts`.  Only branch-aware machine models
+        (the SMP with a non-zero ``mispredict_penalty_cycles``) charge
+        cycles for these; the MTA hides branch latency entirely behind
+        stream interleaving.
     """
 
     name: str
@@ -127,6 +157,8 @@ class StepCost:
     working_set: int | None = None
     traces: list[np.ndarray] | None = None
     hotspot_ops: int = 0
+    branches: np.ndarray | float = 0.0
+    mispredicts: np.ndarray | float = 0.0
 
     def __post_init__(self) -> None:
         if self.p < 1:
@@ -136,6 +168,8 @@ class StepCost:
         self.ops = _as_per_proc(self.ops, self.p)
         self.contig_writes = _as_per_proc(self.contig_writes, self.p)
         self.noncontig_writes = _as_per_proc(self.noncontig_writes, self.p)
+        self.branches = _as_per_proc(self.branches, self.p)
+        self.mispredicts = _as_per_proc(self.mispredicts, self.p)
         if self.barriers < 0:
             raise ConfigurationError("barriers must be non-negative")
         if self.traces is not None and len(self.traces) != self.p:
@@ -171,6 +205,11 @@ class StepCost:
         return float(self.ops.max())
 
     @property
+    def max_mispredicts(self) -> float:
+        """Largest per-processor expected mispredict count."""
+        return float(self.mispredicts.max())
+
+    @property
     def effective_parallelism(self) -> float:
         """Concurrency available to a multithreaded machine in this step.
 
@@ -202,6 +241,8 @@ class StepCost:
             working_set=self.working_set,
             traces=None,
             hotspot_ops=self.hotspot_ops,
+            branches=float(self.branches.sum()),
+            mispredicts=float(self.mispredicts.sum()),
         )
 
     def scaled(self, factor: float) -> "StepCost":
@@ -223,6 +264,8 @@ class StepCost:
             working_set=self.working_set,
             traces=None,
             hotspot_ops=int(self.hotspot_ops * factor),
+            branches=self.branches * factor,
+            mispredicts=self.mispredicts * factor,
         )
 
 
@@ -307,4 +350,6 @@ def merge_steps(name: str, steps: Sequence[StepCost]) -> StepCost:
         working_set=ws,
         traces=traces,
         hotspot_ops=sum(s.hotspot_ops for s in steps),
+        branches=np.sum([s.branches for s in steps], axis=0),
+        mispredicts=np.sum([s.mispredicts for s in steps], axis=0),
     )

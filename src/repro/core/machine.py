@@ -23,7 +23,75 @@ from typing import Iterable
 
 from .cost import StepCost
 
-__all__ = ["StepTime", "MachineResult", "MachineModel"]
+__all__ = ["StepTime", "PhasePrediction", "MachineResult", "MachineModel"]
+
+
+@dataclass(frozen=True)
+class PhasePrediction:
+    """One phase of an analytic prediction, in the shared xval schema.
+
+    This is the prediction side of the contract that
+    :mod:`repro.xval` pairs against the cycle engines' PHASE slices:
+    both stacks describe a run as an ordered list of named phases with
+    cycle totals, so divergence can be computed per phase rather than
+    only per run.
+
+    Attributes
+    ----------
+    name:
+        Phase label (the :class:`StepCost` step name).
+    cycles:
+        Predicted machine cycles for the phase.
+    busy_cycles:
+        Predicted useful-work cycles summed over processors.
+    t_m:
+        The phase's ⟨T_M⟩ term — max per-processor non-contiguous accesses.
+    t_c:
+        The phase's ⟨T_C⟩ term — max per-processor operations.
+    b:
+        The phase's ⟨B⟩ term — barrier count.
+    branch_cycles:
+        Cycles the model charged to branch mispredictions (zero on
+        branch-blind models such as the MTA).
+    detail:
+        Machine-specific breakdown copied from the :class:`StepTime`.
+    """
+
+    STATE_VERSION = 1
+
+    name: str
+    cycles: float
+    busy_cycles: float
+    t_m: float
+    t_c: float
+    b: int
+    branch_cycles: float = 0.0
+    detail: dict = field(default_factory=dict)
+
+    def to_state(self) -> dict:
+        return {
+            "name": self.name,
+            "cycles": self.cycles,
+            "busy_cycles": self.busy_cycles,
+            "t_m": self.t_m,
+            "t_c": self.t_c,
+            "b": self.b,
+            "branch_cycles": self.branch_cycles,
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PhasePrediction":
+        return cls(
+            name=state["name"],
+            cycles=state["cycles"],
+            busy_cycles=state["busy_cycles"],
+            t_m=state["t_m"],
+            t_c=state["t_c"],
+            b=state["b"],
+            branch_cycles=state["branch_cycles"],
+            detail=dict(state["detail"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -65,6 +133,25 @@ class MachineResult:
     def cycles(self) -> float:
         """Total simulated cycles."""
         return sum(s.cycles for s in self.steps)
+
+    @property
+    def total_cycles(self) -> float:
+        """Total simulated cycles — the documented cross-stack accessor.
+
+        ``MachineResult`` and :class:`repro.obs.RunSummary` both expose
+        ``total_cycles`` and :meth:`phase_breakdown` with identical
+        semantics, so consumers (``repro.xval`` above all) never need
+        per-stack field-name special-casing.
+        """
+        return self.cycles
+
+    def phase_breakdown(self) -> list[tuple[str, float]]:
+        """Ordered ``(phase name, cycles)`` pairs, one per step/phase.
+
+        The shared shape of the per-phase breakdown on both result
+        surfaces; see :attr:`total_cycles`.
+        """
+        return [(s.name, float(s.cycles)) for s in self.steps]
 
     @property
     def seconds(self) -> float:
@@ -203,6 +290,34 @@ class MachineModel(abc.ABC):
                     tracer.counter(key, t, {key: float(v)}, pid=0)
             t += s.cycles
         tracer.advance(result.cycles)
+
+    def predict_phases(self, steps: Iterable[StepCost]) -> list[PhasePrediction]:
+        """Per-phase ⟨T_M; T_C; B⟩-derived cycle predictions.
+
+        One :class:`PhasePrediction` per input step, in order, carrying
+        the step's triplet terms alongside the model's cycle charge.
+        The default implementation times the steps with :meth:`run`
+        (so stateful models like the SMP's persistent cache hierarchy
+        behave exactly as in a normal run) and reads the branch charge
+        from the ``branch_cycles`` detail key when the model emits one.
+        """
+        steps = list(steps)
+        result = self.run(steps)
+        out: list[PhasePrediction] = []
+        for cost, timed in zip(steps, result.steps, strict=True):
+            out.append(
+                PhasePrediction(
+                    name=timed.name,
+                    cycles=float(timed.cycles),
+                    busy_cycles=float(timed.busy_cycles),
+                    t_m=cost.max_noncontig,
+                    t_c=cost.max_ops,
+                    b=cost.barriers,
+                    branch_cycles=float(timed.detail.get("branch_cycles", 0.0)),
+                    detail=dict(timed.detail),
+                )
+            )
+        return out
 
     def seconds(self, steps: Iterable[StepCost]) -> float:
         """Shortcut: total simulated seconds for ``steps``."""

@@ -93,6 +93,13 @@ class SMPConfig:
     #: Software barrier cost model: ``base + per_log_p * ceil(log2 p)``.
     barrier_base_cycles: float = 2000.0
     barrier_per_log_p_cycles: float = 1000.0
+    #: Cycles lost per branch mispredict.  The default of 0 keeps the
+    #: classic branch-blind model; the branch-aware variant used by
+    #: ``repro.xval`` sets ~4 (the UltraSPARC II refetch bubble) and
+    #: charges ``mispredicts × penalty`` extra compute cycles per
+    #: processor, which is what separates branch-avoiding kernels from
+    #: their branchy originals.
+    mispredict_penalty_cycles: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_p < 1:
@@ -205,7 +212,8 @@ class SMPMachine(MachineModel):
         c = self.config
         detail: dict = {}
 
-        comp = step.ops * c.cpi
+        branch = step.mispredicts * c.mispredict_penalty_cycles
+        comp = step.ops * c.cpi + branch
 
         if self.use_traces and step.traces is not None:
             mem = np.zeros(self.p)
@@ -266,6 +274,7 @@ class SMPMachine(MachineModel):
             barrier_cycles=barrier,
             compute_cycles=float(comp.sum()),
             memory_cycles=float(mem.sum()),
+            branch_cycles=float(branch.sum()),
         )
         return StepTime(name=step.name, cycles=cycles, busy_cycles=busy, detail=detail)
 

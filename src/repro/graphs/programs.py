@@ -32,8 +32,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..arch.memory import AddressSpace
-from ..errors import SimulationError, WorkloadError
+from ..errors import ConfigurationError, SimulationError, WorkloadError
 from ..sim import isa
+from ..sim.branch import OneBitPredictor, penalty_ops
 from ..sim.mta_engine import MTAEngine
 from ..sim.smp_engine import SMPEngine
 from ..sim.stats import SimReport, combine_reports
@@ -242,6 +243,7 @@ def simulate_smp_cc(
     check=None,
     tier: str = "auto",
     session=None,
+    variant: str | None = None,
 ) -> CCSim:
     """Execute hook-and-shortcut connected components on the SMP cycle engine.
 
@@ -250,6 +252,22 @@ def simulate_smp_cc(
     broadcast from processor 0 (three barriers total) — the classic SMP
     structure.  Caches and the shared bus are simulated from the real
     address streams.
+
+    ``variant`` selects the branch treatment of the graft test:
+
+    * ``None`` (default) — the classic program, byte-identical op
+      stream to every committed golden; branches are free.
+    * ``"branchy"`` — same algorithm, but each processor runs a
+      deterministic one-bit predictor on its graft test and emits a
+      refetch bubble (``compute`` ops worth
+      ``config.mispredict_penalty_cycles``) on every mispredict.
+    * ``"branch-avoiding"`` — the predicated formulation: every edge
+      unconditionally stores into ``D`` (a min-write) and spends one
+      extra select op, with no unpredictable branch at all.
+
+    Both named variants attach host-side branch counters to
+    ``report.detail["branch"]`` so ``repro.xval`` can compare the
+    engine's measured branch cost against the analytic prediction.
     """
     from ..core.smp_machine import SUN_E4500
 
@@ -258,6 +276,17 @@ def simulate_smp_cc(
         raise WorkloadError("empty graph")
     if config is None:
         config = SUN_E4500
+    if variant not in (None, "branchy", "branch-avoiding"):
+        raise ConfigurationError(
+            f"unknown SMP CC variant {variant!r}"
+            " (choose from: branchy, branch-avoiding)"
+        )
+    bubble_ops = (
+        penalty_ops(config.mispredict_penalty_cycles, config.cpi)
+        if variant == "branchy"
+        else 0
+    )
+    predictors = [OneBitPredictor() for _ in range(p)]
     sym = g.symmetrized()
     eu = sym.u.tolist()
     ev = sym.v.tolist()
@@ -300,11 +329,24 @@ def simulate_smp_cc(
                 yield isa.load_dep(a_d.addr(v))
                 ddv = d[dv]
                 yield isa.load_dep(a_d.addr(dv))
-                yield isa.compute(1)
-                if du < dv and dv == ddv:
-                    d[dv] = du
-                    local_graft = True
+                graft = du < dv and dv == ddv
+                if variant == "branch-avoiding":
+                    # predicated min-write: selects instead of a branch,
+                    # and the store happens whether or not it grafts
+                    yield isa.compute(2)
+                    if graft:
+                        d[dv] = du
+                        local_graft = True
                     yield isa.store(a_d.addr(dv))
+                else:
+                    yield isa.compute(1)
+                    if variant == "branchy" and predictors[proc].record(graft):
+                        if bubble_ops:
+                            yield isa.compute(bubble_ops)
+                    if graft:
+                        d[dv] = du
+                        local_graft = True
+                        yield isa.store(a_d.addr(dv))
             if local_graft:
                 shared["graft"] = True
                 yield isa.store(a_flag.addr(0))
@@ -341,6 +383,15 @@ def simulate_smp_cc(
     for proc in range(p):
         eng.attach(program(proc))
     report = eng.run("smp.sv-cc")
+    if variant is not None:
+        branches = sum(pr.branches for pr in predictors)
+        mispredicts = sum(pr.mispredicts for pr in predictors)
+        report.detail["branch"] = {
+            "variant": variant,
+            "branches": branches,
+            "mispredicts": mispredicts,
+            "penalty_cycles": float(mispredicts * bubble_ops * config.cpi),
+        }
     labels = normalize_labels(np.asarray(d, dtype=np.int64))
     return CCSim(
         labels=labels,

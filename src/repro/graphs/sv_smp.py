@@ -31,7 +31,7 @@ import math
 
 import numpy as np
 
-from ..core.cost import StepCost
+from ..core.cost import StepCost, bernoulli_mispredicts
 from ..errors import SimulationError, WorkloadError
 from .edgelist import EdgeList
 from .types import CCRun, normalize_labels
@@ -39,7 +39,13 @@ from .types import CCRun, normalize_labels
 __all__ = ["sv_smp"]
 
 
-def sv_smp(g: EdgeList, p: int = 1, *, max_iter: int | None = None) -> CCRun:
+def sv_smp(
+    g: EdgeList,
+    p: int = 1,
+    *,
+    max_iter: int | None = None,
+    branch_avoiding: bool = False,
+) -> CCRun:
     """Run the instrumented SMP-optimized SV variant.
 
     Parameters
@@ -51,6 +57,16 @@ def sv_smp(g: EdgeList, p: int = 1, *, max_iter: int | None = None) -> CCRun:
         Processor count for cost instrumentation.
     max_iter:
         Safety bound, default ``2·log₂ n + 8``.
+    branch_avoiding:
+        Replace the hook's data-dependent graft test with a predicated
+        min-write (Green, Dukhan & Vuduc): every edge unconditionally
+        stores ``min(D[u], D[v])`` into the larger root, trading
+        ``n_graft`` conditional scattered stores for ``m_k``
+        unconditional ones plus a couple of select ops per edge — and
+        zero branch mispredicts in the hook.  Labels and iteration
+        counts are identical to the branchy original; only the cost
+        shape changes, which is exactly what a branch-aware machine
+        model must be able to separate.
     """
     n = g.n
     if n == 0:
@@ -86,17 +102,32 @@ def sv_smp(g: EdgeList, p: int = 1, *, max_iter: int | None = None) -> CCRun:
         n_graft = int(mask.sum())
         graft_history.append(n_graft)
         np.minimum.at(d, hi[mask], lo[mask])
+        if branch_avoiding:
+            # predicated min-write: every edge stores, no graft branch
+            hook_cost = dict(
+                noncontig_writes=float(mk),
+                ops=7.0 * mk,  # +min/max selects per edge
+                branches=0.0,
+                mispredicts=0.0,
+            )
+        else:
+            hook_cost = dict(
+                noncontig_writes=float(n_graft),
+                ops=5.0 * mk,
+                # one data-dependent graft test per edge
+                branches=float(mk),
+                mispredicts=bernoulli_mispredicts(n_graft, mk),
+            )
         steps.append(
             StepCost(
                 name=f"svsmp.it{iterations}.hook",
                 p=p,
                 contig=2.0 * mk,  # streamed edge chunk
                 noncontig=2.0 * mk,  # D[u], D[v] gathers
-                noncontig_writes=float(n_graft),
-                ops=5.0 * mk,
                 barriers=1,
                 parallelism=mk,
                 working_set=n,
+                **hook_cost,
             )
         )
 
@@ -145,9 +176,16 @@ def sv_smp(g: EdgeList, p: int = 1, *, max_iter: int | None = None) -> CCRun:
                 barriers=1,
                 parallelism=mk,
                 working_set=n,
+                # one data-dependent keep test per edge
+                branches=float(mk),
+                mispredicts=bernoulli_mispredicts(kept, mk),
             )
         )
 
     labels = normalize_labels(d)
-    stats = {"m_history": m_history, "graft_history": graft_history}
+    stats = {
+        "m_history": m_history,
+        "graft_history": graft_history,
+        "variant": "branch-avoiding" if branch_avoiding else "branchy",
+    }
     return CCRun(labels=labels, parents=d, iterations=iterations, steps=steps, stats=stats)

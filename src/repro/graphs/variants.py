@@ -32,9 +32,33 @@ from ..core.cost import StepCost
 from ..errors import SimulationError, WorkloadError
 from .edgelist import EdgeList
 from .shiloach_vishkin import star_vector
+from .sv_smp import sv_smp
 from .types import CCRun, normalize_labels
 
-__all__ = ["awerbuch_shiloach", "random_mating", "hybrid_cc"]
+__all__ = [
+    "awerbuch_shiloach",
+    "random_mating",
+    "hybrid_cc",
+    "sv_smp_branch_avoiding",
+]
+
+
+def sv_smp_branch_avoiding(
+    g: EdgeList, p: int = 1, *, max_iter: int | None = None
+) -> CCRun:
+    """Branch-avoiding SMP Shiloach–Vishkin (Green, Dukhan & Vuduc).
+
+    Identical labels and iteration structure to
+    :func:`repro.graphs.sv_smp.sv_smp`, but the hook's data-dependent
+    graft test becomes a predicated min-write: every edge
+    unconditionally stores ``min(D[u], D[v])`` into the larger root.
+    That trades ``n_graft`` conditional scattered stores for ``m_k``
+    unconditional ones (plus two select ops per edge) and eliminates
+    the hook's branch mispredicts — a trade only a branch-aware model
+    (``SMPConfig.mispredict_penalty_cycles > 0``) can price correctly,
+    which is what ``repro xval`` demonstrates.
+    """
+    return sv_smp(g, p, max_iter=max_iter, branch_avoiding=True)
 
 
 def awerbuch_shiloach(g: EdgeList, p: int = 1, *, max_iter: int | None = None) -> CCRun:

@@ -1,0 +1,75 @@
+"""Branch-avoiding list ranking (Green, Dukhan & Vuduc style).
+
+The Helman–JáJá traversal tests every visited node's successor for the
+sublist-end mark — a data-dependent branch taken once per walk.  The
+branch-avoiding formulation replaces the test with arithmetic on the
+marked flag (a select folds "stop here" into the loop bounds), so each
+node costs one extra register op and the traversal carries zero
+unpredictable branches.
+
+Results (prefix values, ranks, stats) are bit-identical to
+:func:`repro.lists.helman_jaja.rank_helman_jaja`; only the step-3 cost
+shape changes.  A branch-blind machine model therefore prices both
+variants identically — it takes a branch-aware SMP model
+(``SMPConfig.mispredict_penalty_cycles > 0``) to tell them apart, which
+is what ``repro xval`` demonstrates on the list-ranking side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cost import StepCost
+from .helman_jaja import rank_helman_jaja
+from .types import PrefixRun
+
+__all__ = ["rank_branch_avoiding"]
+
+
+def _predicated(step: StepCost) -> StepCost:
+    """The branch-avoiding cost shape of one traversal step.
+
+    Every counted branch becomes one extra select op; branch and
+    mispredict counts drop to zero.  All other counts are untouched.
+    """
+    return StepCost(
+        name=step.name,
+        p=step.p,
+        contig=step.contig,
+        noncontig=step.noncontig,
+        ops=step.ops + step.branches,
+        contig_writes=step.contig_writes,
+        noncontig_writes=step.noncontig_writes,
+        barriers=step.barriers,
+        parallelism=step.parallelism,
+        working_set=step.working_set,
+        traces=step.traces,
+        hotspot_ops=step.hotspot_ops,
+        branches=0.0,
+        mispredicts=0.0,
+    )
+
+
+def rank_branch_avoiding(
+    nxt: np.ndarray,
+    p: int,
+    *,
+    s: int | None = None,
+    rng: np.random.Generator | int | None = None,
+    collect_traces: bool = False,
+    schedule: str = "dynamic",
+) -> PrefixRun:
+    """List ranking with the predicated (branch-free) sublist traversal.
+
+    Same signature, results and diagnostics as
+    :func:`~repro.lists.helman_jaja.rank_helman_jaja`; steps that carry
+    branch counters are rewritten to their predicated cost shape.
+    """
+    run = rank_helman_jaja(
+        nxt, p, s=s, rng=rng, collect_traces=collect_traces, schedule=schedule
+    )
+    run.steps = [
+        _predicated(st) if float(st.branches.sum()) > 0 else st for st in run.steps
+    ]
+    run.stats = dict(run.stats, variant="branch-avoiding")
+    return run

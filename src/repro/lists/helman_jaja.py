@@ -32,7 +32,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..arch.memory import AddressSpace
-from ..core.cost import StepCost
+from ..core.cost import StepCost, bernoulli_mispredicts
 from ..core.schedule import block_assign, dynamic_assign, per_proc_totals
 from ..errors import ConfigurationError
 from ._traversal import traverse_sublists
@@ -201,6 +201,13 @@ def helman_jaja_prefix(
             parallelism=s_eff,
             working_set=4 * n,
             traces=traces3,
+            # one data-dependent "is the successor marked?" test per node;
+            # per walk of length L it is taken once, so a one-bit
+            # predictor expects 2(1/L)(1-1/L)L mispredicts per walk.
+            branches=per_proc_totals(assign, len_pw, p),
+            mispredicts=per_proc_totals(
+                assign, bernoulli_mispredicts(np.ones(s_eff), len_pw), p
+            ),
         )
     )
 

@@ -65,6 +65,25 @@ class RunSummary:
         return self.cycles / self.clock_hz
 
     @property
+    def total_cycles(self) -> float:
+        """Total cycles — the documented cross-stack accessor.
+
+        :class:`repro.core.machine.MachineResult` and ``RunSummary``
+        both expose ``total_cycles`` and :meth:`phase_breakdown` with
+        identical semantics, so consumers (``repro.xval`` above all)
+        never need per-stack field-name special-casing.
+        """
+        return self.cycles
+
+    def phase_breakdown(self) -> list[tuple[str, float]]:
+        """Ordered ``(phase name, cycles)`` pairs, one per phase.
+
+        The shared shape of the per-phase breakdown on both result
+        surfaces; see :attr:`total_cycles`.
+        """
+        return [(ph.name, float(ph.cycles)) for ph in self.phases]
+
+    @property
     def op_counts(self) -> dict:
         out: dict = {}
         for ph in self.phases:

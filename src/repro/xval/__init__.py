@@ -1,0 +1,48 @@
+"""Cross-validation of the analytic models against the cycle engines.
+
+The repository holds two complete execution stacks for the paper's
+kernels: analytic machine models (:mod:`repro.core`) that price
+⟨T_M; T_C; B⟩ step costs, and cycle-level engines (:mod:`repro.sim`)
+that execute real thread programs.  This package closes the loop
+between them — the check the paper performs implicitly by running the
+same analysis and the same codes on real machines.
+
+Both stacks now speak one per-phase prediction contract:
+
+* analytic models emit :class:`repro.core.machine.PhasePrediction`
+  lists through ``MachineModel.predict_phases()``;
+* the engines' PHASE slices arrive as a
+  :class:`repro.obs.RunSummary`, whose ``phase_breakdown()`` exposes
+  the same ordered ``(name, cycles)`` shape.
+
+On top of that contract:
+
+* :mod:`repro.xval.counterpart` — analytic counterparts of the engine
+  thread programs: sequential replicas that count exactly what the
+  program does (including per-processor one-bit branch predictors),
+  emitting step costs under the *engine's* phase names.
+* :mod:`repro.xval.contract` — :class:`PhasePair`, one matched
+  (predicted, simulated) phase with absolute/relative error.
+* :mod:`repro.xval.divergence` — :class:`DivergenceReport`, the full
+  per-phase pairing with ranked worst offenders and JSONL export.
+* :mod:`repro.xval.runner` — orchestration: run the engine, run the
+  counterpart, pair them; plus the branchy-vs-branch-avoiding
+  separation measurement.
+
+End-to-end entry points: the ``cost-xval`` backend (sweeps, caching,
+coalescing for free) and the ``repro xval`` CLI.
+"""
+
+from .contract import PhasePair
+from .counterpart import counterpart_predictions, has_counterpart
+from .divergence import DivergenceReport
+from .runner import branch_separation, run_xval
+
+__all__ = [
+    "PhasePair",
+    "DivergenceReport",
+    "counterpart_predictions",
+    "has_counterpart",
+    "run_xval",
+    "branch_separation",
+]

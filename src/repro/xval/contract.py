@@ -1,0 +1,103 @@
+"""The paired-phase record shared by every divergence report.
+
+A :class:`PhasePair` matches one analytic
+:class:`~repro.core.machine.PhasePrediction` with the engine phase
+slice of the same name and carries the error both ways the report
+ranks it: absolute cycles and relative to the simulated (ground-truth)
+side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["PhasePair", "pair_phases"]
+
+
+@dataclass(frozen=True)
+class PhasePair:
+    """One phase, predicted by a model and measured by an engine.
+
+    Attributes
+    ----------
+    name:
+        Phase name, identical on both sides by construction.
+    predicted_cycles:
+        The analytic model's cycle charge for the phase.
+    simulated_cycles:
+        The cycle engine's measured slice width.
+    predicted_branch_cycles:
+        The portion of the prediction charged to branch mispredicts
+        (zero under branch-blind models).
+    """
+
+    name: str
+    predicted_cycles: float
+    simulated_cycles: float
+    predicted_branch_cycles: float = 0.0
+
+    @property
+    def abs_error(self) -> float:
+        """Absolute divergence in cycles."""
+        return abs(self.predicted_cycles - self.simulated_cycles)
+
+    @property
+    def rel_error(self) -> float:
+        """Divergence relative to the simulated cycles (floor 1 cycle)."""
+        return self.abs_error / max(self.simulated_cycles, 1.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "predicted_cycles": self.predicted_cycles,
+            "simulated_cycles": self.simulated_cycles,
+            "predicted_branch_cycles": self.predicted_branch_cycles,
+            "abs_error": self.abs_error,
+            "rel_error": self.rel_error,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PhasePair":
+        return cls(
+            name=d["name"],
+            predicted_cycles=float(d["predicted_cycles"]),
+            simulated_cycles=float(d["simulated_cycles"]),
+            predicted_branch_cycles=float(d.get("predicted_branch_cycles", 0.0)),
+        )
+
+
+def pair_phases(
+    predictions: Iterable,
+    breakdown: Sequence[Tuple[str, float]],
+) -> tuple[List[PhasePair], List[str], List[str]]:
+    """Match predictions to engine phases by name, in engine order.
+
+    ``predictions`` are :class:`~repro.core.machine.PhasePrediction`;
+    ``breakdown`` is a ``RunSummary.phase_breakdown()`` list.  Names
+    are matched with multiplicity (the K-th phase of a repeated name
+    pairs with the K-th prediction of that name).  Returns
+    ``(pairs, unmatched_predicted, unmatched_simulated)`` — unmatched
+    names are reported, never silently dropped.
+    """
+    by_name: dict[str, list] = {}
+    for pred in predictions:
+        by_name.setdefault(pred.name, []).append(pred)
+    pairs: List[PhasePair] = []
+    unmatched_sim: List[str] = []
+    for name, cycles in breakdown:
+        queue = by_name.get(name)
+        if queue:
+            pred = queue.pop(0)
+            pairs.append(
+                PhasePair(
+                    name=name,
+                    predicted_cycles=float(pred.cycles),
+                    simulated_cycles=float(cycles),
+                    predicted_branch_cycles=float(pred.branch_cycles),
+                )
+            )
+        else:
+            unmatched_sim.append(name)
+    unmatched_pred = [p.name for preds in by_name.values() for p in preds]
+    return pairs, sorted(unmatched_pred), unmatched_sim

@@ -1,0 +1,218 @@
+"""Per-phase divergence between an analytic model and a cycle engine.
+
+A :class:`DivergenceReport` is the end product of a cross-validation
+run: every engine phase paired with its analytic prediction, absolute
+and relative errors per phase, totals for both stacks, and the branch
+cost each side attributes to mispredicts.  It serializes to a plain
+dict (so it rides in ``RunSummary.detail`` through the sweep cache
+unchanged) and to deterministic JSONL for golden comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List
+
+from .contract import PhasePair, pair_phases
+
+__all__ = ["DivergenceReport"]
+
+
+@dataclass(frozen=True)
+class DivergenceReport:
+    """All phases of one run, predicted vs simulated.
+
+    Attributes
+    ----------
+    workload:
+        Workload kind (``"cc"``, ...).
+    machine:
+        Machine family both stacks modeled (``"smp"`` or ``"mta"``).
+    variant:
+        Kernel variant (``"branchy"``, ``"branch-avoiding"``) or
+        ``None`` when the pair has no variants.
+    p:
+        Simulated processor count.
+    pairs:
+        One :class:`~repro.xval.contract.PhasePair` per engine phase,
+        in engine order.
+    unmatched_predicted / unmatched_simulated:
+        Phase names present on only one side — reported, never
+        silently dropped.
+    predicted_total_cycles / simulated_total_cycles:
+        Whole-run totals from each stack.
+    predicted_branch_cycles / simulated_branch_cycles:
+        Cycles each stack attributes to branch mispredicts (zero for
+        branch-blind models and for variants without predictors).
+    """
+
+    workload: str
+    machine: str
+    variant: str | None
+    p: int
+    pairs: List[PhasePair] = field(default_factory=list)
+    unmatched_predicted: List[str] = field(default_factory=list)
+    unmatched_simulated: List[str] = field(default_factory=list)
+    predicted_total_cycles: float = 0.0
+    simulated_total_cycles: float = 0.0
+    predicted_branch_cycles: float = 0.0
+    simulated_branch_cycles: float = 0.0
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        workload: str,
+        machine: str,
+        variant: str | None,
+        p: int,
+        predictions,
+        summary,
+    ) -> "DivergenceReport":
+        """Pair ``predictions`` against ``summary.phase_breakdown()``."""
+        pairs, unmatched_pred, unmatched_sim = pair_phases(
+            predictions, summary.phase_breakdown()
+        )
+        branch = summary.detail.get("branch", {}) if summary.detail else {}
+        return cls(
+            workload=workload,
+            machine=machine,
+            variant=variant,
+            p=int(p),
+            pairs=pairs,
+            unmatched_predicted=list(unmatched_pred),
+            unmatched_simulated=list(unmatched_sim),
+            predicted_total_cycles=float(sum(pr.cycles for pr in predictions)),
+            simulated_total_cycles=float(summary.total_cycles),
+            predicted_branch_cycles=float(
+                sum(pr.branch_cycles for pr in predictions)
+            ),
+            simulated_branch_cycles=float(branch.get("penalty_cycles", 0.0)),
+        )
+
+    @property
+    def max_rel_error(self) -> float:
+        """Largest per-phase relative error (0.0 with no pairs)."""
+        return max((pair.rel_error for pair in self.pairs), default=0.0)
+
+    @property
+    def total_rel_error(self) -> float:
+        """Whole-run relative error (floor 1 simulated cycle)."""
+        return abs(self.predicted_total_cycles - self.simulated_total_cycles) / max(
+            self.simulated_total_cycles, 1.0
+        )
+
+    def worst(self, k: int = 5) -> List[PhasePair]:
+        """The ``k`` phases with the largest relative error, worst first.
+
+        Ties break on engine order (stable sort), keeping the ranking
+        deterministic.
+        """
+        ranked = sorted(self.pairs, key=lambda pair: -pair.rel_error)
+        return ranked[: max(0, int(k))]
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "machine": self.machine,
+            "variant": self.variant,
+            "p": self.p,
+            "pairs": [pair.to_dict() for pair in self.pairs],
+            "unmatched_predicted": list(self.unmatched_predicted),
+            "unmatched_simulated": list(self.unmatched_simulated),
+            "predicted_total_cycles": self.predicted_total_cycles,
+            "simulated_total_cycles": self.simulated_total_cycles,
+            "predicted_branch_cycles": self.predicted_branch_cycles,
+            "simulated_branch_cycles": self.simulated_branch_cycles,
+            "max_rel_error": self.max_rel_error,
+            "total_rel_error": self.total_rel_error,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DivergenceReport":
+        return cls(
+            workload=d["workload"],
+            machine=d["machine"],
+            variant=d.get("variant"),
+            p=int(d.get("p", 1)),
+            pairs=[PhasePair.from_dict(pd) for pd in d.get("pairs", [])],
+            unmatched_predicted=list(d.get("unmatched_predicted", [])),
+            unmatched_simulated=list(d.get("unmatched_simulated", [])),
+            predicted_total_cycles=float(d.get("predicted_total_cycles", 0.0)),
+            simulated_total_cycles=float(d.get("simulated_total_cycles", 0.0)),
+            predicted_branch_cycles=float(d.get("predicted_branch_cycles", 0.0)),
+            simulated_branch_cycles=float(d.get("simulated_branch_cycles", 0.0)),
+        )
+
+    def jsonl(self) -> str:
+        """Deterministic JSONL: one header record, then one per phase.
+
+        Byte-identical for identical reports (sorted keys, fixed
+        separators), which is what the golden test pins.
+        """
+        header = {
+            "record": "xval",
+            "workload": self.workload,
+            "machine": self.machine,
+            "variant": self.variant,
+            "p": self.p,
+            "phases": len(self.pairs),
+            "unmatched_predicted": list(self.unmatched_predicted),
+            "unmatched_simulated": list(self.unmatched_simulated),
+            "predicted_total_cycles": self.predicted_total_cycles,
+            "simulated_total_cycles": self.simulated_total_cycles,
+            "predicted_branch_cycles": self.predicted_branch_cycles,
+            "simulated_branch_cycles": self.simulated_branch_cycles,
+            "max_rel_error": self.max_rel_error,
+            "total_rel_error": self.total_rel_error,
+        }
+        lines = [json.dumps(header, sort_keys=True, separators=(",", ":"))]
+        for pair in self.pairs:
+            record = {"record": "phase"}
+            record.update(pair.to_dict())
+            lines.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
+        return "\n".join(lines) + "\n"
+
+    def table(self, k: int = 0) -> str:
+        """Text rendering for the CLI; ``k > 0`` appends a worst-k list."""
+        head = (
+            f"xval {self.workload} on {self.machine}"
+            + (f" [{self.variant}]" if self.variant else "")
+            + f" p={self.p}"
+        )
+        lines = [head, ""]
+        lines.append(
+            f"{'phase':<16} {'predicted':>14} {'simulated':>14}"
+            f" {'abs err':>12} {'rel err':>9}"
+        )
+        for pair in self.pairs:
+            lines.append(
+                f"{pair.name:<16} {pair.predicted_cycles:>14.1f}"
+                f" {pair.simulated_cycles:>14.1f}"
+                f" {pair.abs_error:>12.1f} {pair.rel_error:>8.2%}"
+            )
+        lines.append(
+            f"{'TOTAL':<16} {self.predicted_total_cycles:>14.1f}"
+            f" {self.simulated_total_cycles:>14.1f}"
+            f" {abs(self.predicted_total_cycles - self.simulated_total_cycles):>12.1f}"
+            f" {self.total_rel_error:>8.2%}"
+        )
+        if self.predicted_branch_cycles or self.simulated_branch_cycles:
+            lines.append(
+                f"branch cycles    predicted={self.predicted_branch_cycles:.1f}"
+                f" simulated={self.simulated_branch_cycles:.1f}"
+            )
+        for name in self.unmatched_predicted:
+            lines.append(f"unmatched prediction: {name}")
+        for name in self.unmatched_simulated:
+            lines.append(f"unmatched engine phase: {name}")
+        if k > 0 and self.pairs:
+            lines.append("")
+            lines.append(f"worst {min(k, len(self.pairs))} phases by relative error:")
+            for pair in self.worst(k):
+                lines.append(
+                    f"  {pair.name:<16} rel={pair.rel_error:.2%}"
+                    f" abs={pair.abs_error:.1f}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Seeded violation proving the linter covers :mod:`repro.xval`.
+
+Parsed by the static-lint tests under the module name
+``repro.xval.lint_seeded`` (never imported).  Divergence reports must
+be byte-identical run to run — golden JSONL comparison depends on it —
+so the determinism family applies to the whole package; the wall-clock
+read below is the one intentional violation.
+"""
+
+import time
+
+
+def stamped_report(pairs):
+    stamp = time.time()  # -> nondet-call (reports must not carry wall time)
+    return {"pairs": list(pairs), "generated_at": stamp}

@@ -43,6 +43,7 @@ SEEDED = [
     ("lint_seeded_gen.py", "repro.graphs.lint_seeded"),
     ("lint_seeded_bench.py", "benchmarks.lint_seeded"),
     ("lint_seeded_hot.py", "repro.sim.kernel"),
+    ("lint_seeded_xval.py", "repro.xval.lint_seeded"),
 ]
 
 
@@ -99,6 +100,19 @@ class TestSeededViolations:
         assert f.witness == {"tag": "FA", "got": 2, "want": 3}
         f = next(f for f in report.findings if f.check == "hot-loop-import")
         assert f.witness == {"import": "repro.obs"}
+
+    def test_xval_package_is_in_determinism_scope(self):
+        """Divergence reports are golden-compared byte for byte, so the
+        determinism family must cover repro.xval (the seeded fixture
+        proves the rules actually fire there)."""
+        from repro.analysis.static import DETERMINISM_PACKAGES
+
+        assert "repro.xval" in DETERMINISM_PACKAGES
+        report = seeded_report()
+        xval = [
+            f for f in report.findings if f.file.endswith("lint_seeded_xval.py")
+        ]
+        assert [f.check for f in xval] == ["nondet-call"]
 
     def test_state_mispair_collapses_to_one_finding(self):
         # Snapshotted has both a missing from_state and an uncovered
